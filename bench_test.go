@@ -1,0 +1,139 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the simulator's design choices. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark regenerates the corresponding artifact and
+// fails the run if any paper-shape check deviates, so `-bench` doubles
+// as the reproduction gate.
+
+import (
+	"testing"
+
+	"repro/internal/addrsim"
+	"repro/internal/dramcache"
+	"repro/internal/dwarfs"
+	"repro/internal/experiments"
+	"repro/internal/memdev"
+	"repro/internal/memsys"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	ctx := experiments.NewContext()
+	ctx.TraceSamples = 100
+	fn, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fn(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range rep.Checks {
+			if !c.Pass {
+				b.Fatalf("%s / %s: paper %q, measured %q", id, c.Name, c.Paper, c.Measured)
+			}
+		}
+	}
+}
+
+func BenchmarkTable1Platform(b *testing.B)         { benchExperiment(b, "table1") }
+func BenchmarkTable2Benchmarks(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkFig2Overview(b *testing.B)           { benchExperiment(b, "fig2") }
+func BenchmarkTable3Characterization(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig3LargeProblems(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig4HypreTrace(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkFig5WriteThrottling(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFig6Concurrency(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7FTDiverging(b *testing.B)        { benchExperiment(b, "fig7") }
+func BenchmarkFig8ScaLAPACKPhases(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9Checkpoint(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10PredictConcurrency(b *testing.B) {
+	benchExperiment(b, "fig10")
+}
+func BenchmarkFig11PredictDataSize(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12WriteAwarePlacement(b *testing.B) {
+	benchExperiment(b, "fig12")
+}
+
+// --- ablation / component benches ---
+
+// BenchmarkEpochSolver measures the core bottleneck-model throughput:
+// how many phase solves per second the experiment harness can sweep.
+func BenchmarkEpochSolver(b *testing.B) {
+	ctx := experiments.NewContext()
+	sys := memsys.New(ctx.Socket(), memsys.UncachedNVM)
+	ph := memsys.Phase{
+		Name: "bench", Share: 1,
+		ReadBW: units.GBps(50), WriteBW: units.GBps(20),
+		ReadMix:      memsys.Pure(memdev.Strided),
+		WritePattern: memdev.Transpose,
+		WorkingSet:   64 * units.GiB,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = sys.SolveEpoch(ph, 48)
+	}
+}
+
+// BenchmarkWorkloadRun measures a full application evaluation (all
+// phases, slowdown reference, traffic accounting).
+func BenchmarkWorkloadRun(b *testing.B) {
+	ctx := experiments.NewContext()
+	w := dwarfs.All()[0].New()
+	sys := memsys.New(ctx.Socket(), memsys.CachedNVM)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Run(w, sys, 48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWPQ measures the operational write-pending-queue model that
+// grounds the write-combining constants (ablation: address-level versus
+// closed-form write capability).
+func BenchmarkWPQ(b *testing.B) {
+	q := memdev.NewWPQ(64, units.GBps(13))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Store(float64(i)*1e-8, uint64(i*4))
+	}
+}
+
+// BenchmarkAddressCache measures the operational direct-mapped DRAM
+// cache (ablation: address-level versus closed-form hit model).
+func BenchmarkAddressCache(b *testing.B) {
+	c := dramcache.NewCache(4 * units.MiB)
+	g := addrsim.NewGenerator(memdev.Stencil, 8*units.MiB, 0.2, 8, 1)
+	reqs := g.Generate(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := reqs[i&(1<<16-1)]
+		c.Access(r.Line, r.Write)
+	}
+}
+
+// BenchmarkHitModelClosedForm is the counterpart closed-form evaluation.
+func BenchmarkHitModelClosedForm(b *testing.B) {
+	h := dramcache.HitModel{Capacity: 96 * units.GiB}
+	for i := 0; i < b.N; i++ {
+		_ = h.Rate(units.Bytes(i%256)*units.GiB/2, memdev.Stencil)
+	}
+}
+
+// BenchmarkMicroDeviceMatrix regenerates the Section II device
+// capability matrix (extension id "micro").
+func BenchmarkMicroDeviceMatrix(b *testing.B) { benchExperiment(b, "micro") }
+
+// BenchmarkAblationTiers sweeps the model constants and verifies the
+// Table III tiers are robust (extension id "ablation").
+func BenchmarkAblationTiers(b *testing.B) { benchExperiment(b, "ablation") }

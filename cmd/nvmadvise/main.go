@@ -1,0 +1,67 @@
+// Command nvmadvise analyzes an application's suitability for NVM-based
+// main memory per the paper's four insights, and sweeps the
+// configuration space for the Pareto frontier of run time versus DRAM
+// consumption.
+//
+// Usage:
+//
+//	nvmadvise -app ScaLAPACK
+//	nvmadvise -app all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+func main() {
+	app := flag.String("app", "all", "application name, or 'all'")
+	threads := flag.Int("threads", 48, "concurrency for the analysis")
+	flag.Parse()
+
+	m := core.NewMachine()
+	sock := m.Context().Socket()
+	apps := []string{*app}
+	if strings.EqualFold(*app, "all") {
+		apps = m.Apps()
+	}
+	for _, a := range apps {
+		w, err := m.Workload(a)
+		if err != nil {
+			fatal(err)
+		}
+		adv, err := advisor.Analyze(w, sock, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(adv.Summary)
+		for _, r := range adv.Risks {
+			mark := " "
+			if r.Susceptible {
+				mark = "!"
+			}
+			fmt.Printf("  %s phase %-18s write %9s vs threshold %9s (R/W %.1f)\n",
+				mark, r.Phase, r.WriteBW, r.Threshold, r.ReadWriteRatio)
+		}
+		evals, err := explore.Sweep(w, sock, explore.DefaultOptions(w))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("  Pareto frontier (time vs DRAM):")
+		for _, e := range explore.Pareto(evals) {
+			fmt.Printf("    %-22s time %-10s DRAM %s\n", e.Option, e.Time, e.DRAMUsed)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvmadvise:", err)
+	os.Exit(2)
+}

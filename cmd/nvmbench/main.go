@@ -1,0 +1,90 @@
+// Command nvmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	nvmbench -list
+//	nvmbench -run fig2
+//	nvmbench -run all [-threads 48] [-low 24] [-samples 200]
+//
+// Each experiment prints its rows/series plus the paper-shape checks
+// (who wins, by what factor) with PASS/DEVIATION status.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	threads := flag.Int("threads", 48, "full concurrency level")
+	low := flag.Int("low", 24, "low concurrency level (Fig 6)")
+	samples := flag.Int("samples", 200, "trace resolution in samples")
+	format := flag.String("format", "text", "output format: text|json")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Doc)
+		}
+		return
+	}
+
+	m := core.NewMachine()
+	ctx := m.Context()
+	ctx.Threads, ctx.LowThreads, ctx.TraceSamples = *threads, *low, *samples
+
+	var reports []core.Report
+	if *run == "all" {
+		rs, err := m.RunAllExperiments()
+		if err != nil {
+			fatal(err)
+		}
+		reports = rs
+	} else {
+		r, err := m.Experiment(*run)
+		if err != nil {
+			fatal(err)
+		}
+		reports = []core.Report{r}
+	}
+
+	deviations := 0
+	for _, r := range reports {
+		for _, c := range r.Checks {
+			if !c.Pass {
+				deviations++
+			}
+		}
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fatal(err)
+		}
+	case "text":
+		for _, r := range reports {
+			fmt.Println(r)
+			fmt.Println()
+		}
+		fmt.Printf("experiments: %d, paper-shape deviations: %d\n", len(reports), deviations)
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	if deviations > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvmbench:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,59 @@
+// Command nvmpredict trains the Section V-A IPC prediction model on one
+// configuration and evaluates it across a concurrency sweep.
+//
+// Usage:
+//
+//	nvmpredict -app XSBench -train 36
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/model"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func main() {
+	app := flag.String("app", "XSBench", "application name")
+	train := flag.Int("train", 36, "training concurrency")
+	seed := flag.Uint64("seed", 1, "noise seed")
+	flag.Parse()
+
+	m := core.NewMachine()
+	w, err := m.Workload(*app)
+	if err != nil {
+		fatal(err)
+	}
+	sys := memsys.New(m.Context().Socket(), memsys.CachedNVM)
+	rng := xrand.New(*seed)
+
+	trainRes, err := workload.Run(w, sys, *train)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := model.Train(model.CollectSamples(trainRes, 8, 0.02, rng))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: trained Eq.1 model at ht=%d (R2=%.4f, events kept: %d)\n",
+		*app, *train, mod.Reg.R2, len(mod.Kept))
+	fmt.Printf("%8s %10s %10s %10s\n", "threads", "predicted", "observed", "accuracy")
+	for _, th := range []int{8, 16, 24, 32, 36, 40, 48} {
+		res, err := workload.Run(w, sys, th)
+		if err != nil {
+			fatal(err)
+		}
+		p, o, a := mod.EvaluatePoint(res, 0.02, rng)
+		fmt.Printf("%8d %10.4f %10.4f %9.1f%%\n", th, p, o, 100*a)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvmpredict:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,67 @@
+// Command nvmsim evaluates one application on one memory configuration,
+// reporting the figure of merit, slowdown versus DRAM, achieved traffic,
+// and the per-phase bottleneck classification.
+//
+// Usage:
+//
+//	nvmsim -app XSBench -mode uncached -threads 48
+//	nvmsim -app all -mode cached
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func parseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(s) {
+	case "dram":
+		return core.DRAMOnly, nil
+	case "cached", "cached-nvm", "memory":
+		return core.CachedNVM, nil
+	case "uncached", "uncached-nvm", "appdirect":
+		return core.UncachedNVM, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (dram|cached|uncached)", s)
+	}
+}
+
+func main() {
+	app := flag.String("app", "XSBench", "application name, or 'all'")
+	modeStr := flag.String("mode", "uncached", "memory configuration: dram|cached|uncached")
+	threads := flag.Int("threads", 48, "concurrency (1-48)")
+	flag.Parse()
+
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	m := core.NewMachine()
+	apps := []string{*app}
+	if strings.EqualFold(*app, "all") {
+		apps = m.Apps()
+	}
+	fmt.Printf("%-10s %-10s %8s %12s %10s %10s %10s\n",
+		"App", "Mode", "Threads", "FoM", "Slowdown", "Read", "Write")
+	for _, a := range apps {
+		res, err := m.RunApp(a, mode, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-10s %-10s %8d %12.4g %9.2fx %10s %10s\n",
+			a, mode, *threads, res.FoMValue, res.Slowdown, res.AvgRead(), res.AvgWrite())
+		for _, po := range res.Phases {
+			fmt.Printf("    phase %-16s mult %6.2fx  bound %-14s hit %5.1f%%\n",
+				po.Phase.Name, po.Epoch.Mult, po.Epoch.BoundBy, 100*po.Epoch.HitRate)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvmsim:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,65 @@
+// Command nvmtrace reconstructs the per-device bandwidth time series of
+// an application run (the paper's Figs 4, 5, 7, 8) and emits it as CSV
+// or an ASCII chart.
+//
+// Usage:
+//
+//	nvmtrace -app SuperLU -mode uncached -samples 300 -format csv
+//	nvmtrace -app Hypre -mode cached -format ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "SuperLU", "application name")
+	modeStr := flag.String("mode", "uncached", "dram|cached|uncached")
+	threads := flag.Int("threads", 48, "concurrency")
+	samples := flag.Int("samples", 200, "trace samples")
+	noise := flag.Float64("noise", 0.04, "measurement noise fraction")
+	format := flag.String("format", "csv", "csv|ascii")
+	flag.Parse()
+
+	var mode core.Mode
+	switch *modeStr {
+	case "dram":
+		mode = core.DRAMOnly
+	case "cached":
+		mode = core.CachedNVM
+	case "uncached":
+		mode = core.UncachedNVM
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeStr))
+	}
+
+	m := core.NewMachine()
+	res, err := m.RunApp(*app, mode, *threads)
+	if err != nil {
+		fatal(err)
+	}
+	tr := res.Trace(*samples, *noise)
+	switch *format {
+	case "csv":
+		fmt.Print(tr.CSV())
+	case "ascii":
+		fmt.Printf("%s on %s, %d threads (run time %s)\n", *app, mode, *threads, res.Time)
+		for _, col := range []trace.Column{trace.ColRead, trace.ColWrite, trace.ColNVMRead, trace.ColNVMWrite} {
+			fmt.Print(tr.ASCII(col, 72, 5))
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	var _ workload.Result = res
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvmtrace:", err)
+	os.Exit(2)
+}

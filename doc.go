@@ -1,0 +1,9 @@
+// Package repro reproduces "Demystifying the Performance of HPC
+// Scientific Applications on NVM-based Memory Systems" (Peng, Wu, Ren,
+// Li, Gokhale — IPDPS 2020) as a Go library.
+//
+// The public entry point is internal/core (see README.md for the
+// architecture overview); cmd/nvmbench regenerates every table and
+// figure of the paper's evaluation, and bench_test.go exposes one
+// testing.B benchmark per experiment.
+package repro

@@ -1,0 +1,45 @@
+// Advisor: apply the paper's four insights to every application — tier
+// classification, write-throttling risk per phase, placement
+// recommendations — and sweep the configuration space for the best
+// option under a DRAM budget (the question a capacity planner actually
+// asks of a DRAM/NVM system).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/units"
+)
+
+func main() {
+	m := core.NewMachine()
+	sock := m.Context().Socket()
+
+	for _, app := range m.Apps() {
+		w, err := m.Workload(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		adv, err := advisor.Analyze(w, sock, 48)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(adv.Summary)
+	}
+
+	fmt.Println("\nCapacity planning: fastest ScaLAPACK configuration under a 24-GiB DRAM budget:")
+	w, _ := m.Workload("ScaLAPACK")
+	evals, err := explore.Sweep(w, sock, explore.DefaultOptions(w))
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, err := explore.BestUnder(evals, 24*units.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s: %s using %s of DRAM\n", best.Option, best.Time, best.DRAMUsed)
+}

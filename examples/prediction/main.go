@@ -1,0 +1,50 @@
+// Model-based prediction: the paper's Section V-A / Fig 10 scenario.
+// Train the Eq. 1 multivariate regression on PCM-style samples from a
+// single configuration (ht = 36 on cached-NVM) and predict the IPC of
+// unseen concurrency levels, avoiding an exhaustive configuration-space
+// search.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/model"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func main() {
+	m := core.NewMachine()
+	sys := memsys.New(m.Context().Socket(), memsys.CachedNVM)
+	rng := xrand.New(42)
+
+	for _, app := range []string{"XSBench", "FFT"} {
+		w, err := m.Workload(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainRes, err := workload.Run(w, sys, 36)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mod, err := model.Train(model.CollectSamples(trainRes, 8, 0.02, rng))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — Eq.1 model trained at ht=36 (R²=%.4f, %d events kept)\n",
+			app, mod.Reg.R2, len(mod.Kept))
+		fmt.Printf("%10s %12s %12s %10s\n", "threads", "predicted", "observed", "accuracy")
+		for _, th := range []int{8, 16, 24, 32, 36, 40, 48} {
+			res, err := workload.Run(w, sys, th)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pred, obs, acc := mod.EvaluatePoint(res, 0.02, rng)
+			fmt.Printf("%10d %12.4f %12.4f %9.1f%%\n", th, pred, obs, 100*acc)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: build the simulated Purley machine and compare one
+// application across the three main-memory configurations the paper
+// evaluates — DRAM-only, cached-NVM (Memory mode) and uncached-NVM
+// (AppDirect).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	m := core.NewMachine()
+
+	fmt.Println("Simulated platform:")
+	fmt.Println(m.Platform().SpecTable())
+
+	fmt.Println("XSBench (Monte Carlo neutron transport) on three configurations:")
+	for _, mode := range []core.Mode{core.DRAMOnly, core.CachedNVM, core.UncachedNVM} {
+		res, err := m.RunApp("XSBench", mode, 48)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %12.3g lookups/s  (slowdown %5.2fx, read %s)\n",
+			mode, res.FoMValue, res.Slowdown, res.AvgRead())
+	}
+
+	fmt.Println("\nEvery registered application, uncached-NVM slowdown (Table III tiers):")
+	for _, app := range m.Apps() {
+		res, err := m.RunApp(app, core.UncachedNVM, 48)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %6.2fx\n", app, res.Slowdown)
+	}
+}

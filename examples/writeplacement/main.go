@@ -1,0 +1,60 @@
+// Write-aware data placement: the paper's Section V-B / Fig 12 scenario.
+// On uncached NVM, the data-centric profiler identifies ScaLAPACK's
+// write-hot structures (the C matrix and workspace), a greedy optimizer
+// pins them into a DRAM budget of 40% of the footprint, and the run
+// recovers near-DRAM performance at roughly a third of the DRAM usage —
+// while the read-aware control placement stays near uncached speed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dwarfs/dense"
+	"repro/internal/placement"
+	"repro/internal/units"
+)
+
+func main() {
+	m := core.NewMachine()
+	sock := m.Context().Socket()
+	w := dense.WorkloadN(48000)
+
+	prof, err := placement.Profile(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Data-centric profile (per-structure traffic):")
+	fmt.Printf("%-12s %12s %12s %12s\n", "structure", "size", "read", "write")
+	for _, st := range prof {
+		fmt.Printf("%-12s %12s %12s %12s\n", st.Name, st.Size, st.ReadBW, st.WriteBW)
+	}
+
+	budget := units.Bytes(float64(w.Footprint) * 0.40)
+	for _, policy := range []placement.Policy{placement.WriteAware, placement.ReadAware} {
+		plan, err := placement.Optimize(w, budget, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := placement.Evaluate(w, plan, sock, 48)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s placement (DRAM budget %s):\n", policy, budget)
+		fmt.Printf("  pinned to DRAM: %v (%s, %.0f%% of footprint)\n",
+			keys(plan.InDRAM), plan.DRAMBytes, 100*out.DRAMUsageFrac)
+		fmt.Printf("  time: DRAM %s | placed %s | cached %s | uncached %s\n",
+			out.DRAM, out.Placed, out.Cached, out.Uncached)
+		fmt.Printf("  normalized to DRAM: %.2fx (uncached: %.2fx)\n",
+			out.NormalizedPlaced, float64(out.Uncached)/float64(out.DRAM))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package repro
+
+// End-to-end integration tests across the whole stack: public API ->
+// workloads -> solver -> experiments -> advisor/explore. These exercise
+// the flows a downstream user runs, complementing the per-package units.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/memsys"
+	"repro/internal/units"
+)
+
+// The full evaluation is deterministic: two fresh machines produce
+// byte-identical reports.
+func TestEvaluationDeterministic(t *testing.T) {
+	render := func() string {
+		m := core.NewMachine()
+		m.Context().TraceSamples = 60
+		reports, err := m.RunAllExperiments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, r := range reports {
+			b.WriteString(r.String())
+		}
+		return b.String()
+	}
+	if render() != render() {
+		t.Error("full evaluation is not deterministic")
+	}
+}
+
+// Every app on every mode at several thread counts produces sane
+// results through the public API.
+func TestAllAppsAllModes(t *testing.T) {
+	m := core.NewMachine()
+	for _, app := range m.Apps() {
+		for _, mode := range []core.Mode{core.DRAMOnly, core.CachedNVM, core.UncachedNVM} {
+			for _, th := range []int{8, 24, 48} {
+				res, err := m.RunApp(app, mode, th)
+				if err != nil {
+					t.Fatalf("%s/%v/%d: %v", app, mode, th, err)
+				}
+				if res.Time <= 0 || res.Slowdown < 1-1e-9 {
+					t.Errorf("%s/%v/%d: time=%v slowdown=%v", app, mode, th, res.Time, res.Slowdown)
+				}
+				if res.FoMValue <= 0 {
+					t.Errorf("%s/%v/%d: FoM=%v", app, mode, th, res.FoMValue)
+				}
+			}
+		}
+	}
+}
+
+// The paper's decision chain end to end: classify the app, and when the
+// advisor recommends placement, the explorer's budgeted best option is
+// indeed a placed configuration that beats uncached.
+func TestAdvisorExploreChain(t *testing.T) {
+	m := core.NewMachine()
+	sock := m.Context().Socket()
+	w, err := m.Workload("ScaLAPACK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := advisor.Analyze(w, sock, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.RecommendPlacement {
+		t.Fatal("expected placement recommendation for ScaLAPACK")
+	}
+	evals, err := explore.Sweep(w, sock, explore.DefaultOptions(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := units.Bytes(float64(w.Footprint) * 0.45)
+	best, err := explore.BestUnder(evals, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Option.Mode != memsys.Placed {
+		t.Errorf("budgeted best = %s, want placed", best.Option)
+	}
+	var uncachedBest units.Duration
+	for _, e := range evals {
+		if e.Option.Mode == memsys.UncachedNVM && (uncachedBest == 0 || e.Time < uncachedBest) {
+			uncachedBest = e.Time
+		}
+	}
+	if best.Time >= uncachedBest {
+		t.Errorf("placed best (%v) should beat uncached best (%v)", best.Time, uncachedBest)
+	}
+}
+
+// Traces, counters and FoMs stay consistent: the trace's total time
+// matches the result, and phase shares sum to one.
+func TestTraceConsistency(t *testing.T) {
+	m := core.NewMachine()
+	for _, app := range m.Apps() {
+		res, err := m.RunApp(app, core.UncachedNVM, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := res.Trace(120, 0)
+		if d := float64(tr.TotalTime-res.Time) / float64(res.Time); d > 1e-9 || d < -1e-9 {
+			t.Errorf("%s: trace time %v != run time %v", app, tr.TotalTime, res.Time)
+		}
+		var share float64
+		for _, ph := range res.Workload.Phases {
+			share += tr.PhaseShare(ph.Name)
+		}
+		if share < 0.999 || share > 1.001 {
+			t.Errorf("%s: phase shares sum to %v", app, share)
+		}
+	}
+}
+
+// The three insights hold as cross-app invariants through the public
+// API: cached-NVM never loses to uncached-NVM at the paper inputs, and
+// the DRAM baseline bounds both.
+func TestModeOrderingInvariant(t *testing.T) {
+	m := core.NewMachine()
+	for _, app := range m.Apps() {
+		d, _ := m.RunApp(app, core.DRAMOnly, 48)
+		c, _ := m.RunApp(app, core.CachedNVM, 48)
+		u, _ := m.RunApp(app, core.UncachedNVM, 48)
+		if c.Time < d.Time*999/1000 {
+			t.Errorf("%s: cached (%v) beats DRAM (%v)", app, c.Time, d.Time)
+		}
+		if u.Time < c.Time*999/1000 {
+			t.Errorf("%s: uncached (%v) beats cached (%v)", app, u.Time, c.Time)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dwarfs"
+	"repro/internal/platform"
+)
+
+func sock() *platform.Socket { return platform.NewPurley().Socket(0) }
+
+func analyze(t *testing.T, app string) Advice {
+	t.Helper()
+	e, err := dwarfs.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := Analyze(e.New(), sock(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adv
+}
+
+func TestClassifyTier(t *testing.T) {
+	cases := map[float64]Tier{1.01: Insensitive, 1.27: Insensitive, 2.99: Scaled, 4.94: Scaled, 8.94: Bottlenecked, 14.92: Bottlenecked}
+	for slow, want := range cases {
+		if got := ClassifyTier(slow); got != want {
+			t.Errorf("ClassifyTier(%v) = %v, want %v", slow, got, want)
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if Insensitive.String() != "insensitive" || Scaled.String() != "scaled" || Bottlenecked.String() != "bottlenecked" {
+		t.Error("tier names wrong")
+	}
+}
+
+// Insight I: HACC's advice is a safe direct port.
+func TestInsightIHACC(t *testing.T) {
+	adv := analyze(t, "HACC")
+	if adv.Tier != Insensitive {
+		t.Errorf("HACC tier = %v", adv.Tier)
+	}
+	if !strings.Contains(adv.Summary, "Direct port") {
+		t.Errorf("summary: %s", adv.Summary)
+	}
+	for _, r := range adv.Risks {
+		if r.Susceptible {
+			t.Errorf("HACC phase %s flagged susceptible", r.Phase)
+		}
+	}
+}
+
+// Insight III: FFT's transpose phase is flagged as write-throttling
+// susceptible and the app lands in the bottlenecked tier.
+func TestInsightIIIFFT(t *testing.T) {
+	adv := analyze(t, "FFT")
+	if adv.Tier != Bottlenecked {
+		t.Errorf("FFT tier = %v", adv.Tier)
+	}
+	found := false
+	for _, r := range adv.Risks {
+		if r.Phase == "transpose" {
+			if !r.Susceptible {
+				t.Error("transpose phase should be susceptible")
+			}
+			if r.ReadWriteRatio > 4 {
+				t.Errorf("transpose R/W ratio = %v, want low", r.ReadWriteRatio)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("transpose phase missing from risks")
+	}
+	if !strings.Contains(adv.Summary, "Write throttling") {
+		t.Errorf("summary: %s", adv.Summary)
+	}
+}
+
+// Insight IV: ScaLAPACK gets a write-aware placement recommendation.
+func TestInsightIVScaLAPACK(t *testing.T) {
+	adv := analyze(t, "ScaLAPACK")
+	if !adv.RecommendPlacement {
+		t.Errorf("ScaLAPACK should recommend placement: %+v", adv)
+	}
+	if !strings.Contains(adv.Summary, "Write-aware placement") {
+		t.Errorf("summary: %s", adv.Summary)
+	}
+}
+
+// Insight II: SuperLU (sparse) is recommended for cached-NVM large
+// problems.
+func TestInsightIISuperLU(t *testing.T) {
+	adv := analyze(t, "SuperLU")
+	if !adv.RecommendCachedForLargeProblems {
+		t.Errorf("SuperLU should recommend cached-NVM for large problems: %+v", adv)
+	}
+}
+
+// Laghos stays below the threshold in every phase (the Fig 5 contrast).
+func TestLaghosBelowThreshold(t *testing.T) {
+	adv := analyze(t, "Laghos")
+	for _, r := range adv.Risks {
+		if r.Susceptible {
+			t.Errorf("Laghos phase %s flagged susceptible", r.Phase)
+		}
+		if r.WriteBW > r.Threshold {
+			t.Errorf("phase %s write %v above threshold %v", r.Phase, r.WriteBW, r.Threshold)
+		}
+	}
+}
+
+// All eight applications produce tier classifications matching Table III.
+func TestAllAppsClassified(t *testing.T) {
+	want := map[string]Tier{
+		"HACC": Insensitive, "Laghos": Insensitive,
+		"ScaLAPACK": Scaled, "XSBench": Scaled, "Hypre": Scaled, "SuperLU": Scaled,
+		"BoxLib": Bottlenecked, "FFT": Bottlenecked,
+	}
+	for app, tier := range want {
+		adv := analyze(t, app)
+		if adv.Tier != tier {
+			t.Errorf("%s tier = %v, want %v", app, adv.Tier, tier)
+		}
+		if adv.Summary == "" {
+			t.Errorf("%s has no summary", app)
+		}
+	}
+}
+
+func TestAnalyzeValidates(t *testing.T) {
+	e, _ := dwarfs.ByName("HACC")
+	w := e.New()
+	w.Phases = nil
+	if _, err := Analyze(w, sock(), 48); err == nil {
+		t.Error("invalid workload should fail analysis")
+	}
+}

@@ -1,0 +1,105 @@
+// Package core is the library's primary entry point: it wires the
+// platform model, the memory-system solver, the eight Seven-Dwarfs
+// application models and the experiment harness behind a small API.
+//
+// Typical use:
+//
+//	m := core.NewMachine()
+//	res, err := m.RunApp("XSBench", core.UncachedNVM, 48)
+//	fmt.Println(res.Slowdown)
+//
+//	rep, err := m.Experiment("table3")
+//	fmt.Println(rep)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dwarfs"
+	"repro/internal/experiments"
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Mode re-exports the main-memory configurations.
+type Mode = memsys.Mode
+
+// The three paper-wide configurations plus per-structure placement.
+const (
+	DRAMOnly    = memsys.DRAMOnly
+	CachedNVM   = memsys.CachedNVM
+	UncachedNVM = memsys.UncachedNVM
+	Placed      = memsys.Placed
+)
+
+// Result re-exports the workload evaluation result.
+type Result = workload.Result
+
+// Report re-exports an experiment report.
+type Report = experiments.Report
+
+// Machine is a simulated NVM-based memory system host.
+type Machine struct {
+	ctx *experiments.Context
+}
+
+// NewMachine builds the paper's Intel Purley testbed.
+func NewMachine() *Machine {
+	return &Machine{ctx: experiments.NewContext()}
+}
+
+// Platform exposes the underlying hardware description.
+func (m *Machine) Platform() *platform.Machine { return m.ctx.Machine }
+
+// Apps lists the registered applications.
+func (m *Machine) Apps() []string { return dwarfs.Names() }
+
+// Workload returns the paper-input workload descriptor of an app.
+func (m *Machine) Workload(app string) (*workload.Workload, error) {
+	e, err := dwarfs.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	return e.New(), nil
+}
+
+// RunApp evaluates an application on a memory configuration at the given
+// concurrency (1..48 on the local socket).
+func (m *Machine) RunApp(app string, mode Mode, threads int) (Result, error) {
+	w, err := m.Workload(app)
+	if err != nil {
+		return Result{}, err
+	}
+	return workload.Run(w, memsys.New(m.ctx.Socket(), mode), threads)
+}
+
+// RunWorkload evaluates a custom workload descriptor.
+func (m *Machine) RunWorkload(w *workload.Workload, mode Mode, threads int) (Result, error) {
+	if w == nil {
+		return Result{}, fmt.Errorf("core: nil workload")
+	}
+	return workload.Run(w, memsys.New(m.ctx.Socket(), mode), threads)
+}
+
+// Experiment regenerates one of the paper's tables or figures by id
+// (table1, table2, fig2, table3, fig3 ... fig12).
+func (m *Machine) Experiment(id string) (Report, error) {
+	fn, err := experiments.ByID(id)
+	if err != nil {
+		return Report{}, err
+	}
+	return fn(m.ctx)
+}
+
+// Experiments lists the available experiment ids in paper order.
+func (m *Machine) Experiments() []string { return experiments.IDs() }
+
+// RunAllExperiments regenerates the full evaluation.
+func (m *Machine) RunAllExperiments() ([]Report, error) {
+	return experiments.RunAll(m.ctx)
+}
+
+// Context exposes the experiment context for advanced tuning (trace
+// resolution, noise, concurrency levels).
+func (m *Machine) Context() *experiments.Context { return m.ctx }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewMachine(t *testing.T) {
+	m := NewMachine()
+	if m.Platform() == nil {
+		t.Fatal("platform missing")
+	}
+	if len(m.Apps()) != 8 {
+		t.Errorf("apps = %v", m.Apps())
+	}
+	if len(m.Experiments()) != 16 {
+		t.Errorf("experiments = %v", m.Experiments())
+	}
+}
+
+func TestRunApp(t *testing.T) {
+	m := NewMachine()
+	res, err := m.RunApp("XSBench", UncachedNVM, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown < 3 || res.Slowdown > 5 {
+		t.Errorf("XSBench uncached slowdown = %v", res.Slowdown)
+	}
+	if _, err := m.RunApp("nope", DRAMOnly, 48); err == nil {
+		t.Error("unknown app should fail")
+	}
+	if _, err := m.RunApp("HACC", DRAMOnly, 0); err == nil {
+		t.Error("invalid threads should fail")
+	}
+}
+
+func TestRunWorkload(t *testing.T) {
+	m := NewMachine()
+	w, err := m.Workload("Laghos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunWorkload(w, CachedNVM, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Error("no time modelled")
+	}
+	if _, err := m.RunWorkload(nil, DRAMOnly, 1); err == nil {
+		t.Error("nil workload should fail")
+	}
+}
+
+func TestExperiment(t *testing.T) {
+	m := NewMachine()
+	rep, err := m.Experiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "Xeon") {
+		t.Error("table1 content missing")
+	}
+	if _, err := m.Experiment("nope"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestModeConstants(t *testing.T) {
+	if DRAMOnly.String() != "DRAM" || CachedNVM.String() != "cached-NVM" ||
+		UncachedNVM.String() != "uncached-NVM" || Placed.String() != "write-aware" {
+		t.Error("mode re-exports broken")
+	}
+}

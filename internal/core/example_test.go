@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The minimal library flow: build the simulated testbed and classify an
+// application's uncached-NVM sensitivity.
+func ExampleMachine_RunApp() {
+	m := core.NewMachine()
+	res, err := m.RunApp("HACC", core.UncachedNVM, 48)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("HACC uncached slowdown: %.2fx\n", res.Slowdown)
+	// Output:
+	// HACC uncached slowdown: 1.01x
+}
+
+// Experiments regenerate the paper's artifacts by id.
+func ExampleMachine_Experiment() {
+	m := core.NewMachine()
+	rep, err := m.Experiment("table2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.ID, "-", rep.Title)
+	// Output:
+	// table2 - Evaluated benchmarks
+}
+
+// The registry holds one application per Seven-Dwarfs domain plus
+// Laghos, in Table III order.
+func ExampleMachine_Apps() {
+	m := core.NewMachine()
+	for _, app := range m.Apps() {
+		fmt.Println(app)
+	}
+	// Output:
+	// HACC
+	// Laghos
+	// ScaLAPACK
+	// XSBench
+	// Hypre
+	// SuperLU
+	// BoxLib
+	// FFT
+}

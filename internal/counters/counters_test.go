@@ -1,0 +1,151 @@
+package counters
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/xrand"
+)
+
+func profile() RunProfile {
+	return RunProfile{
+		Work:         1e12,
+		Time:         units.Duration(100),
+		Threads:      48,
+		FreqGHz:      2.4,
+		MemStallFrac: 0.5,
+		ReadBytes:    640e9,
+		WriteBytes:   64e9,
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	if NumEvents != 6 {
+		t.Fatalf("NumEvents = %d, want 6 (Table IV)", NumEvents)
+	}
+	for e := EventID(0); e < NumEvents; e++ {
+		if e.Name() == "" {
+			t.Errorf("event %d has no name", e)
+		}
+		if e.Short() != "p"+string(rune('0'+int(e))) {
+			t.Errorf("event %d short = %q", e, e.Short())
+		}
+	}
+	if EventID(9).Name() != "event(9)" {
+		t.Errorf("unknown event name: %q", EventID(9).Name())
+	}
+}
+
+func TestSynthesizeNoiseless(t *testing.T) {
+	ev := Synthesize(profile(), 0, nil)
+	if ev.Counts[InstructionsRetired] != 1e12 {
+		t.Errorf("p0 = %v", ev.Counts[InstructionsRetired])
+	}
+	wantCycles := 100 * 2.4e9 * 48
+	if math.Abs(ev.Counts[CyclesActive]-wantCycles)/wantCycles > 1e-12 {
+		t.Errorf("p1 = %v, want %v", ev.Counts[CyclesActive], wantCycles)
+	}
+	if ev.Counts[CyclesStalledResource] != wantCycles*0.5 {
+		t.Errorf("p2 = %v", ev.Counts[CyclesStalledResource])
+	}
+	if ev.Counts[CyclesOffcoreWait] != wantCycles*0.4 {
+		t.Errorf("p3 = %v", ev.Counts[CyclesOffcoreWait])
+	}
+	if ev.Counts[IMCReads] != 640e9/64 {
+		t.Errorf("p4 = %v", ev.Counts[IMCReads])
+	}
+	if ev.Counts[IMCWrites] != 64e9/64 {
+		t.Errorf("p5 = %v", ev.Counts[IMCWrites])
+	}
+	wantIPC := 1e12 / wantCycles
+	if math.Abs(ev.IPC-wantIPC)/wantIPC > 1e-12 {
+		t.Errorf("IPC = %v, want %v", ev.IPC, wantIPC)
+	}
+}
+
+func TestSynthesizeDegenerate(t *testing.T) {
+	p := profile()
+	p.Time = 0
+	if ev := Synthesize(p, 0, nil); ev.IPC != 0 {
+		t.Error("zero-time profile should produce empty events")
+	}
+	p = profile()
+	p.Threads = 0
+	if ev := Synthesize(p, 0, nil); ev.Counts[CyclesActive] != 0 {
+		t.Error("zero-thread profile should produce empty events")
+	}
+}
+
+func TestSynthesizeStallClamped(t *testing.T) {
+	p := profile()
+	p.MemStallFrac = 7 // invalid; must clamp
+	ev := Synthesize(p, 0, nil)
+	if ev.Counts[CyclesStalledResource] > ev.Counts[CyclesActive] {
+		t.Error("stall cycles cannot exceed active cycles")
+	}
+}
+
+func TestSynthesizeNoise(t *testing.T) {
+	rng := xrand.New(3)
+	base := Synthesize(profile(), 0, nil)
+	noisy := Synthesize(profile(), 0.05, rng)
+	same := 0
+	for i := range base.Counts {
+		if base.Counts[i] == noisy.Counts[i] {
+			same++
+		}
+	}
+	if same == int(NumEvents) {
+		t.Error("noise had no effect")
+	}
+	// Noise is bounded in practice: 5 sigma would be extreme.
+	for i := range base.Counts {
+		if rel := math.Abs(noisy.Counts[i]-base.Counts[i]) / base.Counts[i]; rel > 0.3 {
+			t.Errorf("event %d noise too large: %v", i, rel)
+		}
+	}
+}
+
+func TestSynthesizeDeterministicWithSeed(t *testing.T) {
+	a := Synthesize(profile(), 0.05, xrand.New(42))
+	b := Synthesize(profile(), 0.05, xrand.New(42))
+	if a != b {
+		t.Error("same seed should give same noisy events")
+	}
+}
+
+func TestVector(t *testing.T) {
+	ev := Synthesize(profile(), 0, nil)
+	v := ev.Vector()
+	if len(v) != int(NumEvents) {
+		t.Fatalf("vector length %d", len(v))
+	}
+	for i, x := range v {
+		if x != ev.Counts[i] {
+			t.Errorf("vector[%d] mismatch", i)
+		}
+	}
+	// Mutation of the vector must not alias the events.
+	v[0] = -1
+	if ev.Counts[0] == -1 {
+		t.Error("Vector should copy")
+	}
+}
+
+func TestBandwidthSample(t *testing.T) {
+	s := BandwidthSample{
+		DRAMRead: units.GBps(10), DRAMWrite: units.GBps(2),
+		NVMRead: units.GBps(5), NVMWrite: units.GBps(1),
+	}
+	if s.Total().GBpsValue() != 18 {
+		t.Errorf("total = %v", s.Total())
+	}
+	if r := s.ReadWriteRatio(); r != 5 {
+		t.Errorf("R/W ratio = %v, want 5", r)
+	}
+	empty := BandwidthSample{DRAMRead: units.GBps(1)}
+	if empty.ReadWriteRatio() != 0 {
+		t.Error("no-write ratio should be 0")
+	}
+}

@@ -1,0 +1,177 @@
+// Package dramcache models Intel's Memory mode, in which the platform's
+// DRAM becomes a hardware-managed, direct-mapped, write-back cache in
+// front of the Optane NVM (paper Section II-A).
+//
+// Two models are provided:
+//
+//   - Cache: an operational, address-level direct-mapped write-back cache
+//     with a tag store, usable at reduced scale (the tag store is sized by
+//     the modelled capacity divided by line size). The address-level
+//     simulator drives it to measure hit rates and miss/writeback traffic
+//     for concrete access streams.
+//
+//   - HitModel: the closed-form hit-rate model used by the epoch solver,
+//     parameterized by the working set : capacity ratio and the access
+//     pattern's conflict sensitivity. Its constants are validated against
+//     Cache in tests.
+package dramcache
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memdev"
+	"repro/internal/units"
+)
+
+// Cache is a direct-mapped, write-back, write-allocate cache with 64-byte
+// lines, indexed by physical line address modulo the set count — the
+// organization of DRAM in Memory mode.
+type Cache struct {
+	sets  int64
+	tags  []int64 // tag per set; -1 = invalid
+	dirty []bool
+
+	// Statistics (in lines).
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+	Fills      int64
+}
+
+// NewCache builds a cache of the given capacity. Capacity must cover at
+// least one line. For large modelled capacities use a scaled-down capacity
+// with the same working-set ratio (set sampling); hit rates are
+// ratio-invariant for the streams we study, which is itself verified by a
+// property test.
+func NewCache(capacity units.Bytes) *Cache {
+	sets := int64(capacity) / units.CacheLine
+	if sets < 1 {
+		panic(fmt.Sprintf("dramcache: capacity %v below one line", capacity))
+	}
+	tags := make([]int64, sets)
+	for i := range tags {
+		tags[i] = -1
+	}
+	return &Cache{sets: sets, tags: tags, dirty: make([]bool, sets)}
+}
+
+// Sets returns the number of cache sets (lines).
+func (c *Cache) Sets() int64 { return c.sets }
+
+// Access performs one line access. lineAddr is the 64-byte-aligned line
+// index; write marks a store. It reports whether the access hit and
+// whether a dirty victim was written back.
+func (c *Cache) Access(lineAddr int64, write bool) (hit, writeback bool) {
+	set := lineAddr % c.sets
+	if set < 0 {
+		set += c.sets
+	}
+	if c.tags[set] == lineAddr {
+		c.Hits++
+		if write {
+			c.dirty[set] = true
+		}
+		return true, false
+	}
+	// Miss: allocate (write-allocate policy), evicting any victim.
+	c.Misses++
+	if c.tags[set] >= 0 && c.dirty[set] {
+		c.Writebacks++
+		writeback = true
+	}
+	c.tags[set] = lineAddr
+	c.dirty[set] = write
+	c.Fills++
+	return false, writeback
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Reset clears statistics but keeps cache contents, so a warm-up pass can
+// be excluded from measurement.
+func (c *Cache) Reset() {
+	c.Hits, c.Misses, c.Writebacks, c.Fills = 0, 0, 0, 0
+}
+
+// Traffic summarizes the memory-side traffic implied by the recorded
+// activity: every miss fills a line from NVM (NVM read + DRAM fill write)
+// and every writeback stores a line to NVM.
+type Traffic struct {
+	NVMReadLines  int64
+	NVMWriteLines int64
+	DRAMFillLines int64
+}
+
+// Traffic derives memory-side traffic from the cache statistics.
+func (c *Cache) Traffic() Traffic {
+	return Traffic{NVMReadLines: c.Misses, NVMWriteLines: c.Writebacks, DRAMFillLines: c.Fills}
+}
+
+// HitModel is the closed-form Memory-mode hit-rate model used by the
+// epoch solver.
+//
+// Regimes (ws = working set per sweep, C = cache capacity):
+//
+//   - ws ≤ C ("fits"): hits dominate; misses come from direct-mapped set
+//     conflicts between concurrently swept streams. Conflict misses grow
+//     with occupancy ws/C following 1−exp(−ws/C) (the probability a line
+//     shares its set with another live line under random placement),
+//     scaled by the pattern's conflict sensitivity.
+//
+//   - ws > C ("thrashes"): a direct-mapped cache holds at most C of the
+//     working set; the hit rate decays toward C/ws scaled by the
+//     pattern's reuse friendliness (streaming sweeps get almost no reuse
+//     before eviction; blocked/clustered patterns keep their hot fraction
+//     resident).
+type HitModel struct {
+	Capacity units.Bytes
+}
+
+// Rate returns the modelled hit rate for a phase with the given working
+// set and pattern.
+func (h HitModel) Rate(workingSet units.Bytes, p memdev.Pattern) float64 {
+	return h.RateParams(workingSet, p.ConflictSensitivity(), p.SpatialLocality())
+}
+
+// RateParams is the parametric form of Rate, for callers (the epoch
+// solver) that blend several patterns or apply per-phase aliasing boosts
+// to the conflict sensitivity.
+func (h HitModel) RateParams(workingSet units.Bytes, conflictSens, locality float64) float64 {
+	if h.Capacity <= 0 {
+		return 0
+	}
+	conflictSens = units.Clamp(conflictSens, 0, 1)
+	rho := float64(workingSet) / float64(h.Capacity)
+	if rho <= 0 {
+		return 1
+	}
+	if rho <= 1 {
+		conflict := conflictSens * (1 - math.Exp(-rho))
+		return units.Clamp(1-conflict, 0, 1)
+	}
+	// Thrashing regime: resident fraction C/ws, plus the short-term reuse
+	// captured by spatial locality (adjacent lines in a fetched block hit
+	// before eviction).
+	resident := 1 / rho
+	reuse := 0.30 + 0.55*locality
+	base := 1 - conflictSens*(1-math.Exp(-1)) // continuity at rho=1
+	rate := base*resident + (1-resident)*reuse*resident
+	// Guarantee monotone decay and [0,1] range.
+	return units.Clamp(rate, 0, 1)
+}
+
+// DirtyFraction estimates the fraction of evicted lines that are dirty,
+// given the phase's write share of traffic (writes/(reads+writes)).
+// Write-allocate makes dirtiness track the write share, amplified because
+// a single store dirties a whole line.
+func DirtyFraction(writeShare float64) float64 {
+	return units.Clamp(1.6*writeShare, 0, 1)
+}

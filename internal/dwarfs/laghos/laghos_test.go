@@ -1,0 +1,184 @@
+package laghos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func TestNewSedovValidates(t *testing.T) {
+	if _, err := NewSedov(2, 1); err == nil {
+		t.Error("too few zones should fail")
+	}
+	if _, err := NewSedov(10, 0); err == nil {
+		t.Error("zero blast energy should fail")
+	}
+}
+
+func TestInitialCondition(t *testing.T) {
+	s, err := NewSedov(100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TotalMass()-1) > 1e-12 {
+		t.Errorf("total mass = %v, want 1", s.TotalMass())
+	}
+	// Blast zone is hot, background cold.
+	if s.E[0] <= s.E[50] {
+		t.Error("blast energy not deposited")
+	}
+	if s.P[0] <= s.P[50] {
+		t.Error("blast pressure missing")
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	s, _ := NewSedov(100, 0.3)
+	m0 := s.TotalMass()
+	for i := 0; i < 100; i++ {
+		dt := s.StableDt(0.3)
+		if err := s.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(s.TotalMass()-m0) > 1e-12 {
+		t.Errorf("mass drifted: %v -> %v", m0, s.TotalMass())
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	s, _ := NewSedov(200, 0.3)
+	e0 := s.TotalEnergy()
+	for i := 0; i < 200; i++ {
+		dt := s.StableDt(0.2)
+		if err := s.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1 := s.TotalEnergy()
+	// Staggered-grid hydro with artificial viscosity conserves total
+	// energy to discretization error.
+	if rel := math.Abs(e1-e0) / e0; rel > 0.05 {
+		t.Errorf("energy drift = %v (%v -> %v)", rel, e0, e1)
+	}
+}
+
+func TestShockPropagatesOutward(t *testing.T) {
+	s, _ := NewSedov(200, 0.5)
+	var radii []float64
+	for i := 0; i < 300; i++ {
+		dt := s.StableDt(0.25)
+		if err := s.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 99 {
+			radii = append(radii, s.ShockRadius())
+		}
+	}
+	for i := 1; i < len(radii); i++ {
+		if radii[i] <= radii[i-1] {
+			t.Errorf("shock stalled: radii %v", radii)
+		}
+	}
+	if radii[len(radii)-1] < 0.05 {
+		t.Errorf("shock barely moved: %v", radii)
+	}
+}
+
+func TestPositivity(t *testing.T) {
+	s, _ := NewSedov(100, 1.0)
+	for i := 0; i < 200; i++ {
+		dt := s.StableDt(0.2)
+		if err := s.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range s.Rho {
+		if s.Rho[i] <= 0 || s.P[i] < 0 || s.E[i] < 0 {
+			t.Fatalf("negative state at zone %d: rho=%v p=%v e=%v", i, s.Rho[i], s.P[i], s.E[i])
+		}
+	}
+}
+
+func TestStableDtPositive(t *testing.T) {
+	s, _ := NewSedov(50, 0.2)
+	dt := s.StableDt(0.3)
+	if dt <= 0 || math.IsInf(dt, 0) {
+		t.Errorf("dt = %v", dt)
+	}
+}
+
+// --- workload profile ---
+
+func TestWorkloadPaperValid(t *testing.T) {
+	w := WorkloadPaper()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Table III: Laghos slows 1.27x with ~4.1 GB/s traffic at 25% writes.
+func TestWorkloadInsensitiveTier(t *testing.T) {
+	w := WorkloadPaper()
+	sock := platform.NewPurley().Socket(0)
+	res, err := workload.Run(w, memsys.New(sock, memsys.UncachedNVM), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown < 1.15 || res.Slowdown > 1.40 {
+		t.Errorf("slowdown = %v, want ~1.27", res.Slowdown)
+	}
+	if total := res.AvgTotal().GBpsValue(); total < 3 || total > 5.5 {
+		t.Errorf("total traffic = %v GB/s, want ~4.1", total)
+	}
+	if wr := res.WriteRatio(); wr < 18 || wr > 32 {
+		t.Errorf("write ratio = %v%%, want ~25", wr)
+	}
+}
+
+// Fig 5: Laghos keeps its phase composition on uncached NVM — the
+// force-assembly phase stays ~20% of execution because its write demand
+// never crosses the throttling threshold.
+func TestWorkloadPhaseCompositionStable(t *testing.T) {
+	w := WorkloadPaper()
+	sock := platform.NewPurley().Socket(0)
+	share := func(mode memsys.Mode) float64 {
+		res, _ := workload.Run(w, memsys.New(sock, mode), 48)
+		var f, total float64
+		for _, po := range res.Phases {
+			if po.Phase.Name == "force-assembly" {
+				f += po.Time.Seconds()
+			}
+			total += po.Time.Seconds()
+		}
+		return f / total
+	}
+	d, u := share(memsys.DRAMOnly), share(memsys.UncachedNVM)
+	if math.Abs(d-0.2) > 0.03 {
+		t.Errorf("DRAM force share = %v, want ~0.2", d)
+	}
+	if math.Abs(u-d) > 0.05 {
+		t.Errorf("uncached share (%v) should match DRAM (%v)", u, d)
+	}
+}
+
+// Both phases stay below the write-throttling threshold on NVM.
+func TestWorkloadBelowWriteThreshold(t *testing.T) {
+	w := WorkloadPaper()
+	sock := platform.NewPurley().Socket(0)
+	for _, ph := range w.Phases {
+		cap := sock.NVM.WriteThrottleThreshold(ph.WritePattern, 48)
+		if float64(ph.WriteBW) > float64(cap) {
+			t.Errorf("phase %s write %v exceeds threshold %v", ph.Name, ph.WriteBW, cap)
+		}
+	}
+}
+
+func TestWorkloadSizedClamp(t *testing.T) {
+	if err := WorkloadSized(0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

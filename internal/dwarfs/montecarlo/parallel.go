@@ -1,0 +1,53 @@
+package montecarlo
+
+import (
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// RunLookupsParallel performs n lookups across the given worker count,
+// each worker drawing from an independently seeded stream (split from
+// the simulation seed), and returns the summed verification checksum.
+// The result is deterministic for a fixed (seed, workers) pair — the
+// standard reproducible-parallel-RNG construction XSBench's OpenMP
+// driver uses.
+func (s *Simulation) RunLookupsParallel(n, workers int, seed uint64) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	if n < workers {
+		workers = n
+	}
+	lo := s.UnionGrid[0]
+	hi := s.UnionGrid[len(s.UnionGrid)-1]
+	sums := make([]float64, workers)
+	var wg sync.WaitGroup
+	per := n / workers
+	extra := n % workers
+	for w := 0; w < workers; w++ {
+		count := per
+		if w < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			rng := xrand.New(seed + uint64(w)*0x9e3779b97f4a7c15)
+			var sum float64
+			for i := 0; i < count; i++ {
+				e := rng.Range(lo, hi)
+				m := rng.Intn(len(s.Materials))
+				xs := s.MacroXS(m, e)
+				sum += xs[0]
+			}
+			sums[w] = sum
+		}(w, count)
+	}
+	wg.Wait()
+	var total float64
+	for _, v := range sums {
+		total += v
+	}
+	return total
+}

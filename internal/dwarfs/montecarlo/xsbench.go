@@ -1,0 +1,191 @@
+// Package montecarlo implements the Monte Carlo dwarf: an XSBench-style
+// continuous-energy neutron cross-section lookup kernel over a unionized
+// energy grid (Tramm et al., PHYSOR 2014), the paper's representative of
+// repeated random data access.
+//
+// The kernel is real: it builds the nuclide grids and the unionized grid
+// index, and performs macroscopic cross-section lookups exactly as
+// XSBench does (binary search on the unionized grid, then one indexed
+// read per nuclide in the material, interpolating between bracketing
+// points). The Workload constructor scales the data-structure sizes to
+// the paper's XL input and exports the measured access signature.
+package montecarlo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// XSData holds one energy point's five reaction-channel cross sections,
+// matching XSBench's layout (total, elastic, absorption, fission, nu-fission).
+type XSData [5]float64
+
+// Nuclide is one isotope's pointwise cross-section table, sorted by
+// energy.
+type Nuclide struct {
+	Energy []float64
+	XS     []XSData
+}
+
+// Material is a set of nuclides with number densities.
+type Material struct {
+	Nuclides  []int
+	Densities []float64
+}
+
+// Simulation is the XSBench problem instance.
+type Simulation struct {
+	Nuclides []Nuclide
+	// UnionGrid is the unionized energy grid: all nuclide energy points
+	// merged and sorted.
+	UnionGrid []float64
+	// Index[i][n] is the index into nuclide n's grid of the last point
+	// at or below UnionGrid[i] — XSBench's acceleration structure.
+	Index [][]int32
+	// Materials are lookup targets weighted like XSBench's fuel-heavy
+	// distribution.
+	Materials []Material
+
+	rng *xrand.Rand
+}
+
+// Params sizes the problem.
+type Params struct {
+	NNuclides     int
+	PointsPerGrid int
+	NMaterials    int
+	MaxNucPerMat  int
+	Seed          uint64
+}
+
+// SmallParams returns a test-sized problem.
+func SmallParams() Params {
+	return Params{NNuclides: 12, PointsPerGrid: 100, NMaterials: 4, MaxNucPerMat: 6, Seed: 7}
+}
+
+// New builds a simulation: synthetic but structurally faithful nuclide
+// grids (log-spaced energies with resonance jitter) plus the unionized
+// grid and its index.
+func New(p Params) (*Simulation, error) {
+	if p.NNuclides < 1 || p.PointsPerGrid < 2 || p.NMaterials < 1 || p.MaxNucPerMat < 1 {
+		return nil, fmt.Errorf("montecarlo: invalid params %+v", p)
+	}
+	rng := xrand.New(p.Seed)
+	s := &Simulation{rng: rng}
+
+	for n := 0; n < p.NNuclides; n++ {
+		nuc := Nuclide{
+			Energy: make([]float64, p.PointsPerGrid),
+			XS:     make([]XSData, p.PointsPerGrid),
+		}
+		e := 1e-11 // MeV, thermal
+		for i := 0; i < p.PointsPerGrid; i++ {
+			// Log-spaced with jitter: resonance-like spacing.
+			e *= 1 + 25.0/float64(p.PointsPerGrid)*(0.5+rng.Float64())
+			nuc.Energy[i] = e
+			for c := range nuc.XS[i] {
+				nuc.XS[i][c] = rng.Range(0.1, 100)
+			}
+		}
+		s.Nuclides = append(s.Nuclides, nuc)
+	}
+
+	// Unionized grid: merge all energies.
+	var union []float64
+	for _, nuc := range s.Nuclides {
+		union = append(union, nuc.Energy...)
+	}
+	sort.Float64s(union)
+	s.UnionGrid = union
+
+	// Acceleration index.
+	s.Index = make([][]int32, len(union))
+	ptr := make([]int32, p.NNuclides)
+	for i, e := range union {
+		row := make([]int32, p.NNuclides)
+		for n := range s.Nuclides {
+			for int(ptr[n]) < len(s.Nuclides[n].Energy)-1 && s.Nuclides[n].Energy[ptr[n]+1] <= e {
+				ptr[n]++
+			}
+			row[n] = ptr[n]
+		}
+		s.Index[i] = row
+	}
+
+	for m := 0; m < p.NMaterials; m++ {
+		nn := 1 + rng.Intn(p.MaxNucPerMat)
+		mat := Material{}
+		perm := rng.Perm(p.NNuclides)
+		for i := 0; i < nn && i < len(perm); i++ {
+			mat.Nuclides = append(mat.Nuclides, perm[i])
+			mat.Densities = append(mat.Densities, rng.Range(0.01, 10))
+		}
+		s.Materials = append(s.Materials, mat)
+	}
+	return s, nil
+}
+
+// searchUnion finds the unionized-grid interval containing energy e.
+func (s *Simulation) searchUnion(e float64) int {
+	i := sort.SearchFloat64s(s.UnionGrid, e)
+	if i > 0 {
+		i--
+	}
+	if i >= len(s.UnionGrid)-1 {
+		i = len(s.UnionGrid) - 2
+		if i < 0 {
+			i = 0
+		}
+	}
+	return i
+}
+
+// MacroXS computes the macroscopic cross section of the material at
+// energy e: the density-weighted sum of interpolated microscopic cross
+// sections — XSBench's hot loop.
+func (s *Simulation) MacroXS(matID int, e float64) XSData {
+	var out XSData
+	ui := s.searchUnion(e)
+	mat := s.Materials[matID]
+	for k, n := range mat.Nuclides {
+		nuc := &s.Nuclides[n]
+		lo := int(s.Index[ui][n])
+		hi := lo + 1
+		if hi >= len(nuc.Energy) {
+			hi = lo
+		}
+		var f float64
+		if hi != lo && nuc.Energy[hi] != nuc.Energy[lo] {
+			f = (e - nuc.Energy[lo]) / (nuc.Energy[hi] - nuc.Energy[lo])
+			if f < 0 {
+				f = 0
+			} else if f > 1 {
+				f = 1
+			}
+		}
+		d := mat.Densities[k]
+		for c := 0; c < len(out); c++ {
+			micro := nuc.XS[lo][c] + f*(nuc.XS[hi][c]-nuc.XS[lo][c])
+			out[c] += d * micro
+		}
+	}
+	return out
+}
+
+// RunLookups performs n random lookups (the XSBench benchmark loop) and
+// returns a verification checksum (sum of total cross sections), which
+// must be deterministic for a given seed.
+func (s *Simulation) RunLookups(n int) float64 {
+	lo := s.UnionGrid[0]
+	hi := s.UnionGrid[len(s.UnionGrid)-1]
+	var sum float64
+	for i := 0; i < n; i++ {
+		e := s.rng.Range(lo, hi)
+		m := s.rng.Intn(len(s.Materials))
+		xs := s.MacroXS(m, e)
+		sum += xs[0]
+	}
+	return sum
+}

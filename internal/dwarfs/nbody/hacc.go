@@ -1,0 +1,201 @@
+// Package nbody implements the N-Body Methods dwarf: a HACC-style
+// particle simulation (Habib et al., SC'13) with a cell-linked
+// short-range gravitational force kernel and leapfrog (kick-drift-kick)
+// time integration in a periodic box.
+//
+// The kernel is real: particles are binned into a uniform grid, forces
+// come from softened pairwise gravity within neighbouring cells (the
+// short-range part of HACC's P3M), and tests verify momentum
+// conservation, the pairwise symmetry of forces, and binning invariants.
+package nbody
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Vec3 is a 3-vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Scale returns a * s.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Simulation is a periodic-box N-body system.
+type Simulation struct {
+	Box      float64 // box side length
+	Cells    int     // cells per dimension for short-range binning
+	Soft     float64 // Plummer softening length
+	G        float64 // gravitational constant (model units)
+	Pos, Vel []Vec3
+	Mass     []float64
+
+	// cell-linked list: head[c] is the first particle in cell c,
+	// next[i] chains particles within a cell.
+	head []int
+	next []int
+}
+
+// Params sizes a simulation.
+type Params struct {
+	N     int
+	Box   float64
+	Cells int
+	Seed  uint64
+}
+
+// SmallParams is a test-sized system.
+func SmallParams() Params { return Params{N: 500, Box: 10, Cells: 5, Seed: 3} }
+
+// New builds a simulation with uniformly random particle positions and
+// small random velocities.
+func New(p Params) (*Simulation, error) {
+	if p.N < 2 || p.Box <= 0 || p.Cells < 1 {
+		return nil, fmt.Errorf("nbody: invalid params %+v", p)
+	}
+	r := xrand.New(p.Seed)
+	s := &Simulation{
+		Box:   p.Box,
+		Cells: p.Cells,
+		Soft:  p.Box / float64(p.Cells) / 10,
+		G:     1,
+		Pos:   make([]Vec3, p.N),
+		Vel:   make([]Vec3, p.N),
+		Mass:  make([]float64, p.N),
+		head:  make([]int, p.Cells*p.Cells*p.Cells),
+		next:  make([]int, p.N),
+	}
+	for i := 0; i < p.N; i++ {
+		s.Pos[i] = Vec3{r.Range(0, p.Box), r.Range(0, p.Box), r.Range(0, p.Box)}
+		s.Vel[i] = Vec3{r.Norm(0, 0.01), r.Norm(0, 0.01), r.Norm(0, 0.01)}
+		s.Mass[i] = 1
+	}
+	return s, nil
+}
+
+// wrap returns x wrapped into [0, box).
+func wrap(x, box float64) float64 {
+	x = math.Mod(x, box)
+	if x < 0 {
+		x += box
+	}
+	return x
+}
+
+// minImage returns the minimum-image displacement component.
+func minImage(d, box float64) float64 {
+	if d > box/2 {
+		d -= box
+	} else if d < -box/2 {
+		d += box
+	}
+	return d
+}
+
+// cellOf returns the cell index of a position.
+func (s *Simulation) cellOf(p Vec3) int {
+	c := s.Cells
+	f := float64(c) / s.Box
+	ix := int(wrap(p.X, s.Box) * f)
+	iy := int(wrap(p.Y, s.Box) * f)
+	iz := int(wrap(p.Z, s.Box) * f)
+	if ix >= c {
+		ix = c - 1
+	}
+	if iy >= c {
+		iy = c - 1
+	}
+	if iz >= c {
+		iz = c - 1
+	}
+	return ix + c*(iy+c*iz)
+}
+
+// Bin rebuilds the cell-linked lists from current positions.
+func (s *Simulation) Bin() {
+	for i := range s.head {
+		s.head[i] = -1
+	}
+	for i := range s.Pos {
+		c := s.cellOf(s.Pos[i])
+		s.next[i] = s.head[c]
+		s.head[c] = i
+	}
+}
+
+// Forces computes softened gravitational forces from particles in the
+// 27 neighbouring cells of each particle (the short-range P3M part).
+func (s *Simulation) Forces() []Vec3 {
+	s.Bin()
+	f := make([]Vec3, len(s.Pos))
+	c := s.Cells
+	for i := range s.Pos {
+		pi := s.Pos[i]
+		fx := float64(c) / s.Box
+		ix := int(wrap(pi.X, s.Box) * fx)
+		iy := int(wrap(pi.Y, s.Box) * fx)
+		iz := int(wrap(pi.Z, s.Box) * fx)
+		for dz := -1; dz <= 1; dz++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					cx := ((ix+dx)%c + c) % c
+					cy := ((iy+dy)%c + c) % c
+					cz := ((iz+dz)%c + c) % c
+					for j := s.head[cx+c*(cy+c*cz)]; j >= 0; j = s.next[j] {
+						if j == i {
+							continue
+						}
+						dxv := minImage(s.Pos[j].X-pi.X, s.Box)
+						dyv := minImage(s.Pos[j].Y-pi.Y, s.Box)
+						dzv := minImage(s.Pos[j].Z-pi.Z, s.Box)
+						r2 := dxv*dxv + dyv*dyv + dzv*dzv + s.Soft*s.Soft
+						inv := 1 / math.Sqrt(r2)
+						w := s.G * s.Mass[i] * s.Mass[j] * inv * inv * inv
+						f[i].X += w * dxv
+						f[i].Y += w * dyv
+						f[i].Z += w * dzv
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// Step advances the system by dt with kick-drift-kick leapfrog.
+func (s *Simulation) Step(dt float64) {
+	f := s.Forces()
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Add(f[i].Scale(dt / 2 / s.Mass[i]))
+	}
+	for i := range s.Pos {
+		p := s.Pos[i].Add(s.Vel[i].Scale(dt))
+		s.Pos[i] = Vec3{wrap(p.X, s.Box), wrap(p.Y, s.Box), wrap(p.Z, s.Box)}
+	}
+	f = s.Forces()
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Add(f[i].Scale(dt / 2 / s.Mass[i]))
+	}
+}
+
+// Momentum returns the total momentum vector.
+func (s *Simulation) Momentum() Vec3 {
+	var m Vec3
+	for i := range s.Vel {
+		m = m.Add(s.Vel[i].Scale(s.Mass[i]))
+	}
+	return m
+}
+
+// KineticEnergy returns the total kinetic energy.
+func (s *Simulation) KineticEnergy() float64 {
+	var e float64
+	for i, v := range s.Vel {
+		e += 0.5 * s.Mass[i] * (v.X*v.X + v.Y*v.Y + v.Z*v.Z)
+	}
+	return e
+}

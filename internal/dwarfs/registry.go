@@ -1,0 +1,72 @@
+// Package dwarfs registers the paper's eight applications — one per
+// Seven-Dwarfs domain plus Laghos (Table II) — and provides the harness
+// with uniform access to their paper-input workload descriptors.
+package dwarfs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dwarfs/dense"
+	"repro/internal/dwarfs/laghos"
+	"repro/internal/dwarfs/montecarlo"
+	"repro/internal/dwarfs/nbody"
+	"repro/internal/dwarfs/sparse"
+	"repro/internal/dwarfs/spectral"
+	"repro/internal/dwarfs/structured"
+	"repro/internal/dwarfs/unstructured"
+	"repro/internal/workload"
+)
+
+// Entry couples an application with its paper-input constructor.
+type Entry struct {
+	Name  string
+	Dwarf string
+	// New returns the Table II configuration of the application.
+	New func() *workload.Workload
+}
+
+// All returns the eight applications in the paper's Table III order
+// (by increasing uncached-NVM slowdown).
+func All() []Entry {
+	return []Entry{
+		{Name: "HACC", Dwarf: "N-body", New: nbody.WorkloadPaper},
+		{Name: "Laghos", Dwarf: "Structured Grid (high-order FEM)", New: laghos.WorkloadPaper},
+		{Name: "ScaLAPACK", Dwarf: "Dense Linear Algebra", New: dense.WorkloadPaper},
+		{Name: "XSBench", Dwarf: "Monte Carlo", New: montecarlo.WorkloadXL},
+		{Name: "Hypre", Dwarf: "Structured Grids", New: structured.WorkloadPaper},
+		{Name: "SuperLU", Dwarf: "Sparse Linear Algebra", New: sparse.WorkloadPaper},
+		{Name: "BoxLib", Dwarf: "Unstructured Grids", New: unstructured.WorkloadPaper},
+		{Name: "FFT", Dwarf: "Spectral Methods", New: spectral.WorkloadClassD},
+	}
+}
+
+// ByName returns the entry for the named application.
+func ByName(name string) (Entry, error) {
+	for _, e := range All() {
+		if strings.EqualFold(e.Name, name) {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("dwarfs: unknown application %q", name)
+}
+
+// Names lists the application names in registry order.
+func Names() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+// TableII renders the benchmark/input table as in the paper.
+func TableII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %s\n", "Benchmark", "Input Problem")
+	for _, e := range All() {
+		w := e.New()
+		fmt.Fprintf(&b, "%-12s %s (footprint %s)\n", e.Name, w.Input, w.Footprint)
+	}
+	return b.String()
+}

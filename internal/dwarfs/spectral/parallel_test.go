@@ -1,0 +1,51 @@
+package spectral
+
+import (
+	"testing"
+)
+
+func TestForward3DParallelMatchesSerial(t *testing.T) {
+	g := randomGrid(8, 8, 8, 31)
+	want := Forward3D(g)
+	for _, workers := range []int{1, 3, 8, 64} {
+		got := Forward3DParallel(g, workers)
+		if d := MaxAbsDiff(want, got); d > 1e-12 {
+			t.Fatalf("workers=%d: max diff %v", workers, d)
+		}
+	}
+}
+
+func TestTransformXParallelDefaultWorkers(t *testing.T) {
+	g := randomGrid(8, 4, 4, 33)
+	serial := &Grid3D{Nx: g.Nx, Ny: g.Ny, Nz: g.Nz, Data: append([]complex128(nil), g.Data...)}
+	serial.transformX(-1)
+	par := &Grid3D{Nx: g.Nx, Ny: g.Ny, Nz: g.Nz, Data: append([]complex128(nil), g.Data...)}
+	par.TransformXParallel(-1, 0)
+	if d := MaxAbsDiff(serial, par); d != 0 {
+		t.Errorf("default-worker transform differs: %v", d)
+	}
+}
+
+func TestParallelRoundTrip(t *testing.T) {
+	g := randomGrid(16, 8, 4, 35)
+	back := Inverse3D(Forward3DParallel(g, 4))
+	if d := MaxAbsDiff(g, back); d > 1e-10 {
+		t.Errorf("parallel round trip max diff = %v", d)
+	}
+}
+
+func BenchmarkForward3DSerial(b *testing.B) {
+	g := randomGrid(32, 32, 16, 37)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Forward3D(g)
+	}
+}
+
+func BenchmarkForward3DParallel(b *testing.B) {
+	g := randomGrid(32, 32, 16, 37)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Forward3DParallel(g, 4)
+	}
+}

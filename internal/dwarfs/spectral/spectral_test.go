@@ -1,0 +1,240 @@
+package spectral
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func randomGrid(nx, ny, nz int, seed uint64) *Grid3D {
+	g, err := NewGrid3D(nx, ny, nz)
+	if err != nil {
+		panic(err)
+	}
+	r := xrand.New(seed)
+	for i := range g.Data {
+		g.Data[i] = complex(r.Range(-1, 1), r.Range(-1, 1))
+	}
+	return g
+}
+
+func TestNewGridValidates(t *testing.T) {
+	if _, err := NewGrid3D(3, 4, 4); err == nil {
+		t.Error("non-power-of-two dimension should fail")
+	}
+	if _, err := NewGrid3D(0, 4, 4); err == nil {
+		t.Error("zero dimension should fail")
+	}
+	if _, err := NewGrid3D(4, 8, 2); err != nil {
+		t.Errorf("valid dims rejected: %v", err)
+	}
+}
+
+func TestFFT1DKnownTransform(t *testing.T) {
+	// DFT of a constant signal concentrates at bin 0.
+	a := []complex128{1, 1, 1, 1}
+	fft1D(a, -1)
+	if cmplx.Abs(a[0]-4) > 1e-12 {
+		t.Errorf("bin 0 = %v, want 4", a[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(a[i]) > 1e-12 {
+			t.Errorf("bin %d = %v, want 0", i, a[i])
+		}
+	}
+	// DFT of a unit impulse is flat.
+	b := []complex128{1, 0, 0, 0}
+	fft1D(b, -1)
+	for i, v := range b {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFT1DSingleFrequency(t *testing.T) {
+	// x[n] = exp(2 pi i k n / N) transforms to N at forward bin N-k
+	// (forward uses sign -1: X[m] = sum x[n] exp(-2 pi i m n / N)).
+	const n, k = 16, 3
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k*i)/n))
+	}
+	fft1D(a, -1)
+	for m := 0; m < n; m++ {
+		want := 0.0
+		if m == k {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(a[m])-want) > 1e-9 {
+			t.Errorf("bin %d magnitude = %v, want %v", m, cmplx.Abs(a[m]), want)
+		}
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	g := randomGrid(8, 4, 16, 3)
+	back := Inverse3D(Forward3D(g))
+	if d := MaxAbsDiff(g, back); d > 1e-10 {
+		t.Errorf("round trip max diff = %v", d)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	g := randomGrid(8, 8, 8, 5)
+	f := Forward3D(g)
+	n := float64(g.Nx * g.Ny * g.Nz)
+	if rel := math.Abs(f.Energy()/n-g.Energy()) / g.Energy(); rel > 1e-10 {
+		t.Errorf("Parseval violated: rel err %v", rel)
+	}
+}
+
+func TestForwardConstantGrid(t *testing.T) {
+	g, _ := NewGrid3D(4, 4, 4)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	f := Forward3D(g)
+	if cmplx.Abs(f.At(0, 0, 0)-64) > 1e-9 {
+		t.Errorf("DC bin = %v, want 64", f.At(0, 0, 0))
+	}
+	var off float64
+	for i, v := range f.Data {
+		if i != 0 {
+			off += cmplx.Abs(v)
+		}
+	}
+	if off > 1e-9 {
+		t.Errorf("non-DC energy = %v, want 0", off)
+	}
+}
+
+func TestTransposesAreInverses(t *testing.T) {
+	g := randomGrid(4, 8, 2, 7)
+	// transposeXY twice is identity.
+	if d := MaxAbsDiff(g, g.transposeXY().transposeXY()); d != 0 {
+		t.Errorf("XY^2 diff %v", d)
+	}
+	if d := MaxAbsDiff(g, g.transposeXZ().transposeXZ()); d != 0 {
+		t.Errorf("XZ^2 diff %v", d)
+	}
+	// Element mapping spot check.
+	tr := g.transposeXY()
+	if tr.At(1, 3, 0) != g.At(3, 1, 0) {
+		t.Error("XY transpose maps wrong element")
+	}
+}
+
+func TestGridIndexing(t *testing.T) {
+	g, _ := NewGrid3D(4, 4, 4)
+	g.Set(1, 2, 3, 5)
+	if g.At(1, 2, 3) != 5 {
+		t.Error("Set/At roundtrip failed")
+	}
+	if g.Index(0, 0, 0) != 0 || g.Index(3, 3, 3) != 63 {
+		t.Error("corner indices wrong")
+	}
+}
+
+// --- workload profile ---
+
+func sock() *platform.Socket { return platform.NewPurley().Socket(0) }
+
+func TestWorkloadClassDValid(t *testing.T) {
+	w := WorkloadClassD()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gib := w.Footprint.GiBValue()
+	if gib < 60 || gib > 75 {
+		t.Errorf("class D footprint = %v GiB, want ~69", gib)
+	}
+}
+
+// Table III: FT is the most bottlenecked application (14.9x), with the
+// highest write ratio (39%).
+func TestWorkloadBottleneckedTier(t *testing.T) {
+	w := WorkloadClassD()
+	res, err := workload.Run(w, memsys.New(sock(), memsys.UncachedNVM), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown < 10 || res.Slowdown > 19 {
+		t.Errorf("uncached slowdown = %v, want ~15", res.Slowdown)
+	}
+	if wr := res.WriteRatio(); wr < 28 || wr > 45 {
+		t.Errorf("write ratio = %v%%, want ~39", wr)
+	}
+	if r := res.AvgRead().GBpsValue(); r < 2.3 || r > 5.5 {
+		t.Errorf("achieved read = %v GB/s, want ~3.6", r)
+	}
+	if wv := res.AvgWrite().GBpsValue(); wv < 1.4 || wv > 3.4 {
+		t.Errorf("achieved write = %v GB/s, want ~2.35", wv)
+	}
+}
+
+// Fig 2: FT stays within ~10% of DRAM on cached-NVM.
+func TestWorkloadCachedNearDRAM(t *testing.T) {
+	w := WorkloadClassD()
+	res, err := workload.Run(w, memsys.New(sock(), memsys.CachedNVM), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown > 1.15 {
+		t.Errorf("cached slowdown = %v, want <= 1.15", res.Slowdown)
+	}
+}
+
+// Fig 6: FT's high/low concurrency ratio is ~0.61 on DRAM but collapses
+// to ~0.37 on uncached NVM — concurrency contention.
+func TestWorkloadFig6Contention(t *testing.T) {
+	w := WorkloadClassD()
+	ratio := func(mode memsys.Mode) float64 {
+		sys := memsys.New(sock(), mode)
+		lo, _ := workload.Run(w, sys, 24)
+		hi, _ := workload.Run(w, sys, 48)
+		return hi.FoMValue / lo.FoMValue
+	}
+	rd := ratio(memsys.DRAMOnly)
+	ru := ratio(memsys.UncachedNVM)
+	if rd < 0.5 || rd > 0.75 {
+		t.Errorf("DRAM concurrency ratio = %v, want ~0.61", rd)
+	}
+	if ru > rd-0.1 {
+		t.Errorf("uncached ratio (%v) should fall well below DRAM (%v)", ru, rd)
+	}
+	if ru < 0.25 || ru > 0.55 {
+		t.Errorf("uncached ratio = %v, want ~0.37", ru)
+	}
+}
+
+// Fig 7: going from 8 to 24 threads on uncached NVM, the achieved read
+// bandwidth rises (more MLP, more re-reads) while the achieved write
+// bandwidth falls (WPQ contention) — the diverging effect.
+func TestWorkloadFig7Divergence(t *testing.T) {
+	w := WorkloadClassD()
+	sys := memsys.New(sock(), memsys.UncachedNVM)
+	lo, _ := workload.Run(w, sys, 8)
+	hi, _ := workload.Run(w, sys, 24)
+	if hi.AvgRead() <= lo.AvgRead() {
+		t.Errorf("read should rise with concurrency: %v -> %v", lo.AvgRead(), hi.AvgRead())
+	}
+	if hi.AvgWrite() >= lo.AvgWrite() {
+		t.Errorf("write should fall with concurrency: %v -> %v", lo.AvgWrite(), hi.AvgWrite())
+	}
+}
+
+func TestWorkloadPointsClamp(t *testing.T) {
+	w := WorkloadPoints(1)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Footprint < 32*1024*1024 {
+		t.Error("clamped grid should still be sized")
+	}
+}

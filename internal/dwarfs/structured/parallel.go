@@ -1,0 +1,70 @@
+package structured
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ApplyStencilParallel computes out = A*in with the z-planes partitioned
+// across goroutines — the shared-memory parallelization Hypre's
+// structured kernels use. Results are bit-identical to ApplyStencil
+// (each plane writes a disjoint output range).
+func ApplyStencilParallel(in, out *Grid, workers int) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > in.Nz {
+		workers = in.Nz
+	}
+	var wg sync.WaitGroup
+	chunk := (in.Nz + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		z0 := w * chunk
+		z1 := z0 + chunk
+		if z1 > in.Nz {
+			z1 = in.Nz
+		}
+		if z0 >= z1 {
+			break
+		}
+		wg.Add(1)
+		go func(z0, z1 int) {
+			defer wg.Done()
+			applyStencilPlanes(in, out, z0, z1)
+		}(z0, z1)
+	}
+	wg.Wait()
+}
+
+// applyStencilPlanes applies the operator on z-planes [z0, z1).
+func applyStencilPlanes(in, out *Grid, z0, z1 int) {
+	nx, ny, nz := in.Nx, in.Ny, in.Nz
+	for z := z0; z < z1; z++ {
+		for y := 0; y < ny; y++ {
+			base := in.Index(0, y, z)
+			for x := 0; x < nx; x++ {
+				i := base + x
+				v := 6 * in.Data[i]
+				if x > 0 {
+					v -= in.Data[i-1]
+				}
+				if x < nx-1 {
+					v -= in.Data[i+1]
+				}
+				if y > 0 {
+					v -= in.Data[i-nx]
+				}
+				if y < ny-1 {
+					v -= in.Data[i+nx]
+				}
+				if z > 0 {
+					v -= in.Data[i-nx*ny]
+				}
+				if z < nz-1 {
+					v -= in.Data[i+nx*ny]
+				}
+				out.Data[i] = v
+			}
+		}
+	}
+}

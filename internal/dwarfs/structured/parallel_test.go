@@ -1,0 +1,54 @@
+package structured
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestApplyStencilParallelMatchesSerial(t *testing.T) {
+	r := xrand.New(21)
+	in, _ := NewGrid(9, 7, 11)
+	for i := range in.Data {
+		in.Data[i] = r.Range(-1, 1)
+	}
+	want := NewGridLike(in)
+	ApplyStencil(in, want)
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		got := NewGridLike(in)
+		ApplyStencilParallel(in, got, workers)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: mismatch at %d: %v vs %v", workers, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestApplyStencilParallelDefaultWorkers(t *testing.T) {
+	in, _ := NewGrid(4, 4, 4)
+	in.Data[in.Index(2, 2, 2)] = 1
+	out := NewGridLike(in)
+	ApplyStencilParallel(in, out, 0) // default to GOMAXPROCS
+	if out.Data[in.Index(2, 2, 2)] != 6 {
+		t.Error("default-worker run wrong")
+	}
+}
+
+func BenchmarkApplyStencilSerial(b *testing.B) {
+	in, _ := NewGrid(48, 48, 48)
+	out := NewGridLike(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyStencil(in, out)
+	}
+}
+
+func BenchmarkApplyStencilParallel(b *testing.B) {
+	in, _ := NewGrid(48, 48, 48)
+	out := NewGridLike(in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ApplyStencilParallel(in, out, 4)
+	}
+}

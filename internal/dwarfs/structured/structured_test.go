@@ -1,0 +1,203 @@
+package structured
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func TestNewGridValidates(t *testing.T) {
+	if _, err := NewGrid(0, 2, 2); err == nil {
+		t.Error("zero dimension should fail")
+	}
+	g, err := NewGrid(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Data) != 60 {
+		t.Errorf("grid size %d, want 60", len(g.Data))
+	}
+}
+
+func TestApplyStencilInterior(t *testing.T) {
+	g, _ := NewGrid(3, 3, 3)
+	// Unit impulse at the center.
+	g.Data[g.Index(1, 1, 1)] = 1
+	out := NewGridLike(g)
+	ApplyStencil(g, out)
+	if out.Data[g.Index(1, 1, 1)] != 6 {
+		t.Errorf("center = %v, want 6", out.Data[g.Index(1, 1, 1)])
+	}
+	for _, n := range [][3]int{{0, 1, 1}, {2, 1, 1}, {1, 0, 1}, {1, 2, 1}, {1, 1, 0}, {1, 1, 2}} {
+		if v := out.Data[g.Index(n[0], n[1], n[2])]; v != -1 {
+			t.Errorf("neighbour %v = %v, want -1", n, v)
+		}
+	}
+	if out.Data[g.Index(0, 0, 0)] != 0 {
+		t.Error("corner should be untouched by center impulse")
+	}
+}
+
+// The stencil operator must be symmetric: <Au, v> == <u, Av> — required
+// for CG correctness.
+func TestStencilSymmetry(t *testing.T) {
+	r := xrand.New(11)
+	u, _ := NewGrid(5, 4, 3)
+	v, _ := NewGrid(5, 4, 3)
+	for i := range u.Data {
+		u.Data[i] = r.Range(-1, 1)
+		v.Data[i] = r.Range(-1, 1)
+	}
+	au, av := NewGridLike(u), NewGridLike(v)
+	ApplyStencil(u, au)
+	ApplyStencil(v, av)
+	left := dot(au.Data, v.Data)
+	right := dot(u.Data, av.Data)
+	if math.Abs(left-right) > 1e-10*math.Abs(left) {
+		t.Errorf("asymmetry: <Au,v>=%v <u,Av>=%v", left, right)
+	}
+}
+
+// The operator must be positive definite: <Au, u> > 0 for u != 0.
+func TestStencilPositiveDefinite(t *testing.T) {
+	r := xrand.New(13)
+	for trial := 0; trial < 10; trial++ {
+		u, _ := NewGrid(4, 4, 4)
+		for i := range u.Data {
+			u.Data[i] = r.Range(-1, 1)
+		}
+		au := NewGridLike(u)
+		ApplyStencil(u, au)
+		if q := dot(au.Data, u.Data); q <= 0 {
+			t.Fatalf("trial %d: <Au,u> = %v, want > 0", trial, q)
+		}
+	}
+}
+
+// Manufactured solution: pick x*, compute b = A x*, solve, compare.
+func TestSolveManufactured(t *testing.T) {
+	r := xrand.New(17)
+	xStar, _ := NewGrid(8, 8, 8)
+	for i := range xStar.Data {
+		xStar.Data[i] = r.Range(-1, 1)
+	}
+	b := NewGridLike(xStar)
+	ApplyStencil(xStar, b)
+
+	x := NewGridLike(xStar) // zero initial guess
+	res := Solve(b, x, 1e-10, 2000)
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	var maxDiff float64
+	for i := range x.Data {
+		if d := math.Abs(x.Data[i] - xStar.Data[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-7 {
+		t.Errorf("solution max error = %v", maxDiff)
+	}
+}
+
+func TestSolveZeroRHS(t *testing.T) {
+	b, _ := NewGrid(4, 4, 4)
+	x := NewGridLike(b)
+	res := Solve(b, x, 1e-12, 100)
+	if !res.Converged || res.Iterations != 0 {
+		t.Errorf("zero RHS should converge immediately: %+v", res)
+	}
+}
+
+func TestSolveResidualDecreases(t *testing.T) {
+	b, _ := NewGrid(6, 6, 6)
+	b.Data[b.Index(3, 3, 3)] = 1
+	x := NewGridLike(b)
+	few := Solve(b, x.Clone(), 0, 5)
+	many := Solve(b, x, 0, 50)
+	if many.Residual >= few.Residual {
+		t.Errorf("residual should fall: %v after 5, %v after 50", few.Residual, many.Residual)
+	}
+}
+
+// --- workload profile ---
+
+func sock() *platform.Socket { return platform.NewPurley().Socket(0) }
+
+func TestWorkloadPaperValid(t *testing.T) {
+	w := WorkloadPaper()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gib := w.Footprint.GiBValue()
+	if gib < 65 || gib > 80 {
+		t.Errorf("footprint = %v GiB, want ~72", gib)
+	}
+}
+
+// Table III: Hypre slows 4.67x on uncached NVM, read-dominant (8% write).
+func TestWorkloadTableIII(t *testing.T) {
+	w := WorkloadPaper()
+	res, err := workload.Run(w, memsys.New(sock(), memsys.UncachedNVM), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown < 3.8 || res.Slowdown > 5.6 {
+		t.Errorf("slowdown = %v, want ~4.67", res.Slowdown)
+	}
+	if wr := res.WriteRatio(); wr < 3 || wr > 14 {
+		t.Errorf("write ratio = %v%%, want ~8", wr)
+	}
+}
+
+// Fig 2 / Fig 4: Hypre is the worst cached-NVM case, losing ~28% to
+// conflict misses; its cached-mode read bandwidth drops accordingly and
+// DRAM write traffic exceeds the DRAM-only run (replacement fills).
+func TestWorkloadCachedLoss(t *testing.T) {
+	w := WorkloadPaper()
+	cres, err := workload.Run(w, memsys.New(sock(), memsys.CachedNVM), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Slowdown < 1.15 || cres.Slowdown > 1.45 {
+		t.Errorf("cached slowdown = %v, want ~1.28", cres.Slowdown)
+	}
+	dres, _ := workload.Run(w, memsys.New(sock(), memsys.DRAMOnly), 48)
+	// Fig 4: cached read bandwidth ~28% below DRAM.
+	drop := 1 - float64(cres.AvgDRAMRead)/float64(dres.AvgDRAMRead)
+	if drop < 0.10 || drop > 0.45 {
+		t.Errorf("cached read-bandwidth drop = %v, want ~0.28", drop)
+	}
+	// Fig 4: cached DRAM write traffic exceeds DRAM-only (fills).
+	if cres.AvgDRAMWrite <= dres.AvgDRAMWrite {
+		t.Errorf("cached DRAM write (%v) should exceed DRAM-only (%v)",
+			cres.AvgDRAMWrite, dres.AvgDRAMWrite)
+	}
+	// NVM read traffic visible in cached mode.
+	if cres.AvgNVMRead == 0 {
+		t.Error("cached mode should show NVM read traffic")
+	}
+}
+
+// Fig 3: at ~3x DRAM capacity, cached-NVM still roughly doubles the
+// performance of uncached-NVM.
+func TestWorkloadFig3Speedup(t *testing.T) {
+	w := WorkloadFootprintGiB(2.9 * 96)
+	cres, _ := workload.Run(w, memsys.New(sock(), memsys.CachedNVM), 48)
+	ures, _ := workload.Run(w, memsys.New(sock(), memsys.UncachedNVM), 48)
+	speedup := float64(ures.Time) / float64(cres.Time)
+	if speedup < 1.5 || speedup > 3.2 {
+		t.Errorf("cached speedup at 2.9x capacity = %v, want ~2", speedup)
+	}
+}
+
+func TestWorkloadCellsClamp(t *testing.T) {
+	w := WorkloadCells(1)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

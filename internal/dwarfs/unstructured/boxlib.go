@@ -1,0 +1,277 @@
+// Package unstructured implements the Unstructured Grids dwarf with a
+// BoxLib/AMReX-style block-structured AMR framework (Bell et al.): a
+// patch hierarchy over a coarse grid, gradient-based regridding, and a
+// subcycled reaction-diffusion integrator running the paper's input — a
+// spherical (circular in 2D) chemical wave propagation.
+//
+// The kernel is real: a Fisher-KPP front propagates outward from a seed;
+// refined patches track the front through periodic regridding; tests
+// verify front propagation, boundedness, refinement tracking and
+// restriction consistency. Multi-level indirection (coarse cell -> patch
+// -> fine cell) gives the dwarf its irregular access signature.
+package unstructured
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is a half-open cell-index rectangle [X0, X1) x [Y0, Y1) on the
+// coarse index space.
+type Box struct{ X0, Y0, X1, Y1 int }
+
+// Contains reports whether coarse cell (x, y) lies in the box.
+func (b Box) Contains(x, y int) bool { return x >= b.X0 && x < b.X1 && y >= b.Y0 && y < b.Y1 }
+
+// Area returns the coarse-cell count of the box.
+func (b Box) Area() int { return (b.X1 - b.X0) * (b.Y1 - b.Y0) }
+
+// Patch is a refined region: a box at 2x refinement holding its own
+// field data (ratio*w x ratio*h fine cells).
+type Patch struct {
+	Box  Box
+	Data []float64 // fine cells, row-major
+}
+
+// AMR is a two-level block-structured mesh for a scalar field u.
+type AMR struct {
+	NX, NY  int       // coarse dimensions
+	Coarse  []float64 // coarse field
+	Patches []*Patch
+	// Physics: Fisher-KPP u_t = D lap(u) + R u (1 - u).
+	D, R float64
+	// Regridding: refine where |grad u| exceeds GradThresh, re-cluster
+	// every RegridEvery steps, tiles of TileSize coarse cells.
+	GradThresh  float64
+	RegridEvery int
+	TileSize    int
+
+	step int
+}
+
+// Ratio is the refinement ratio between levels.
+const Ratio = 2
+
+// New builds a coarse grid seeded with a circular wave nucleus at the
+// domain centre.
+func New(nx, ny int) (*AMR, error) {
+	if nx < 8 || ny < 8 {
+		return nil, fmt.Errorf("unstructured: grid %dx%d too small", nx, ny)
+	}
+	a := &AMR{
+		NX: nx, NY: ny,
+		Coarse:      make([]float64, nx*ny),
+		D:           0.2,
+		R:           1.0,
+		GradThresh:  0.08,
+		RegridEvery: 4,
+		TileSize:    8,
+	}
+	cx, cy := float64(nx)/2, float64(ny)/2
+	r0 := float64(nx) / 16
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			d := math.Hypot(float64(x)-cx, float64(y)-cy)
+			if d < r0 {
+				a.Coarse[y*nx+x] = 1
+			}
+		}
+	}
+	a.Regrid()
+	return a, nil
+}
+
+func (a *AMR) at(x, y int) float64 {
+	// Clamped (Neumann) boundaries.
+	if x < 0 {
+		x = 0
+	}
+	if x >= a.NX {
+		x = a.NX - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= a.NY {
+		y = a.NY - 1
+	}
+	return a.Coarse[y*a.NX+x]
+}
+
+// gradMag returns |grad u| at a coarse cell (central differences).
+func (a *AMR) gradMag(x, y int) float64 {
+	gx := (a.at(x+1, y) - a.at(x-1, y)) / 2
+	gy := (a.at(x, y+1) - a.at(x, y-1)) / 2
+	return math.Hypot(gx, gy)
+}
+
+// Regrid rebuilds the patch set: tiles containing any cell whose
+// gradient magnitude exceeds the threshold get a refined patch,
+// initialized by bilinear-ish prolongation (piecewise constant here,
+// matching BoxLib's conservative fill).
+func (a *AMR) Regrid() {
+	a.Patches = a.Patches[:0]
+	ts := a.TileSize
+	for ty := 0; ty < a.NY; ty += ts {
+		for tx := 0; tx < a.NX; tx += ts {
+			box := Box{X0: tx, Y0: ty, X1: minInt(tx+ts, a.NX), Y1: minInt(ty+ts, a.NY)}
+			flagged := false
+			for y := box.Y0; y < box.Y1 && !flagged; y++ {
+				for x := box.X0; x < box.X1; x++ {
+					if a.gradMag(x, y) > a.GradThresh {
+						flagged = true
+						break
+					}
+				}
+			}
+			if !flagged {
+				continue
+			}
+			p := &Patch{Box: box, Data: make([]float64, box.Area()*Ratio*Ratio)}
+			a.prolong(p)
+			a.Patches = append(a.Patches, p)
+		}
+	}
+}
+
+// prolong fills a patch from the coarse field (piecewise constant).
+func (a *AMR) prolong(p *Patch) {
+	w := (p.Box.X1 - p.Box.X0) * Ratio
+	for fy := 0; fy < (p.Box.Y1-p.Box.Y0)*Ratio; fy++ {
+		for fx := 0; fx < w; fx++ {
+			cx, cy := p.Box.X0+fx/Ratio, p.Box.Y0+fy/Ratio
+			p.Data[fy*w+fx] = a.at(cx, cy)
+		}
+	}
+}
+
+// restrict averages a patch's fine cells back onto the coarse field —
+// BoxLib's conservative average-down.
+func (a *AMR) restrict(p *Patch) {
+	w := (p.Box.X1 - p.Box.X0) * Ratio
+	for cy := p.Box.Y0; cy < p.Box.Y1; cy++ {
+		for cx := p.Box.X0; cx < p.Box.X1; cx++ {
+			var sum float64
+			for dy := 0; dy < Ratio; dy++ {
+				for dx := 0; dx < Ratio; dx++ {
+					fx := (cx-p.Box.X0)*Ratio + dx
+					fy := (cy-p.Box.Y0)*Ratio + dy
+					sum += p.Data[fy*w+fx]
+				}
+			}
+			a.Coarse[cy*a.NX+cx] = sum / (Ratio * Ratio)
+		}
+	}
+}
+
+// reaction is the Fisher-KPP source term.
+func (a *AMR) reaction(u float64) float64 { return a.R * u * (1 - u) }
+
+// Step advances the hierarchy by one coarse step dt: coarse FTCS update,
+// subcycled patch updates (2 fine steps at dt/2 with dx/2), restriction,
+// and periodic regridding.
+func (a *AMR) Step(dt float64) {
+	// Coarse update (everywhere; patched regions are overwritten by the
+	// restriction below).
+	next := make([]float64, len(a.Coarse))
+	for y := 0; y < a.NY; y++ {
+		for x := 0; x < a.NX; x++ {
+			u := a.at(x, y)
+			lap := a.at(x+1, y) + a.at(x-1, y) + a.at(x, y+1) + a.at(x, y-1) - 4*u
+			v := u + dt*(a.D*lap+a.reaction(u))
+			next[y*a.NX+x] = clamp01(v)
+		}
+	}
+	a.Coarse = next
+
+	// Patch subcycling: 2 fine steps, fine dx = 1/Ratio so the diffusion
+	// number scales by Ratio^2.
+	for _, p := range a.Patches {
+		a.stepPatch(p, dt/Ratio)
+		a.stepPatch(p, dt/Ratio)
+		a.restrict(p)
+	}
+
+	a.step++
+	if a.step%a.RegridEvery == 0 {
+		a.Regrid()
+	}
+}
+
+// stepPatch advances one patch by fdt with clamped patch boundaries
+// (boundary cells take coarse ghost values via prolongation done at
+// regrid; interior-only update keeps it simple and stable).
+func (a *AMR) stepPatch(p *Patch, fdt float64) {
+	w := (p.Box.X1 - p.Box.X0) * Ratio
+	h := (p.Box.Y1 - p.Box.Y0) * Ratio
+	next := make([]float64, len(p.Data))
+	copy(next, p.Data)
+	fineD := a.D * Ratio * Ratio // dx_f = dx_c / Ratio
+	for fy := 1; fy < h-1; fy++ {
+		for fx := 1; fx < w-1; fx++ {
+			u := p.Data[fy*w+fx]
+			lap := p.Data[fy*w+fx+1] + p.Data[fy*w+fx-1] + p.Data[(fy+1)*w+fx] + p.Data[(fy-1)*w+fx] - 4*u
+			next[fy*w+fx] = clamp01(u + fdt*(fineD*lap+a.reaction(u)))
+		}
+	}
+	p.Data = next
+}
+
+// FrontRadius estimates the wave front radius: the mean distance from
+// the centre of cells with u in (0.4, 0.6).
+func (a *AMR) FrontRadius() float64 {
+	cx, cy := float64(a.NX)/2, float64(a.NY)/2
+	var sum float64
+	var n int
+	for y := 0; y < a.NY; y++ {
+		for x := 0; x < a.NX; x++ {
+			u := a.Coarse[y*a.NX+x]
+			if u > 0.4 && u < 0.6 {
+				sum += math.Hypot(float64(x)-cx, float64(y)-cy)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BurnedFraction returns the fraction of coarse cells with u > 0.5.
+func (a *AMR) BurnedFraction() float64 {
+	n := 0
+	for _, u := range a.Coarse {
+		if u > 0.5 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.Coarse))
+}
+
+// RefinedFraction returns the fraction of the coarse domain covered by
+// patches.
+func (a *AMR) RefinedFraction() float64 {
+	area := 0
+	for _, p := range a.Patches {
+		area += p.Box.Area()
+	}
+	return float64(area) / float64(a.NX*a.NY)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+package unstructured
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(4, 64); err == nil {
+		t.Error("tiny grid should fail")
+	}
+}
+
+func TestInitialSeed(t *testing.T) {
+	a, err := New(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Coarse[32*64+32] != 1 {
+		t.Error("centre should be burned")
+	}
+	if a.Coarse[0] != 0 {
+		t.Error("corner should be unburned")
+	}
+	if len(a.Patches) == 0 {
+		t.Error("initial regrid should refine the seed boundary")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	a, _ := New(48, 48)
+	for i := 0; i < 40; i++ {
+		a.Step(0.2)
+	}
+	for i, u := range a.Coarse {
+		if u < 0 || u > 1 {
+			t.Fatalf("cell %d out of [0,1]: %v", i, u)
+		}
+	}
+}
+
+func TestWavePropagatesOutward(t *testing.T) {
+	a, _ := New(96, 96)
+	r0 := a.FrontRadius()
+	var radii []float64
+	for i := 0; i < 60; i++ {
+		a.Step(0.2)
+		if i%20 == 19 {
+			radii = append(radii, a.FrontRadius())
+		}
+	}
+	prev := r0
+	for i, r := range radii {
+		if r <= prev {
+			t.Errorf("front stalled at checkpoint %d: %v (radii %v)", i, r, radii)
+		}
+		prev = r
+	}
+	if a.BurnedFraction() <= 0.01 {
+		t.Errorf("burned fraction = %v, wave did not spread", a.BurnedFraction())
+	}
+}
+
+// Refinement must track the front: patches should cover the front cells
+// and stay a modest fraction of the domain (the point of AMR).
+func TestRefinementTracksFront(t *testing.T) {
+	a, _ := New(96, 96)
+	for i := 0; i < 40; i++ {
+		a.Step(0.2)
+	}
+	covered, front := 0, 0
+	for y := 0; y < a.NY; y++ {
+		for x := 0; x < a.NX; x++ {
+			if a.gradMag(x, y) > a.GradThresh {
+				front++
+				for _, p := range a.Patches {
+					if p.Box.Contains(x, y) {
+						covered++
+						break
+					}
+				}
+			}
+		}
+	}
+	if front == 0 {
+		t.Fatal("no front cells found")
+	}
+	if covered != front {
+		t.Errorf("only %d/%d front cells covered by patches", covered, front)
+	}
+	if rf := a.RefinedFraction(); rf > 0.8 {
+		t.Errorf("refined fraction = %v; AMR should not refine everywhere", rf)
+	}
+}
+
+// Restriction must be the inverse of prolongation for patch data that
+// has not been advanced.
+func TestProlongRestrictConsistency(t *testing.T) {
+	a, _ := New(32, 32)
+	before := append([]float64(nil), a.Coarse...)
+	// Fresh patches were just prolonged; restricting them immediately
+	// must reproduce the coarse data exactly (piecewise-constant).
+	for _, p := range a.Patches {
+		a.restrict(p)
+	}
+	for i := range before {
+		if math.Abs(a.Coarse[i]-before[i]) > 1e-14 {
+			t.Fatalf("cell %d changed by prolong+restrict: %v -> %v", i, before[i], a.Coarse[i])
+		}
+	}
+}
+
+func TestRegridRefreshesPatches(t *testing.T) {
+	a, _ := New(64, 64)
+	n0 := len(a.Patches)
+	for i := 0; i < 30; i++ {
+		a.Step(0.2)
+	}
+	// The expanding front is longer: more tiles flagged.
+	if len(a.Patches) <= n0 {
+		t.Errorf("patch count should grow with the front: %d -> %d", n0, len(a.Patches))
+	}
+}
+
+func TestBoxHelpers(t *testing.T) {
+	b := Box{X0: 2, Y0: 3, X1: 5, Y1: 7}
+	if !b.Contains(2, 3) || b.Contains(5, 3) || b.Contains(2, 7) {
+		t.Error("Contains boundary semantics wrong")
+	}
+	if b.Area() != 12 {
+		t.Errorf("Area = %d, want 12", b.Area())
+	}
+}
+
+// --- workload profile ---
+
+func sock() *platform.Socket { return platform.NewPurley().Socket(0) }
+
+func TestWorkloadPaperValid(t *testing.T) {
+	w := WorkloadPaper()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Table III: BoxLib is bottlenecked — 8.94x slowdown, 21% writes.
+func TestWorkloadBottlenecked(t *testing.T) {
+	w := WorkloadPaper()
+	res, err := workload.Run(w, memsys.New(sock(), memsys.UncachedNVM), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown < 7.2 || res.Slowdown > 10.8 {
+		t.Errorf("slowdown = %v, want ~8.94", res.Slowdown)
+	}
+	if wr := res.WriteRatio(); wr < 14 || wr > 30 {
+		t.Errorf("write ratio = %v%%, want ~21", wr)
+	}
+	if r := res.AvgRead().GBpsValue(); r < 6 || r > 11 {
+		t.Errorf("achieved read = %v GB/s, want ~8.2", r)
+	}
+}
+
+// Fig 2: BoxLib loses more than 10% on cached-NVM but far less than
+// uncached.
+func TestWorkloadCachedModerateLoss(t *testing.T) {
+	w := WorkloadPaper()
+	res, err := workload.Run(w, memsys.New(sock(), memsys.CachedNVM), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown < 1.05 || res.Slowdown > 1.5 {
+		t.Errorf("cached slowdown = %v, want ~1.1-1.3", res.Slowdown)
+	}
+}
+
+// Fig 3b: at 4.4x DRAM capacity, cached-NVM roughly doubles uncached
+// performance.
+func TestWorkloadFig3Speedup(t *testing.T) {
+	w := WorkloadFootprintGiB(4.4 * 96)
+	c, _ := workload.Run(w, memsys.New(sock(), memsys.CachedNVM), 48)
+	u, _ := workload.Run(w, memsys.New(sock(), memsys.UncachedNVM), 48)
+	speedup := float64(u.Time) / float64(c.Time)
+	if speedup < 1.5 || speedup > 3.5 {
+		t.Errorf("cached speedup at 4.4x = %v, want ~2", speedup)
+	}
+}
+
+// Fig 6: BoxLib shows a notable concurrency-contention gap between DRAM
+// and uncached NVM.
+func TestWorkloadFig6Gap(t *testing.T) {
+	w := WorkloadPaper()
+	ratio := func(mode memsys.Mode) float64 {
+		sys := memsys.New(sock(), mode)
+		lo, _ := workload.Run(w, sys, 24)
+		hi, _ := workload.Run(w, sys, 48)
+		return lo.Time.Seconds() / hi.Time.Seconds()
+	}
+	rd, ru := ratio(memsys.DRAMOnly), ratio(memsys.UncachedNVM)
+	if ru >= rd-0.05 {
+		t.Errorf("uncached ratio (%v) should trail DRAM (%v) by a visible gap", ru, rd)
+	}
+}
+
+func TestWorkloadClamp(t *testing.T) {
+	if err := WorkloadFootprintGiB(0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

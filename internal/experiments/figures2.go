@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dwarfs/dense"
+	"repro/internal/dwarfs/montecarlo"
+	"repro/internal/dwarfs/spectral"
+	"repro/internal/memsys"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/units"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// trainAt fits the Section V-A model on cached-NVM profiling samples at
+// the given concurrency.
+func trainAt(c *Context, w *workload.Workload, threads int, rng *xrand.Rand) (*model.Model, error) {
+	res, err := workload.Run(w, c.System(memsys.CachedNVM), threads)
+	if err != nil {
+		return nil, err
+	}
+	return model.Train(model.CollectSamples(res, 8, 0.02, rng))
+}
+
+// Fig10 reports prediction accuracy across the concurrency sweep for
+// XSBench and FT, training at ht=36 only.
+func Fig10(c *Context) (Report, error) {
+	var b strings.Builder
+	var checks []Check
+	sweep := []int{8, 16, 24, 32, 36, 40, 48}
+	for _, app := range []struct {
+		name  string
+		build func() *workload.Workload
+	}{
+		{"XSBench", montecarlo.WorkloadXL},
+		{"NPB-FT", spectral.WorkloadClassD},
+	} {
+		rng := xrand.New(0xf16)
+		w := app.build()
+		m, err := trainAt(c, w, 36, rng)
+		if err != nil {
+			return Report{}, err
+		}
+		fmt.Fprintf(&b, "%s (trained at ht=36):\n%8s %10s\n", app.name, "threads", "accuracy")
+		var sum float64
+		accs := map[int]float64{}
+		for _, th := range sweep {
+			res, err := workload.Run(w, c.System(memsys.CachedNVM), th)
+			if err != nil {
+				return Report{}, err
+			}
+			_, _, acc := m.EvaluatePoint(res, 0.02, rng)
+			accs[th] = acc
+			sum += acc
+			fmt.Fprintf(&b, "%8d %9.1f%%\n", th, 100*acc)
+		}
+		avgErr := 1 - sum/float64(len(sweep))
+		fmt.Fprintf(&b, "average error: %.1f%%\n\n", 100*avgErr)
+		paperErr := 0.05
+		if app.name == "NPB-FT" {
+			paperErr = 0.08
+		}
+		checks = append(checks,
+			check(app.name+" average error", pct(paperErr), pct(avgErr), avgErr < 0.40),
+			check(app.name+" training point accuracy", ">= 90%", pct(accs[36]), accs[36] >= 0.90),
+			check(app.name+" extremes weakest", "lowest/highest levels dip",
+				fmt.Sprintf("acc(8)=%.0f%%, acc(36)=%.0f%%", 100*accs[8], 100*accs[36]),
+				accs[8] <= accs[36]))
+	}
+	return Report{ID: "fig10", Title: "Prediction accuracy across concurrency", Body: b.String(), Checks: checks}, nil
+}
+
+// Fig11 reports prediction accuracy across data sizes for XSBench and
+// ScaLAPACK, training at the smallest size at ht=36.
+func Fig11(c *Context) (Report, error) {
+	var b strings.Builder
+	var checks []Check
+
+	// XSBench: 67, 266, 545 GB.
+	xsSizes := []float64{67, 266, 545}
+	rng := xrand.New(0xf11)
+	mXS, err := trainAt(c, montecarlo.WorkloadSized(xsSizes[0]), 36, rng)
+	if err != nil {
+		return Report{}, err
+	}
+	fmt.Fprintf(&b, "XSBench (trained at %v GB):\n%10s %10s\n", xsSizes[0], "mem (GB)", "accuracy")
+	var xsAccs []float64
+	for _, gib := range xsSizes {
+		res, err := workload.Run(montecarlo.WorkloadSized(gib), c.System(memsys.CachedNVM), 36)
+		if err != nil {
+			return Report{}, err
+		}
+		_, _, acc := mXS.EvaluatePoint(res, 0.02, rng)
+		xsAccs = append(xsAccs, acc)
+		fmt.Fprintf(&b, "%10.0f %9.1f%%\n", gib, 100*acc)
+	}
+	checks = append(checks,
+		check("XSBench accuracy at training size", "~97%", pct(xsAccs[0]), xsAccs[0] > 0.93),
+		check("XSBench largest size dips", "lower accuracy at 545 GB",
+			fmt.Sprintf("%.0f%% vs %.0f%%", 100*xsAccs[2], 100*xsAccs[0]), xsAccs[2] < xsAccs[0]))
+
+	// ScaLAPACK: 29, 52, 81 GB -> N = 36000, 48000, 60000.
+	ns := []int{36000, 48000, 60000}
+	rng2 := xrand.New(0xf12)
+	mSL, err := trainAt(c, dense.WorkloadN(ns[0]), 36, rng2)
+	if err != nil {
+		return Report{}, err
+	}
+	fmt.Fprintf(&b, "\nScaLAPACK (trained at N=%d):\n%10s %10s %10s\n", ns[0], "N", "mem (GB)", "accuracy")
+	var slAccs []float64
+	for _, n := range ns {
+		w := dense.WorkloadN(n)
+		res, err := workload.Run(w, c.System(memsys.CachedNVM), 36)
+		if err != nil {
+			return Report{}, err
+		}
+		_, _, acc := mSL.EvaluatePoint(res, 0.02, rng2)
+		slAccs = append(slAccs, acc)
+		fmt.Fprintf(&b, "%10d %10.0f %9.1f%%\n", n, float64(w.Footprint)/1e9, 100*acc)
+	}
+	minSL := slAccs[0]
+	for _, a := range slAccs {
+		if a < minSL {
+			minSL = a
+		}
+	}
+	checks = append(checks, check("ScaLAPACK accuracy at all sizes", ">= 97%", pct(minSL), minSL > 0.85))
+	return Report{ID: "fig11", Title: "Prediction accuracy across data sizes", Body: b.String(), Checks: checks}, nil
+}
+
+// Fig12 reports the write-aware placement study: ScaLAPACK across matrix
+// dimensions on DRAM, write-aware placed, cached-NVM and uncached-NVM,
+// normalized to DRAM.
+func Fig12(c *Context) (Report, error) {
+	dims := []int{6000, 8000, 10000, 18000, 36000, 48000}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %8s %10s %12s %12s %10s\n",
+		"N", "DRAM", "Optimized", "cached-NVM", "uncached-NVM", "DRAM use")
+	var worstOpt, bestSpeed float64
+	var usage float64
+	for _, n := range dims {
+		w := dense.WorkloadN(n)
+		budget := units.Bytes(float64(w.Footprint) * 0.40)
+		plan, err := placement.Optimize(w, budget, placement.WriteAware)
+		if err != nil {
+			return Report{}, err
+		}
+		out, err := placement.Evaluate(w, plan, c.Socket(), c.Threads)
+		if err != nil {
+			return Report{}, err
+		}
+		norm := func(t units.Duration) float64 { return float64(t) / float64(out.DRAM) }
+		fmt.Fprintf(&b, "%8d %8.2f %10.2f %12.2f %12.2f %9.0f%%\n",
+			n, 1.0, norm(out.Placed), norm(out.Cached), norm(out.Uncached),
+			100*out.DRAMUsageFrac)
+		if norm(out.Placed) > worstOpt {
+			worstOpt = norm(out.Placed)
+		}
+		if sp := float64(out.Uncached) / float64(out.Placed); sp > bestSpeed {
+			bestSpeed = sp
+		}
+		usage = out.DRAMUsageFrac
+	}
+
+	// Validation control at the paper's largest dimension: read-aware
+	// placement stays near uncached.
+	w := dense.WorkloadN(48000)
+	rplan, err := placement.Optimize(w, units.Bytes(float64(w.Footprint)*0.40), placement.ReadAware)
+	if err != nil {
+		return Report{}, err
+	}
+	rout, err := placement.Evaluate(w, rplan, c.Socket(), c.Threads)
+	if err != nil {
+		return Report{}, err
+	}
+	readAwareNorm := float64(rout.Placed) / float64(rout.Uncached)
+	fmt.Fprintf(&b, "\nread-aware control at N=48000: %.2fx of uncached time\n", readAwareNorm)
+
+	checks := []Check{
+		check("write-aware vs DRAM", "DRAM-like performance", fmt.Sprintf("worst %.2fx", worstOpt),
+			worstOpt < 1.7),
+		check("improvement over uncached", "~2x", fmt.Sprintf("best %.2fx", bestSpeed), bestSpeed > 1.7),
+		check("DRAM usage", "~30% (60% reduction)", pct(usage), usage > 0.2 && usage < 0.45),
+		check("read-aware control", "little difference vs uncached",
+			fmt.Sprintf("%.2fx of uncached", readAwareNorm), readAwareNorm > 0.75),
+	}
+	return Report{ID: "fig12", Title: "Write-aware data placement (ScaLAPACK)", Body: b.String(), Checks: checks}, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memdev"
+)
+
+// Micro reports the device capability matrix underlying every other
+// experiment — the Section II background numbers from the cited system
+// studies ([12], [21]): per-pattern read/write bandwidth for DRAM and
+// NVM at representative thread counts, and the exposed latencies.
+// It is an extension id (not a paper figure) included so the simulator's
+// calibration is itself a regenerable artifact.
+func Micro(c *Context) (Report, error) {
+	sock := c.Socket()
+	var b strings.Builder
+	threads := []int{4, 16, 48}
+
+	for _, dev := range []*memdev.Device{sock.DRAM, sock.NVM} {
+		fmt.Fprintf(&b, "%s (capacity %s)\n", dev.Kind, dev.Capacity)
+		fmt.Fprintf(&b, "%-12s %10s", "pattern", "latency")
+		for _, t := range threads {
+			fmt.Fprintf(&b, " %8s", fmt.Sprintf("rd@%d", t))
+		}
+		for _, t := range threads {
+			fmt.Fprintf(&b, " %8s", fmt.Sprintf("wr@%d", t))
+		}
+		b.WriteByte('\n')
+		for _, p := range memdev.Patterns() {
+			fmt.Fprintf(&b, "%-12s %10s", p, dev.ReadLatency(p))
+			for _, t := range threads {
+				fmt.Fprintf(&b, " %8.1f", dev.ReadCapability(p, t).GBpsValue())
+			}
+			for _, t := range threads {
+				fmt.Fprintf(&b, " %8.2f", dev.WriteCapability(p, t).GBpsValue())
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+
+	nvm := sock.NVM
+	asym := float64(nvm.PeakRead) / float64(nvm.PeakWrite)
+	checks := []Check{
+		check("NVM peak read", "39 GB/s", nvm.PeakRead.String(), nvm.PeakRead.GBpsValue() == 39),
+		check("NVM peak write", "13 GB/s", nvm.PeakWrite.String(), nvm.PeakWrite.GBpsValue() == 13),
+		check("NVM read/write asymmetry", "~3x", fmt.Sprintf("%.1fx", asym), asym > 2.9 && asym < 3.1),
+		check("NVM seq/random read latency", "174 / 304 ns",
+			fmt.Sprintf("%s / %s", nvm.SeqReadLatency, nvm.RandomReadLatency),
+			within(nvm.SeqReadLatency.Seconds(), 174e-9) && within(nvm.RandomReadLatency.Seconds(), 304e-9)),
+		check("write-throttling band", "~2 GB/s for irregular stores at full concurrency",
+			fmt.Sprintf("%s (gather@48)", nvm.WriteCapability(memdev.Gather, 48)),
+			nvm.WriteCapability(memdev.Gather, 48).GBpsValue() > 1 &&
+				nvm.WriteCapability(memdev.Gather, 48).GBpsValue() < 3),
+	}
+	return Report{ID: "micro", Title: "Device capability matrix (Section II background)", Body: b.String(), Checks: checks}, nil
+}
+
+// within compares two values to a relative tolerance of 1e-9.
+func within(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(b+1e-30)
+}

@@ -1,0 +1,176 @@
+// Package explore sweeps the heterogeneous-memory configuration space —
+// memory mode x concurrency x placement budget — for a workload and
+// reports the Pareto frontier of run time versus DRAM consumption. It
+// operationalizes the paper's design-space question ("How to effectively
+// leverage the heterogeneity in DRAM/NVM systems for the best
+// performance?") in the spirit of the Siena explorer the authors cite.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memsys"
+	"repro/internal/placement"
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Option is one point in the configuration space.
+type Option struct {
+	Mode    memsys.Mode
+	Threads int
+	// PlacementBudgetFrac applies to Placed mode only: the DRAM budget
+	// as a fraction of the workload footprint.
+	PlacementBudgetFrac float64
+}
+
+// String renders the option compactly.
+func (o Option) String() string {
+	if o.Mode == memsys.Placed {
+		return fmt.Sprintf("%s(%.0f%%)@%dt", o.Mode, 100*o.PlacementBudgetFrac, o.Threads)
+	}
+	return fmt.Sprintf("%s@%dt", o.Mode, o.Threads)
+}
+
+// Evaluation is the modelled outcome of one option.
+type Evaluation struct {
+	Option Option
+	// Time is the modelled run time.
+	Time units.Duration
+	// DRAMUsed is the DRAM capacity the option consumes.
+	DRAMUsed units.Bytes
+	// Feasible marks options whose capacity requirements are satisfied
+	// (e.g. DRAM-only needs the footprint to fit).
+	Feasible bool
+}
+
+// DefaultOptions returns the standard sweep: the three paper modes at
+// three concurrency levels, plus write-aware placement at three budgets
+// when the workload declares a structure profile.
+func DefaultOptions(w *workload.Workload) []Option {
+	threads := []int{24, 36, 48}
+	var out []Option
+	for _, t := range threads {
+		for _, m := range memsys.Modes() {
+			out = append(out, Option{Mode: m, Threads: t})
+		}
+		if len(w.Structures) > 0 {
+			for _, b := range []float64{0.2, 0.35, 0.5} {
+				out = append(out, Option{Mode: memsys.Placed, Threads: t, PlacementBudgetFrac: b})
+			}
+		}
+	}
+	return out
+}
+
+// Sweep evaluates every option for the workload on the socket.
+func Sweep(w *workload.Workload, sock *platform.Socket, opts []Option) ([]Evaluation, error) {
+	var out []Evaluation
+	for _, o := range opts {
+		ev := Evaluation{Option: o, Feasible: true}
+		switch o.Mode {
+		case memsys.Placed:
+			budget := units.Bytes(float64(w.Footprint) * o.PlacementBudgetFrac)
+			plan, err := placement.Optimize(w, budget, placement.WriteAware)
+			if err != nil {
+				return nil, err
+			}
+			res, err := workload.RunPlaced(w, memsys.New(sock, memsys.Placed), o.Threads, plan.InDRAM)
+			if err != nil {
+				return nil, err
+			}
+			ev.Time = res.Time
+			ev.DRAMUsed = plan.DRAMBytes
+		default:
+			res, err := workload.Run(w, memsys.New(sock, o.Mode), o.Threads)
+			if err != nil {
+				return nil, err
+			}
+			ev.Time = res.Time
+			switch o.Mode {
+			case memsys.DRAMOnly:
+				ev.DRAMUsed = w.Footprint
+				ev.Feasible = w.Footprint <= sock.DRAM.Capacity
+			case memsys.CachedNVM:
+				// Memory mode dedicates the whole DRAM as cache.
+				ev.DRAMUsed = sock.DRAM.Capacity
+			case memsys.UncachedNVM:
+				ev.DRAMUsed = 0
+			}
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// Pareto returns the non-dominated feasible evaluations (minimizing
+// both time and DRAM usage), sorted by time.
+func Pareto(evals []Evaluation) []Evaluation {
+	var front []Evaluation
+	for _, e := range evals {
+		if !e.Feasible {
+			continue
+		}
+		dominated := false
+		for _, f := range evals {
+			if !f.Feasible {
+				continue
+			}
+			if f.Time <= e.Time && f.DRAMUsed <= e.DRAMUsed &&
+				(f.Time < e.Time || f.DRAMUsed < e.DRAMUsed) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, e)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Time != front[j].Time {
+			return front[i].Time < front[j].Time
+		}
+		return front[i].DRAMUsed < front[j].DRAMUsed
+	})
+	return front
+}
+
+// Best returns the fastest feasible evaluation.
+func Best(evals []Evaluation) (Evaluation, error) {
+	var best *Evaluation
+	for i := range evals {
+		e := &evals[i]
+		if !e.Feasible {
+			continue
+		}
+		if best == nil || e.Time < best.Time {
+			best = e
+		}
+	}
+	if best == nil {
+		return Evaluation{}, fmt.Errorf("explore: no feasible option")
+	}
+	return *best, nil
+}
+
+// BestUnder returns the fastest feasible evaluation whose DRAM usage
+// stays within the budget — the "reduce DRAM usage 60%" question of
+// Section V-B.
+func BestUnder(evals []Evaluation, dramBudget units.Bytes) (Evaluation, error) {
+	var best *Evaluation
+	for i := range evals {
+		e := &evals[i]
+		if !e.Feasible || e.DRAMUsed > dramBudget {
+			continue
+		}
+		if best == nil || e.Time < best.Time {
+			best = e
+		}
+	}
+	if best == nil {
+		return Evaluation{}, fmt.Errorf("explore: no feasible option within %s of DRAM", dramBudget)
+	}
+	return *best, nil
+}

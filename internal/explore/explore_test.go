@@ -1,0 +1,180 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dwarfs"
+	"repro/internal/dwarfs/dense"
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+func sock() *platform.Socket { return platform.NewPurley().Socket(0) }
+
+func TestDefaultOptions(t *testing.T) {
+	w := dense.WorkloadPaper()
+	opts := DefaultOptions(w)
+	// 3 threads x (3 modes + 3 placement budgets).
+	if len(opts) != 18 {
+		t.Fatalf("options = %d, want 18", len(opts))
+	}
+	e, _ := dwarfs.ByName("XSBench")
+	noStruct := e.New()
+	noStruct.Structures = nil
+	if got := len(DefaultOptions(noStruct)); got != 9 {
+		t.Errorf("options without structures = %d, want 9", got)
+	}
+}
+
+func TestOptionString(t *testing.T) {
+	o := Option{Mode: memsys.Placed, Threads: 48, PlacementBudgetFrac: 0.35}
+	if s := o.String(); !strings.Contains(s, "35%") || !strings.Contains(s, "48t") {
+		t.Errorf("option string: %s", s)
+	}
+	plain := Option{Mode: memsys.DRAMOnly, Threads: 24}
+	if plain.String() != "DRAM@24t" {
+		t.Errorf("plain option string: %s", plain.String())
+	}
+}
+
+func TestSweepScaLAPACK(t *testing.T) {
+	w := dense.WorkloadPaper()
+	evals, err := Sweep(w, sock(), DefaultOptions(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 18 {
+		t.Fatalf("evaluations = %d", len(evals))
+	}
+	for _, e := range evals {
+		if e.Time <= 0 {
+			t.Errorf("%s: no time", e.Option)
+		}
+		switch e.Option.Mode {
+		case memsys.UncachedNVM:
+			if e.DRAMUsed != 0 {
+				t.Errorf("uncached uses DRAM: %v", e.DRAMUsed)
+			}
+		case memsys.CachedNVM:
+			if e.DRAMUsed != sock().DRAM.Capacity {
+				t.Errorf("cached should dedicate the full DRAM")
+			}
+		}
+	}
+}
+
+func TestBestIsDRAMBacked(t *testing.T) {
+	w := dense.WorkloadPaper()
+	evals, err := Sweep(w, sock(), DefaultOptions(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Best(evals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fastest option should be the DRAM-backed one at the best
+	// concurrency (the footprint fits).
+	if best.Option.Mode != memsys.DRAMOnly {
+		t.Errorf("best = %s, want DRAM-only", best.Option)
+	}
+}
+
+// The Section V-B scenario: under a tight DRAM budget, write-aware
+// placement wins over both cached (needs all DRAM) and uncached (slow).
+func TestBestUnderTightBudget(t *testing.T) {
+	w := dense.WorkloadPaper()
+	evals, err := Sweep(w, sock(), DefaultOptions(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := units.Bytes(float64(w.Footprint) * 0.45)
+	best, err := BestUnder(evals, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Option.Mode != memsys.Placed {
+		t.Errorf("best under budget = %s, want write-aware placed", best.Option)
+	}
+	// And it must beat every uncached option.
+	for _, e := range evals {
+		if e.Option.Mode == memsys.UncachedNVM && e.Time < best.Time {
+			t.Errorf("uncached %s (%v) beats placed (%v)", e.Option, e.Time, best.Time)
+		}
+	}
+}
+
+func TestBestUnderImpossibleBudget(t *testing.T) {
+	w := dense.WorkloadPaper()
+	evals, _ := Sweep(w, sock(), []Option{{Mode: memsys.DRAMOnly, Threads: 48}})
+	if _, err := BestUnder(evals, 1); err == nil {
+		t.Error("impossible budget should fail")
+	}
+}
+
+func TestParetoNonDominated(t *testing.T) {
+	w := dense.WorkloadPaper()
+	evals, err := Sweep(w, sock(), DefaultOptions(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := Pareto(evals)
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	// No member may dominate another.
+	for i, a := range front {
+		for j, b := range front {
+			if i == j {
+				continue
+			}
+			if a.Time <= b.Time && a.DRAMUsed <= b.DRAMUsed &&
+				(a.Time < b.Time || a.DRAMUsed < b.DRAMUsed) {
+				t.Errorf("%s dominates %s within the front", a.Option, b.Option)
+			}
+		}
+	}
+	// Uncached at best concurrency is on the front (it uses zero DRAM).
+	foundUncached := false
+	for _, e := range front {
+		if e.Option.Mode == memsys.UncachedNVM {
+			foundUncached = true
+		}
+	}
+	if !foundUncached {
+		t.Error("the zero-DRAM uncached option must be Pareto-optimal")
+	}
+	// Sorted by time.
+	for i := 1; i < len(front); i++ {
+		if front[i].Time < front[i-1].Time {
+			t.Error("front not sorted by time")
+		}
+	}
+}
+
+// A footprint beyond DRAM makes DRAM-only infeasible; cached-NVM takes
+// over as the fastest feasible option (Insight II).
+func TestBeyondDRAMFeasibility(t *testing.T) {
+	w := dense.WorkloadN(96000) // ~226 GiB, beyond the 96-GiB socket
+	opts := []Option{
+		{Mode: memsys.DRAMOnly, Threads: 48},
+		{Mode: memsys.CachedNVM, Threads: 48},
+		{Mode: memsys.UncachedNVM, Threads: 48},
+	}
+	evals, err := Sweep(w, sock(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals[0].Feasible {
+		t.Error("DRAM-only should be infeasible beyond capacity")
+	}
+	best, err := Best(evals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Option.Mode != memsys.CachedNVM {
+		t.Errorf("best beyond DRAM = %s, want cached-NVM", best.Option)
+	}
+}

@@ -1,0 +1,173 @@
+package memdev
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Kind distinguishes the two device classes in the heterogeneous main
+// memory.
+type Kind int
+
+const (
+	// DRAMKind is a DDR4 DIMM population behind the iMCs.
+	DRAMKind Kind = iota
+	// NVMKind is an Optane DC NVDIMM population.
+	NVMKind
+)
+
+// String names the device kind.
+func (k Kind) String() string {
+	if k == DRAMKind {
+		return "DRAM"
+	}
+	return "NVM"
+}
+
+// Device describes one socket's population of a memory device class and
+// provides its capability curves. All bandwidth figures are per socket,
+// matching the paper's local-socket experiments (remote-socket NUMA
+// effects are excluded there, and here).
+type Device struct {
+	Kind     Kind
+	Capacity units.Bytes
+
+	// Peak bandwidths for a fully sequential stream at the optimal
+	// concurrency (per socket).
+	PeakRead  units.Bandwidth
+	PeakWrite units.Bandwidth
+
+	// Idle access latencies.
+	SeqReadLatency    units.Duration
+	RandomReadLatency units.Duration
+	WriteLatency      units.Duration
+
+	// readSaturation is the thread count at which the read pipeline is
+	// fully utilized; fewer threads cannot generate enough outstanding
+	// misses to hide the device latency.
+	readSaturation float64
+
+	// writeOptimal is the thread count giving peak write bandwidth;
+	// beyond it, WPQ contention reduces effective write bandwidth
+	// (NVM only — DRAM write scales benignly).
+	writeOptimal float64
+	// writeContentionExp shapes the decline beyond writeOptimal.
+	writeContentionExp float64
+
+	// readEff maps a pattern to the fraction of peak read bandwidth the
+	// device can sustain for it; device-specific because Optane pays
+	// 256-byte media amplification on irregular reads while DRAM does not.
+	readEff func(Pattern) float64
+}
+
+// NewDRAM builds the per-socket DRAM device from the paper's Table I:
+// six 16-GB DDR4-2400 DIMMs on six channels, 115.2 GB/s peak per socket
+// (230.4 GB/s system). Loaded latency is around 80 ns.
+func NewDRAM() *Device {
+	return &Device{
+		Kind:               DRAMKind,
+		Capacity:           96 * units.GiB,
+		PeakRead:           units.GBps(105),
+		PeakWrite:          units.GBps(57),
+		SeqReadLatency:     units.Nanoseconds(70),
+		RandomReadLatency:  units.Nanoseconds(80),
+		WriteLatency:       units.Nanoseconds(70),
+		readSaturation:     8,
+		writeOptimal:       48, // DRAM writes scale to full concurrency
+		writeContentionExp: 0,
+		readEff:            readEfficiencyDRAM,
+	}
+}
+
+// NewNVM builds the per-socket Optane device from the paper's Section II
+// and the cited system studies: six 128-GB NVDIMMs, 39 GB/s peak read,
+// 13 GB/s peak write, 174/304 ns sequential/random read latency,
+// 180-200 ns store latency, 256-byte media granularity, and WPQ write
+// combining whose effectiveness collapses under high concurrency.
+func NewNVM() *Device {
+	return &Device{
+		Kind:               NVMKind,
+		Capacity:           768 * units.GiB,
+		PeakRead:           units.GBps(39),
+		PeakWrite:          units.GBps(13),
+		SeqReadLatency:     units.Nanoseconds(174),
+		RandomReadLatency:  units.Nanoseconds(304),
+		WriteLatency:       units.Nanoseconds(190),
+		readSaturation:     32,
+		writeOptimal:       4,
+		writeContentionExp: 0.42,
+		readEff:            readEfficiencyNVM,
+	}
+}
+
+// ReadCapability returns the achievable read bandwidth for a stream with
+// the given pattern at the given thread concurrency.
+//
+// Reads need concurrency to cover the device latency (memory-level
+// parallelism); capability ramps as sqrt(threads/saturation) and then
+// flattens. Pattern reduces capability through the device-specific read
+// efficiency (on NVM this folds in 256-byte media read amplification).
+func (d *Device) ReadCapability(p Pattern, threads int) units.Bandwidth {
+	if threads < 1 {
+		threads = 1
+	}
+	ramp := math.Sqrt(float64(threads) / d.readSaturation)
+	if ramp > 1 {
+		// Mild super-saturation gain: more threads keep queues full.
+		ramp = 1 + 0.05*math.Log2(float64(threads)/d.readSaturation)
+		if ramp > 1.1 {
+			ramp = 1.1
+		}
+	}
+	return units.Bandwidth(float64(d.PeakRead) * d.readEff(p) * ramp)
+}
+
+// WriteCapability returns the achievable write bandwidth for a store
+// stream with the given pattern at the given thread concurrency.
+//
+// On NVM this is where the paper's two headline effects live:
+//
+//   - write amplification: partial 256-byte media blocks cost full media
+//     writes, captured by Pattern.CombineFactor;
+//   - WPQ concurrency contention: many threads interleave their stores in
+//     the queue, destroying combinable locality, so effective bandwidth
+//     decays as (writeOptimal/threads)^writeContentionExp beyond the
+//     optimal concurrency (Section IV-D).
+func (d *Device) WriteCapability(p Pattern, threads int) units.Bandwidth {
+	if threads < 1 {
+		threads = 1
+	}
+	bw := float64(d.PeakWrite) * p.CombineFactor()
+	if d.writeContentionExp > 0 && float64(threads) > d.writeOptimal {
+		bw *= math.Pow(d.writeOptimal/float64(threads), d.writeContentionExp)
+	}
+	// A single thread cannot saturate the write path either.
+	if t := float64(threads); t < 2 {
+		bw *= 0.7
+	}
+	return units.Bandwidth(bw)
+}
+
+// ReadLatency returns the exposed load latency for the pattern: streaming
+// patterns see the buffered/sequential latency, irregular ones the full
+// media latency.
+func (d *Device) ReadLatency(p Pattern) units.Duration {
+	l := p.spatialLocality()
+	return units.Duration(float64(d.RandomReadLatency) - l*float64(d.RandomReadLatency-d.SeqReadLatency))
+}
+
+// String summarizes the device.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s{cap=%s read=%s write=%s}", d.Kind, d.Capacity, d.PeakRead, d.PeakWrite)
+}
+
+// WriteThrottleThreshold reports the demanded-write-bandwidth level above
+// which a phase becomes write-bound on this device at the given pattern
+// and concurrency — the paper's empirical "2 GB/s on the testbed"
+// (Section IV-C). It is simply the write capability; it is exposed under
+// this name for the analysis code that classifies phases.
+func (d *Device) WriteThrottleThreshold(p Pattern, threads int) units.Bandwidth {
+	return d.WriteCapability(p, threads)
+}

@@ -1,0 +1,190 @@
+// Package memdev models the two memory device classes of the Intel Purley
+// testbed from the paper's Table I and the system studies it cites
+// (Peng/Gokhale/Green MEMSYS'19 [21], Izraelevitz et al. [12]):
+//
+//   - DRAM: six DDR4-2400 DIMMs per socket behind two iMCs,
+//   - NVM: six 128-GB Optane DC NVDIMMs per socket, with 256-byte media
+//     granularity, asymmetric read/write bandwidth (39 vs 13 GB/s per
+//     socket), and a write-pending queue (WPQ) in the NVDIMM controller
+//     that combines adjacent 64-byte stores into 256-byte media writes.
+//
+// The package exposes two levels of model: closed-form capability curves
+// (bandwidth as a function of access pattern and thread concurrency, used
+// by the epoch solver in internal/memsys) and an operational WPQ queue
+// model (used by the address-level simulator in internal/addrsim and by
+// tests that validate the closed-form curves against queue behaviour).
+package memdev
+
+import "fmt"
+
+// Pattern classifies a request stream's spatial behaviour. The pattern
+// determines how well hardware prefetching works (read capability), how
+// many 64-byte lines of each 256-byte NVM media block are touched
+// together (write combining), and the exposed access latency.
+type Pattern int
+
+const (
+	// Sequential: unit-stride streaming over a contiguous region
+	// (e.g. vector sweeps, checkpoint writes).
+	Sequential Pattern = iota
+	// Stencil: structured-grid neighbour access; mostly unit-stride with
+	// plane-strided neighbours (e.g. 7-point stencils, Hypre smoothers).
+	Stencil
+	// Strided: regular non-unit stride (e.g. blocked matrix panels,
+	// column access in row-major layouts).
+	Strided
+	// Transpose: the pathological strided case — large power-of-two
+	// strides with short runs (e.g. FFT pencil transposes).
+	Transpose
+	// Gather: data-dependent indirect access with some clustering
+	// (e.g. sparse matrix columns, unstructured-mesh indirection).
+	Gather
+	// Random: uniformly random line access with no reuse clustering
+	// (e.g. Monte Carlo cross-section lookups).
+	Random
+
+	numPatterns
+)
+
+// String returns the lowercase pattern name.
+func (p Pattern) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case Stencil:
+		return "stencil"
+	case Strided:
+		return "strided"
+	case Transpose:
+		return "transpose"
+	case Gather:
+		return "gather"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is one of the defined patterns.
+func (p Pattern) Valid() bool { return p >= Sequential && p < numPatterns }
+
+// Patterns lists all defined patterns, in declaration order (most to
+// least spatially local).
+func Patterns() []Pattern {
+	return []Pattern{Sequential, Stencil, Strided, Transpose, Gather, Random}
+}
+
+// spatialLocality is the fraction of accesses that fall adjacent to a
+// previous access within the same 256-byte media block; it controls NVM
+// write combining and read amplification.
+func (p Pattern) spatialLocality() float64 {
+	switch p {
+	case Sequential:
+		return 1.0
+	case Stencil:
+		return 0.80
+	case Strided:
+		return 0.55
+	case Transpose:
+		// Pencil transposes write single lines at large power-of-two
+		// strides; essentially nothing lands in an open 256-byte block.
+		return 0.15
+	case Gather:
+		return 0.25
+	case Random:
+		return 0.10
+	default:
+		return 0.5
+	}
+}
+
+// CombineFactor is the fraction of peak NVM write bandwidth reachable by
+// this pattern's store stream through WPQ write combining: sequential
+// stores fill whole 256-byte blocks (factor 1); random 64-byte stores
+// write-amplify 4x on the media (factor 1/4 plus a small combining
+// residue).
+func (p Pattern) CombineFactor() float64 {
+	l := p.spatialLocality()
+	// A fully local stream combines perfectly (1.0); a fully scattered
+	// stream pays the full 4x media write amplification (0.25).
+	return 0.25 + 0.75*l
+}
+
+// readEfficiencyNVM scales achievable NVM read bandwidth per pattern:
+// irregular patterns defeat the NVDIMM read buffers and pay the 256-byte
+// media read amplification (a random 64-byte load drags a full media
+// block). Calibrated so that random reads land near the ~16 GB/s the
+// paper's XSBench achieves on uncached NVM.
+func readEfficiencyNVM(p Pattern) float64 {
+	switch p {
+	case Sequential:
+		return 1.0
+	case Stencil:
+		return 0.85
+	case Strided:
+		return 0.70
+	case Transpose:
+		return 0.56
+	case Gather:
+		return 0.40
+	case Random:
+		return 0.38
+	default:
+		return 0.6
+	}
+}
+
+// readEfficiencyDRAM scales achievable DRAM read bandwidth per pattern:
+// DRAM tolerates irregularity far better (open-page misses and lost
+// prefetches, but no media amplification).
+func readEfficiencyDRAM(p Pattern) float64 {
+	switch p {
+	case Sequential:
+		return 1.0
+	case Stencil:
+		return 0.92
+	case Strided:
+		return 0.80
+	case Transpose:
+		return 0.70
+	case Gather:
+		return 0.66
+	case Random:
+		return 0.64
+	default:
+		return 0.8
+	}
+}
+
+// conflictSensitivity scales direct-mapped DRAM-cache conflict misses:
+// workloads that interleave several large streams (stencil, transpose)
+// suffer more set conflicts than single-stream or pointer-chasing codes.
+// Used by internal/dramcache.
+func (p Pattern) conflictSensitivity() float64 {
+	switch p {
+	case Sequential:
+		return 0.10
+	case Stencil:
+		return 0.55
+	case Strided:
+		return 0.45
+	case Transpose:
+		// Transposing codes usually sweep few large arrays; their set
+		// conflicts are moderate despite the hostile stride.
+		return 0.35
+	case Gather:
+		return 0.30
+	case Random:
+		return 0.06
+	default:
+		return 0.3
+	}
+}
+
+// ConflictSensitivity exposes the DRAM-cache conflict factor; see
+// conflictSensitivity.
+func (p Pattern) ConflictSensitivity() float64 { return p.conflictSensitivity() }
+
+// SpatialLocality exposes the 256-byte-block locality in [0,1].
+func (p Pattern) SpatialLocality() float64 { return p.spatialLocality() }

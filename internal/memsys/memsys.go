@@ -1,0 +1,447 @@
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/dramcache"
+	"repro/internal/memdev"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+// platformCores is the per-socket physical core count; threads beyond it
+// are hyperthreads, which amplify cache-conflict pressure.
+const platformCores = 24
+
+// Mode selects the main-memory configuration under evaluation.
+type Mode int
+
+const (
+	// DRAMOnly uses DRAM as the entire main memory (the paper's
+	// reference configuration; inputs sized 50-85% of DRAM).
+	DRAMOnly Mode = iota
+	// CachedNVM is Memory mode: DRAM is a hardware-managed direct-mapped
+	// write-back cache in front of NVM.
+	CachedNVM
+	// UncachedNVM is AppDirect with the NVM exposed as a NUMA node and
+	// all application data placed there (numactl --membind to the NVM
+	// node).
+	UncachedNVM
+	// Placed is AppDirect with per-data-structure placement: structures
+	// assigned to DRAM stay there, the rest live on NVM (Section V-B's
+	// write-aware placement).
+	Placed
+)
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	switch m {
+	case DRAMOnly:
+		return "DRAM"
+	case CachedNVM:
+		return "cached-NVM"
+	case UncachedNVM:
+		return "uncached-NVM"
+	case Placed:
+		return "write-aware"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Modes lists the three paper-wide configurations (Placed is opt-in).
+func Modes() []Mode { return []Mode{DRAMOnly, CachedNVM, UncachedNVM} }
+
+// Phase describes one epoch of an application's execution by its memory
+// demand signature, as measured (conceptually) on unconstrained DRAM at
+// the workload's base concurrency.
+type Phase struct {
+	Name string
+	// Share is the fraction of the DRAM-baseline runtime spent in this
+	// phase; shares across a workload's phases sum to 1.
+	Share float64
+	// ReadBW and WriteBW are the demanded bandwidths on DRAM at base
+	// concurrency.
+	ReadBW, WriteBW units.Bandwidth
+	// ReadMix describes the read stream; WritePattern the store stream.
+	ReadMix      PatternMix
+	WritePattern memdev.Pattern
+	// WorkingSet is the actively-reused data volume per sweep of this
+	// phase; it drives the Memory-mode hit rate. It can be far smaller
+	// than the application footprint (e.g. SuperLU panels).
+	WorkingSet units.Bytes
+	// LatencyBound is the fraction of phase time that is dependent-load
+	// latency, not hidden by MLP; it converts device latency ratios into
+	// slowdown for pointer-chasing phases.
+	LatencyBound float64
+	// AliasFactor multiplies the mix's conflict sensitivity in the DRAM
+	// cache model; >1 models power-of-two stride aliasing (e.g. 2D
+	// block-cyclic layouts).
+	AliasFactor float64
+	// Iterations shapes trace rendering: the phase repeats this many
+	// times interleaved with its neighbours (0 = once).
+	Iterations int
+}
+
+// Validate sanity-checks a phase.
+func (p Phase) Validate() error {
+	if p.Share < 0 || p.Share > 1 {
+		return fmt.Errorf("memsys: phase %q share %v out of [0,1]", p.Name, p.Share)
+	}
+	if p.ReadBW < 0 || p.WriteBW < 0 {
+		return fmt.Errorf("memsys: phase %q negative bandwidth", p.Name)
+	}
+	if err := p.ReadMix.Validate(); err != nil {
+		return fmt.Errorf("phase %q: %w", p.Name, err)
+	}
+	if !p.WritePattern.Valid() {
+		return fmt.Errorf("memsys: phase %q invalid write pattern", p.Name)
+	}
+	if p.LatencyBound < 0 || p.LatencyBound > 1 {
+		return fmt.Errorf("memsys: phase %q latency bound %v out of [0,1]", p.Name, p.LatencyBound)
+	}
+	return nil
+}
+
+func (p Phase) aliasFactor() float64 {
+	if p.AliasFactor <= 0 {
+		return 1
+	}
+	return p.AliasFactor
+}
+
+// writeShare is writes/(reads+writes) of the demanded traffic.
+func (p Phase) writeShare() float64 {
+	total := float64(p.ReadBW + p.WriteBW)
+	if total == 0 {
+		return 0
+	}
+	return float64(p.WriteBW) / total
+}
+
+// System models one socket's memory subsystem in a given mode, matching
+// the paper's local-socket experiments.
+type System struct {
+	Socket *platform.Socket
+	Mode   Mode
+
+	// WritebackThreads is the effective concurrency of the Memory-mode
+	// eviction engine at the NVM WPQ (hardware-generated writebacks do
+	// not contend like 48 application threads; they arrive from the iMC's
+	// eviction path).
+	WritebackThreads int
+	// TagCheckOverhead is the extra latency of a Memory-mode DRAM cache
+	// hit over a native DRAM access (metadata check in the iMC).
+	TagCheckOverhead units.Duration
+	// MissOverlap discounts the miss path in the Memory-mode effective
+	// read capability: fills overlap partially with in-flight hits, so a
+	// miss does not serialize its full NVM service time.
+	MissOverlap float64
+
+	// NUMA applies cross-socket penalties when the accessed memory is
+	// remote (zero value = local, no penalty). The paper's experiments
+	// are all local; see numa.go.
+	NUMA NUMA
+}
+
+// New builds a memory system for the socket in the given mode with
+// defaults for the Memory-mode parameters.
+func New(sock *platform.Socket, mode Mode) *System {
+	return &System{
+		Socket:           sock,
+		Mode:             mode,
+		WritebackThreads: 8,
+		TagCheckOverhead: units.Nanoseconds(25),
+		MissOverlap:      0.6,
+	}
+}
+
+// Resource identifies what bound a phase in the solver, for the paper's
+// bottleneck classification.
+type Resource string
+
+const (
+	BoundNone      Resource = "none"
+	BoundDRAMRead  Resource = "dram-read"
+	BoundDRAMWrite Resource = "dram-write"
+	BoundNVMRead   Resource = "nvm-read"
+	BoundNVMWrite  Resource = "nvm-write"
+	BoundWriteback Resource = "nvm-writeback"
+	BoundLatency   Resource = "latency"
+)
+
+// EpochResult reports the solved behaviour of one phase on one
+// configuration.
+type EpochResult struct {
+	// Mult is the time-dilation multiplier versus the DRAM baseline
+	// (>= 1 on NVM configs; == 1 when nothing saturates).
+	Mult float64
+	// BoundBy names the binding resource.
+	BoundBy Resource
+	// HitRate is the Memory-mode DRAM cache hit rate (1 for DRAMOnly,
+	// 0 for UncachedNVM).
+	HitRate float64
+	// Achieved traffic by device and direction.
+	DRAMRead, DRAMWrite units.Bandwidth
+	NVMRead, NVMWrite   units.Bandwidth
+	// Diagnostic multipliers.
+	BWMult, LatMult float64
+}
+
+// TotalNVM returns achieved NVM traffic.
+func (e EpochResult) TotalNVM() units.Bandwidth { return e.NVMRead + e.NVMWrite }
+
+// TotalDRAM returns achieved DRAM traffic.
+func (e EpochResult) TotalDRAM() units.Bandwidth { return e.DRAMRead + e.DRAMWrite }
+
+// nvmCombined applies the Optane mixed read/write interference rule:
+// the device multiplier is the larger utilization plus half the smaller.
+func nvmCombined(ur, uw float64) float64 {
+	if ur < uw {
+		ur, uw = uw, ur
+	}
+	return ur + 0.5*uw
+}
+
+// SolveEpoch computes the phase's behaviour at the given application
+// thread count. Demands in ph are taken as already scaled to that
+// concurrency by the caller (the workload runner owns the scaling curve).
+func (s *System) SolveEpoch(ph Phase, threads int) EpochResult {
+	switch s.Mode {
+	case DRAMOnly:
+		return s.solveDRAM(ph, threads)
+	case UncachedNVM:
+		return s.solveUncached(ph, threads)
+	case CachedNVM:
+		return s.solveCached(ph, threads)
+	default:
+		panic(fmt.Sprintf("memsys: SolveEpoch on mode %v (use SolvePlaced)", s.Mode))
+	}
+}
+
+func (s *System) solveDRAM(ph Phase, threads int) EpochResult {
+	dram := s.Socket.DRAM
+	rd, wd := float64(ph.ReadBW), float64(ph.WriteBW)
+	ur := units.Ratio(rd, float64(s.NUMA.capBW(ph.ReadMix.ReadCap(dram, threads))))
+	uw := units.Ratio(wd, float64(s.NUMA.capBW(dram.WriteCapability(ph.WritePattern, threads))))
+	m, bound := 1.0, BoundNone
+	if ur > m {
+		m, bound = ur, BoundDRAMRead
+	}
+	if uw > m {
+		m, bound = uw, BoundDRAMWrite
+	}
+	return EpochResult{
+		Mult: m, BoundBy: bound, HitRate: 1,
+		DRAMRead:  units.Bandwidth(rd / m),
+		DRAMWrite: units.Bandwidth(wd / m),
+		BWMult:    m, LatMult: 1,
+	}
+}
+
+func (s *System) solveUncached(ph Phase, threads int) EpochResult {
+	nvm, dram := s.Socket.NVM, s.Socket.DRAM
+	rd, wd := float64(ph.ReadBW), float64(ph.WriteBW)
+	ur := units.Ratio(rd, float64(s.NUMA.capBW(ph.ReadMix.ReadCap(nvm, threads))))
+	uw := units.Ratio(wd, float64(s.NUMA.capBW(nvm.WriteCapability(ph.WritePattern, threads))))
+	bw := nvmCombined(ur, uw)
+
+	// The latency reference is always the local-DRAM baseline; only the
+	// accessed memory pays the NUMA hop.
+	latRatio := units.Ratio(float64(s.NUMA.capLatency(ph.ReadMix.Latency(nvm))), float64(ph.ReadMix.Latency(dram)))
+	lat := 1 + ph.LatencyBound*(latRatio-1)
+
+	m, bound := 1.0, BoundNone
+	if bw > m {
+		m = bw
+		if ur >= uw {
+			bound = BoundNVMRead
+		} else {
+			bound = BoundNVMWrite
+		}
+	}
+	if lat > m {
+		m, bound = lat, BoundLatency
+	}
+	return EpochResult{
+		Mult: m, BoundBy: bound, HitRate: 0,
+		NVMRead:  units.Bandwidth(rd / m),
+		NVMWrite: units.Bandwidth(wd / m),
+		BWMult:   bw, LatMult: lat,
+	}
+}
+
+// writebackPattern maps an application store pattern to the pattern its
+// Memory-mode eviction stream presents to the NVM: the DRAM cache
+// aggregates dirty lines over time, so evictions are one step more
+// spatially clustered than the stores that produced them.
+func writebackPattern(p memdev.Pattern) memdev.Pattern {
+	switch p {
+	case memdev.Sequential, memdev.Stencil:
+		return memdev.Sequential
+	case memdev.Strided:
+		return memdev.Stencil
+	case memdev.Transpose, memdev.Gather:
+		return memdev.Strided
+	case memdev.Random:
+		return memdev.Gather
+	default:
+		return p
+	}
+}
+
+func (s *System) solveCached(ph Phase, threads int) EpochResult {
+	nvm, dram := s.Socket.NVM, s.Socket.DRAM
+	rd, wd := float64(ph.ReadBW), float64(ph.WriteBW)
+
+	hm := dramcache.HitModel{Capacity: dram.Capacity}
+	// Conflict pressure grows with concurrency: more threads interleave
+	// more distinct streams into the direct-mapped cache (the Fig 6
+	// observation that ScaLAPACK contends harder on cached than
+	// uncached NVM at high thread counts).
+	threadBoost := 1.0
+	if threads > platformCores {
+		threadBoost += 0.35 * float64(threads-platformCores) / float64(platformCores)
+	}
+	h := hm.RateParams(ph.WorkingSet,
+		ph.ReadMix.ConflictSensitivity()*ph.aliasFactor()*threadBoost,
+		ph.ReadMix.SpatialLocality())
+
+	fills := (1 - h) * (rd + wd)
+
+	// Effective read capability: hits at DRAM speed, misses at NVM speed
+	// (harmonic blend — time per byte adds), with misses discounted by
+	// MissOverlap because fills overlap in-flight hits.
+	rDRAM := float64(s.NUMA.capBW(ph.ReadMix.ReadCap(dram, threads)))
+	rNVM := float64(s.NUMA.capBW(ph.ReadMix.ReadCap(nvm, threads)))
+	var reff float64
+	if rDRAM > 0 && rNVM > 0 {
+		reff = 1 / (h/rDRAM + (1-h)*s.MissOverlap/rNVM)
+	}
+	ur := units.Ratio(rd, reff)
+
+	// Demand writes land in DRAM; fills also consume DRAM write
+	// bandwidth. Fills stream line-sized blocks: treat them as strided.
+	dramW := float64(dram.WriteCapability(memdev.Strided, threads))
+	uDRAMw := units.Ratio(wd+fills, dramW)
+
+	// Dirty evictions go to NVM through the writeback engine: the dirty
+	// share of the miss-driven eviction stream, bounded by the demand
+	// store rate (a line is written back at most ~once per store burst,
+	// with modest full-line amplification).
+	wb := fills * dramcache.DirtyFraction(ph.writeShare())
+	if limit := wd * 1.2; wb > limit {
+		wb = limit
+	}
+	wbCap := float64(s.NUMA.capBW(nvm.WriteCapability(writebackPattern(ph.WritePattern), s.WritebackThreads)))
+	uWB := units.Ratio(wb, wbCap)
+
+	// Miss fills read from NVM. Unlike application traffic, fills and
+	// writebacks are hardware-scheduled and interleave efficiently, so
+	// the NVM-side multiplier is the plain maximum (no mixed-traffic
+	// coupling term).
+	uNVMr := units.Ratio(fills, rNVM)
+	uNVM := uNVMr
+	if uWB > uNVM {
+		uNVM = uWB
+	}
+
+	// Latency path: hits pay the tag-check overhead, misses the NVM
+	// latency.
+	latDRAM := float64(ph.ReadMix.Latency(dram))
+	latNVM := float64(s.NUMA.capLatency(ph.ReadMix.Latency(nvm)))
+	latEff := h*(latDRAM+float64(s.TagCheckOverhead)) + (1-h)*(latNVM+float64(s.TagCheckOverhead))
+	lat := 1 + ph.LatencyBound*(units.Ratio(latEff, latDRAM)-1)
+
+	m, bound := 1.0, BoundNone
+	if ur > m {
+		m, bound = ur, BoundDRAMRead
+	}
+	if uDRAMw > m {
+		m, bound = uDRAMw, BoundDRAMWrite
+	}
+	if uNVM > m {
+		m = uNVM
+		if uNVMr >= uWB {
+			bound = BoundNVMRead
+		} else {
+			bound = BoundWriteback
+		}
+	}
+	if lat > m {
+		m, bound = lat, BoundLatency
+	}
+	return EpochResult{
+		Mult: m, BoundBy: bound, HitRate: h,
+		DRAMRead:  units.Bandwidth(rd / m),
+		DRAMWrite: units.Bandwidth((wd + fills) / m),
+		NVMRead:   units.Bandwidth(fills / m),
+		NVMWrite:  units.Bandwidth(wb / m),
+		BWMult:    maxf(ur, uDRAMw, uNVM), LatMult: lat,
+	}
+}
+
+func maxf(xs ...float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Split describes how a phase's traffic divides between DRAM and NVM
+// under per-structure placement: DRAMReadFrac of the reads and
+// DRAMWriteFrac of the writes hit structures placed in DRAM.
+type Split struct {
+	DRAMReadFrac  float64
+	DRAMWriteFrac float64
+}
+
+// SolvePlaced solves a phase under AppDirect with per-structure
+// placement. The split comes from the placement optimizer
+// (internal/placement) via the per-structure traffic profile.
+func (s *System) SolvePlaced(ph Phase, threads int, split Split) EpochResult {
+	nvm, dram := s.Socket.NVM, s.Socket.DRAM
+	rd, wd := float64(ph.ReadBW), float64(ph.WriteBW)
+	rdD, rdN := rd*split.DRAMReadFrac, rd*(1-split.DRAMReadFrac)
+	wdD, wdN := wd*split.DRAMWriteFrac, wd*(1-split.DRAMWriteFrac)
+
+	uRd := units.Ratio(rdD, float64(ph.ReadMix.ReadCap(dram, threads)))
+	uWd := units.Ratio(wdD, float64(dram.WriteCapability(ph.WritePattern, threads)))
+	ur := units.Ratio(rdN, float64(ph.ReadMix.ReadCap(nvm, threads)))
+	uw := units.Ratio(wdN, float64(nvm.WriteCapability(ph.WritePattern, threads)))
+	uNVM := nvmCombined(ur, uw)
+
+	latRatio := units.Ratio(float64(ph.ReadMix.Latency(nvm)), float64(ph.ReadMix.Latency(dram)))
+	nvmReadShare := units.Ratio(rdN, rd)
+	lat := 1 + ph.LatencyBound*nvmReadShare*(latRatio-1)
+
+	m, bound := 1.0, BoundNone
+	if uRd > m {
+		m, bound = uRd, BoundDRAMRead
+	}
+	if uWd > m {
+		m, bound = uWd, BoundDRAMWrite
+	}
+	if uNVM > m {
+		m = uNVM
+		if ur >= uw {
+			bound = BoundNVMRead
+		} else {
+			bound = BoundNVMWrite
+		}
+	}
+	if lat > m {
+		m, bound = lat, BoundLatency
+	}
+	return EpochResult{
+		Mult: m, BoundBy: bound, HitRate: split.DRAMReadFrac,
+		DRAMRead:  units.Bandwidth(rdD / m),
+		DRAMWrite: units.Bandwidth(wdD / m),
+		NVMRead:   units.Bandwidth(rdN / m),
+		NVMWrite:  units.Bandwidth(wdN / m),
+		BWMult:    maxf(uRd, uWd, uNVM), LatMult: lat,
+	}
+}

@@ -1,0 +1,165 @@
+// Package placement implements the paper's Section V-B write-aware data
+// placement for uncached-NVM heterogeneous memory: a data-centric
+// profiler identifies write-intensive data structures (standing in for
+// the hardware-sampling RTHMS tool [22]), and a greedy optimizer pins
+// them into a DRAM budget, leaving read traffic to scale from NVM.
+// A read-aware policy is provided as the paper's validation control
+// (placing read-hot structures instead yields ~uncached performance).
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// StructureTraffic is the profiler's view of one data structure.
+type StructureTraffic struct {
+	Name    string
+	Size    units.Bytes
+	ReadBW  units.Bandwidth // average demand read bandwidth attributed
+	WriteBW units.Bandwidth // average demand write bandwidth attributed
+}
+
+// WriteIntensity returns write bandwidth per byte of footprint — the
+// greedy ranking key (hot small structures first).
+func (s StructureTraffic) WriteIntensity() float64 {
+	if s.Size <= 0 {
+		return 0
+	}
+	return float64(s.WriteBW) / float64(s.Size)
+}
+
+// ReadIntensity returns read bandwidth per byte.
+func (s StructureTraffic) ReadIntensity() float64 {
+	if s.Size <= 0 {
+		return 0
+	}
+	return float64(s.ReadBW) / float64(s.Size)
+}
+
+// Profile attributes the workload's demand traffic to its declared data
+// structures, as the data-centric profiler does by sampling memory
+// accesses. Demands are taken at base concurrency on DRAM (total phase
+// demand weighted by share).
+func Profile(w *workload.Workload) ([]StructureTraffic, error) {
+	if len(w.Structures) == 0 {
+		return nil, fmt.Errorf("placement: workload %s declares no data structures", w.Name)
+	}
+	var rd, wr float64
+	for _, ph := range w.Phases {
+		rd += ph.Share * float64(ph.ReadBW)
+		wr += ph.Share * float64(ph.WriteBW)
+	}
+	out := make([]StructureTraffic, 0, len(w.Structures))
+	for _, st := range w.Structures {
+		out = append(out, StructureTraffic{
+			Name:    st.Name,
+			Size:    st.Size,
+			ReadBW:  units.Bandwidth(rd * st.ReadFrac),
+			WriteBW: units.Bandwidth(wr * st.WriteFrac),
+		})
+	}
+	return out, nil
+}
+
+// Policy selects which structures go to DRAM.
+type Policy int
+
+const (
+	// WriteAware pins write-intensive structures (the paper's
+	// optimization).
+	WriteAware Policy = iota
+	// ReadAware pins read-intensive structures (the paper's control,
+	// expected to be ineffective).
+	ReadAware
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == WriteAware {
+		return "write-aware"
+	}
+	return "read-aware"
+}
+
+// Plan is a placement decision.
+type Plan struct {
+	Policy Policy
+	// InDRAM lists the structures assigned to DRAM.
+	InDRAM map[string]bool
+	// DRAMBytes is the DRAM capacity the plan consumes.
+	DRAMBytes units.Bytes
+	// Split is the resulting traffic split.
+	Split memsys.Split
+}
+
+// Optimize greedily packs structures into the DRAM budget by descending
+// intensity under the chosen policy.
+func Optimize(w *workload.Workload, budget units.Bytes, policy Policy) (Plan, error) {
+	prof, err := Profile(w)
+	if err != nil {
+		return Plan{}, err
+	}
+	sort.SliceStable(prof, func(i, j int) bool {
+		if policy == WriteAware {
+			return prof[i].WriteIntensity() > prof[j].WriteIntensity()
+		}
+		return prof[i].ReadIntensity() > prof[j].ReadIntensity()
+	})
+	plan := Plan{Policy: policy, InDRAM: map[string]bool{}}
+	for _, st := range prof {
+		if plan.DRAMBytes+st.Size > budget {
+			continue
+		}
+		plan.InDRAM[st.Name] = true
+		plan.DRAMBytes += st.Size
+	}
+	plan.Split = w.SplitFor(plan.InDRAM)
+	return plan, nil
+}
+
+// Outcome compares a placement against the three reference
+// configurations (the rows of Fig 12).
+type Outcome struct {
+	Plan Plan
+	// Times on each configuration.
+	DRAM, Cached, Uncached, Placed units.Duration
+	// NormalizedPlaced is Placed/DRAM (Fig 12's y-axis).
+	NormalizedPlaced float64
+	// DRAMUsageFrac is the DRAM consumed by the plan relative to the
+	// full footprint (the paper reports ~30%).
+	DRAMUsageFrac float64
+}
+
+// Evaluate runs the workload under the plan and the three reference
+// modes at the given concurrency.
+func Evaluate(w *workload.Workload, plan Plan, sock *platform.Socket, threads int) (Outcome, error) {
+	out := Outcome{Plan: plan}
+	for _, mode := range []memsys.Mode{memsys.DRAMOnly, memsys.CachedNVM, memsys.UncachedNVM} {
+		res, err := workload.Run(w, memsys.New(sock, mode), threads)
+		if err != nil {
+			return out, err
+		}
+		switch mode {
+		case memsys.DRAMOnly:
+			out.DRAM = res.Time
+		case memsys.CachedNVM:
+			out.Cached = res.Time
+		case memsys.UncachedNVM:
+			out.Uncached = res.Time
+		}
+	}
+	pres, err := workload.RunPlaced(w, memsys.New(sock, memsys.Placed), threads, plan.InDRAM)
+	if err != nil {
+		return out, err
+	}
+	out.Placed = pres.Time
+	out.NormalizedPlaced = units.Ratio(float64(out.Placed), float64(out.DRAM))
+	out.DRAMUsageFrac = units.Ratio(float64(plan.DRAMBytes), float64(w.Footprint))
+	return out, nil
+}

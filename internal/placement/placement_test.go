@@ -1,0 +1,162 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/dwarfs/dense"
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func sock() *platform.Socket { return platform.NewPurley().Socket(0) }
+
+func TestProfileAttributesTraffic(t *testing.T) {
+	w := dense.WorkloadPaper()
+	prof, err := Profile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != len(w.Structures) {
+		t.Fatalf("profiled %d structures, want %d", len(prof), len(w.Structures))
+	}
+	var rd, wr units.Bandwidth
+	for _, st := range prof {
+		rd += st.ReadBW
+		wr += st.WriteBW
+	}
+	// Total attributed traffic equals the share-weighted demand.
+	var wantR, wantW float64
+	for _, ph := range w.Phases {
+		wantR += ph.Share * float64(ph.ReadBW)
+		wantW += ph.Share * float64(ph.WriteBW)
+	}
+	if d := float64(rd) - wantR; d > 1 || d < -1 {
+		t.Errorf("read attribution %v != %v", rd, units.Bandwidth(wantR))
+	}
+	if d := float64(wr) - wantW; d > 1 || d < -1 {
+		t.Errorf("write attribution %v != %v", wr, units.Bandwidth(wantW))
+	}
+}
+
+func TestProfileRequiresStructures(t *testing.T) {
+	w := dense.WorkloadPaper()
+	w.Structures = nil
+	if _, err := Profile(w); err == nil {
+		t.Error("workload without structures should fail profiling")
+	}
+}
+
+// The write-aware optimizer must find ScaLAPACK's C matrix and workspace
+// (the write-hot ~35% of the footprint) and fit them in a budget of
+// ~40% of the footprint.
+func TestOptimizeWriteAware(t *testing.T) {
+	w := dense.WorkloadPaper()
+	budget := units.Bytes(float64(w.Footprint) * 0.40)
+	plan, err := Optimize(w, budget, WriteAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.InDRAM["C"] {
+		t.Errorf("write-aware plan must pin C; got %v", plan.InDRAM)
+	}
+	if plan.Split.DRAMWriteFrac < 0.85 {
+		t.Errorf("write coverage = %v, want >= 0.85", plan.Split.DRAMWriteFrac)
+	}
+	if plan.DRAMBytes > budget {
+		t.Errorf("plan exceeds budget: %v > %v", plan.DRAMBytes, budget)
+	}
+}
+
+func TestOptimizeReadAware(t *testing.T) {
+	w := dense.WorkloadPaper()
+	budget := units.Bytes(float64(w.Footprint) * 0.40)
+	plan, err := Optimize(w, budget, ReadAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read-aware picks A or B (read-hot); write coverage stays low.
+	if plan.Split.DRAMWriteFrac > 0.5 {
+		t.Errorf("read-aware plan covers %v of writes; expected low", plan.Split.DRAMWriteFrac)
+	}
+	if plan.Policy.String() != "read-aware" {
+		t.Errorf("policy name %q", plan.Policy)
+	}
+}
+
+func TestOptimizeZeroBudget(t *testing.T) {
+	w := dense.WorkloadPaper()
+	plan, err := Optimize(w, 0, WriteAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.InDRAM) != 0 || plan.DRAMBytes != 0 {
+		t.Errorf("zero budget should place nothing: %+v", plan)
+	}
+}
+
+// Fig 12: the write-aware placement reaches DRAM-like performance with
+// ~30-40% of the DRAM usage, roughly 2x better than uncached; the
+// read-aware control stays near uncached.
+func TestFig12Outcome(t *testing.T) {
+	w := dense.WorkloadPaper()
+	budget := units.Bytes(float64(w.Footprint) * 0.40)
+
+	plan, err := Optimize(w, budget, WriteAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Evaluate(w, plan, sock(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NormalizedPlaced > 1.75 {
+		t.Errorf("write-aware normalized time = %v, want near DRAM (~1)", out.NormalizedPlaced)
+	}
+	speedup := float64(out.Uncached) / float64(out.Placed)
+	if speedup < 1.6 {
+		t.Errorf("write-aware speedup over uncached = %v, want ~2x", speedup)
+	}
+	if out.DRAMUsageFrac > 0.45 {
+		t.Errorf("DRAM usage fraction = %v, want <= 0.45", out.DRAMUsageFrac)
+	}
+
+	// Control: read-aware placement performs like uncached.
+	rplan, _ := Optimize(w, budget, ReadAware)
+	rout, err := Evaluate(w, rplan, sock(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(rout.Placed) < float64(rout.Uncached)*0.75 {
+		t.Errorf("read-aware placed time %v should stay near uncached %v", rout.Placed, rout.Uncached)
+	}
+	if rout.Placed <= out.Placed {
+		t.Error("read-aware should not beat write-aware")
+	}
+}
+
+func TestIntensityHelpers(t *testing.T) {
+	st := StructureTraffic{Size: 0}
+	if st.WriteIntensity() != 0 || st.ReadIntensity() != 0 {
+		t.Error("zero-size structure intensities should be 0")
+	}
+	st = StructureTraffic{Size: 100, ReadBW: 200, WriteBW: 400}
+	if st.ReadIntensity() != 2 || st.WriteIntensity() != 4 {
+		t.Error("intensity math wrong")
+	}
+}
+
+// The plan's split must always be consistent with the workload's own
+// SplitFor computation.
+func TestPlanSplitConsistency(t *testing.T) {
+	w := dense.WorkloadPaper()
+	plan, err := Optimize(w, units.Bytes(float64(w.Footprint)*0.5), WriteAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.SplitFor(plan.InDRAM)
+	if plan.Split != want {
+		t.Errorf("split %+v != %+v", plan.Split, want)
+	}
+	var _ = workload.Structure{}
+}

@@ -1,0 +1,365 @@
+// Package stats implements the statistical machinery used by the profiler
+// and the Section V-A prediction model: descriptive statistics, z-score
+// normalization, moving averages, and multivariate linear regression by
+// ordinary least squares (normal equations solved with partially pivoted
+// Gaussian elimination), with the diagnostics (R², t-statistics, p-values)
+// the paper uses to prune highly correlated hardware events.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divides by n).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ZScores returns (xs - mean) / std elementwise. If the standard deviation
+// is zero (constant feature) it returns all zeros, which drops the feature
+// from a regression rather than producing NaNs.
+func ZScores(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	m, s := Mean(xs), StdDev(xs)
+	if s == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / s
+	}
+	return out
+}
+
+// Normalizer captures a feature's training-set mean and deviation so the
+// same affine transform can be applied to unseen samples at predict time.
+type Normalizer struct {
+	Mean, Std float64
+}
+
+// FitNormalizer learns a Normalizer from xs.
+func FitNormalizer(xs []float64) Normalizer {
+	return Normalizer{Mean: Mean(xs), Std: StdDev(xs)}
+}
+
+// Apply transforms one value; constant features map to 0.
+func (n Normalizer) Apply(x float64) float64 {
+	if n.Std == 0 {
+		return 0
+	}
+	return (x - n.Mean) / n.Std
+}
+
+// MovingAverage returns the trailing moving average of xs with the given
+// window (window 1 returns a copy). Early elements average the available
+// prefix, mirroring how the paper reports "moving average" bandwidths.
+func MovingAverage(xs []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	out := make([]float64, len(xs))
+	sum := 0.0
+	for i, x := range xs {
+		sum += x
+		if i >= window {
+			sum -= xs[i-window]
+		}
+		n := window
+		if i+1 < window {
+			n = i + 1
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient of xs and ys.
+// It returns 0 when either series is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ErrSingular reports a rank-deficient regression design matrix.
+var ErrSingular = errors.New("stats: singular design matrix")
+
+// Regression holds a fitted ordinary-least-squares model
+// y = intercept + sum_i coef[i] * x[i] plus diagnostics.
+type Regression struct {
+	Intercept float64
+	Coef      []float64
+	R2        float64
+	// TStats[i] is the t-statistic of Coef[i]; PValues[i] its two-sided
+	// p-value under a normal approximation. Used to prune weak events.
+	TStats  []float64
+	PValues []float64
+	// Residual standard error (sigma in Eq. 1 of the paper).
+	Sigma float64
+}
+
+// FitOLS fits y ≈ X·beta + intercept by ordinary least squares.
+// X is row-major: X[i] is the feature vector for observation i.
+func FitOLS(X [][]float64, y []float64) (*Regression, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: FitOLS needs matching non-empty X (%d) and y (%d)", n, len(y))
+	}
+	p := len(X[0])
+	for i, row := range X {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: ragged design matrix at row %d", i)
+		}
+	}
+	if n < p+1 {
+		return nil, fmt.Errorf("stats: %d observations cannot fit %d coefficients + intercept", n, p)
+	}
+
+	// Augment with the intercept column: d = p+1 unknowns.
+	d := p + 1
+	// Normal equations: (A^T A) beta = A^T y where A = [1 | X].
+	ata := make([][]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d)
+	}
+	aty := make([]float64, d)
+	for r := 0; r < n; r++ {
+		row := make([]float64, d)
+		row[0] = 1
+		copy(row[1:], X[r])
+		for i := 0; i < d; i++ {
+			aty[i] += row[i] * y[r]
+			for j := i; j < d; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 1; i < d; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+
+	// Solve with (A^T A) inverse so we also get coefficient variances.
+	inv, err := invertSPD(ata)
+	if err != nil {
+		return nil, err
+	}
+	beta := make([]float64, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			beta[i] += inv[i][j] * aty[j]
+		}
+	}
+
+	reg := &Regression{Intercept: beta[0], Coef: append([]float64(nil), beta[1:]...)}
+
+	// Diagnostics.
+	my := Mean(y)
+	var ssRes, ssTot float64
+	for r := 0; r < n; r++ {
+		pred := reg.Intercept
+		for j := 0; j < p; j++ {
+			pred += reg.Coef[j] * X[r][j]
+		}
+		e := y[r] - pred
+		ssRes += e * e
+		dt := y[r] - my
+		ssTot += dt * dt
+	}
+	if ssTot > 0 {
+		reg.R2 = 1 - ssRes/ssTot
+	} else {
+		reg.R2 = 1
+	}
+	dof := float64(n - d)
+	if dof < 1 {
+		dof = 1
+	}
+	sigma2 := ssRes / dof
+	reg.Sigma = math.Sqrt(sigma2)
+	reg.TStats = make([]float64, p)
+	reg.PValues = make([]float64, p)
+	for j := 0; j < p; j++ {
+		se := math.Sqrt(sigma2 * inv[j+1][j+1])
+		if se == 0 {
+			reg.TStats[j] = math.Inf(1)
+			reg.PValues[j] = 0
+			continue
+		}
+		tj := reg.Coef[j] / se
+		reg.TStats[j] = tj
+		reg.PValues[j] = 2 * (1 - normCDF(math.Abs(tj)))
+	}
+	return reg, nil
+}
+
+// Predict evaluates the fitted model on one feature vector.
+func (r *Regression) Predict(x []float64) float64 {
+	v := r.Intercept
+	for i, c := range r.Coef {
+		if i < len(x) {
+			v += c * x[i]
+		}
+	}
+	return v
+}
+
+// invertSPD inverts a symmetric positive (semi)definite matrix with
+// Gauss-Jordan elimination and partial pivoting. Returns ErrSingular when
+// a pivot collapses (rank-deficient design).
+func invertSPD(m [][]float64) ([][]float64, error) {
+	d := len(m)
+	// Working copy augmented with identity.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, 2*d)
+		copy(a[i], m[i])
+		a[i][d+i] = 1
+	}
+	for col := 0; col < d; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[piv] = a[piv], a[col]
+		pv := a[col][col]
+		for j := 0; j < 2*d; j++ {
+			a[col][j] /= pv
+		}
+		for r := 0; r < d; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*d; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, d)
+	for i := range inv {
+		inv[i] = a[i][d:]
+	}
+	return inv, nil
+}
+
+// normCDF is the standard normal CDF via erf.
+func normCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// PruneCorrelated returns the indices of features to keep, dropping any
+// feature whose absolute Pearson correlation with an earlier kept feature
+// exceeds threshold. This mirrors the paper's statistical pruning of
+// highly correlated hardware events before fitting Eq. 1.
+func PruneCorrelated(features [][]float64, threshold float64) []int {
+	var keep []int
+	for j := range features {
+		redundant := false
+		for _, k := range keep {
+			if math.Abs(Pearson(features[j], features[k])) > threshold {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			keep = append(keep, j)
+		}
+	}
+	return keep
+}
+
+// MAPE returns the mean absolute percentage error of predictions vs
+// observations, skipping zero observations.
+func MAPE(pred, obs []float64) float64 {
+	if len(pred) != len(obs) || len(pred) == 0 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for i := range pred {
+		if obs[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-obs[i]) / math.Abs(obs[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := testWorkload()
+	w.PhaseScalings = map[string]Scaling{"read-heavy": {ParallelFrac: 0.5, HTEfficiency: 0.1}}
+	w.HTWriteAmplification = 1.0
+	w.ThreadReadAmplification = 0.5
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Workload
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != w.Name || back.BaseThreads != w.BaseThreads {
+		t.Errorf("identity fields lost: %+v", back)
+	}
+	if math.Abs(back.Footprint.GiBValue()-w.Footprint.GiBValue()) > 0.01 {
+		t.Errorf("footprint: %v vs %v", back.Footprint, w.Footprint)
+	}
+	if len(back.Phases) != len(w.Phases) {
+		t.Fatalf("phases: %d vs %d", len(back.Phases), len(w.Phases))
+	}
+	for i := range w.Phases {
+		a, b := w.Phases[i], back.Phases[i]
+		if a.Name != b.Name || a.WritePattern != b.WritePattern {
+			t.Errorf("phase %d identity lost", i)
+		}
+		if math.Abs(float64(a.ReadBW-b.ReadBW)) > 1e3 {
+			t.Errorf("phase %d read BW: %v vs %v", i, a.ReadBW, b.ReadBW)
+		}
+	}
+	if len(back.Structures) != 2 {
+		t.Errorf("structures lost: %d", len(back.Structures))
+	}
+	if back.PhaseScalings["read-heavy"].ParallelFrac != 0.5 {
+		t.Errorf("phase scalings lost: %+v", back.PhaseScalings)
+	}
+	if back.HTWriteAmplification != 1.0 || back.ThreadReadAmplification != 0.5 {
+		t.Error("amplification knobs lost")
+	}
+	// The decoded workload runs identically.
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONBehaviouralEquivalence(t *testing.T) {
+	w := testWorkload()
+	data, _ := json.Marshal(w)
+	var back Workload
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	sys := memsys.New(sock(), memsys.UncachedNVM)
+	a, err := Run(w, sys, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(&back, sys, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Slowdown-b.Slowdown) > 1e-6 {
+		t.Errorf("slowdown changed through JSON: %v vs %v", a.Slowdown, b.Slowdown)
+	}
+}
+
+func TestUnmarshalValidates(t *testing.T) {
+	// Invalid pattern name.
+	bad := `{"name":"x","footprint_gib":1,"baseline_seconds":1,"base_threads":48,
+	  "parallel_frac":0.9,"phases":[{"name":"p","share":1,"read_gbps":1,
+	  "write_gbps":1,"write_pattern":"zigzag","working_set_gib":1}]}`
+	var w Workload
+	if err := json.Unmarshal([]byte(bad), &w); err == nil || !strings.Contains(err.Error(), "zigzag") {
+		t.Errorf("bad pattern accepted: %v", err)
+	}
+	// Shares not summing to one fail workload validation.
+	bad2 := `{"name":"x","footprint_gib":1,"baseline_seconds":1,"base_threads":48,
+	  "parallel_frac":0.9,"phases":[{"name":"p","share":0.4,"read_gbps":1,
+	  "write_gbps":1,"write_pattern":"sequential","working_set_gib":1}]}`
+	if err := json.Unmarshal([]byte(bad2), &w); err == nil {
+		t.Error("bad shares accepted")
+	}
+	// Malformed JSON.
+	if err := json.Unmarshal([]byte("{"), &w); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Bad phase-scaling arity.
+	bad3 := `{"name":"x","footprint_gib":1,"baseline_seconds":1,"base_threads":48,
+	  "parallel_frac":0.9,"phase_scalings":{"p":[0.5]},"phases":[{"name":"p","share":1,
+	  "read_gbps":1,"write_gbps":1,"write_pattern":"sequential","working_set_gib":1}]}`
+	if err := json.Unmarshal([]byte(bad3), &w); err == nil {
+		t.Error("bad scaling arity accepted")
+	}
+}
+
+func TestUnmarshalDefaultsReadMix(t *testing.T) {
+	minimal := `{"name":"x","footprint_gib":1,"baseline_seconds":1,"base_threads":48,
+	  "parallel_frac":0.9,"phases":[{"name":"p","share":1,"read_gbps":1,
+	  "write_gbps":0,"write_pattern":"sequential","working_set_gib":1}]}`
+	var w Workload
+	if err := json.Unmarshal([]byte(minimal), &w); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Phases[0].ReadMix) == 0 {
+		t.Error("empty read mix should default to sequential")
+	}
+}
