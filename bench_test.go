@@ -10,6 +10,7 @@ package repro
 // as the reproduction gate.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/addrsim"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/memdev"
 	"repro/internal/memsys"
+	"repro/internal/scenario"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -129,6 +131,64 @@ func BenchmarkHitModelClosedForm(b *testing.B) {
 		_ = h.Rate(units.Bytes(i%256)*units.GiB/2, memdev.Stencil)
 	}
 }
+
+// --- engine vs sequential ---
+
+// benchRegistry regenerates the full experiment registry on a fresh
+// context per iteration (so the engine cache never carries over between
+// iterations) with the given worker count; parallel selects the
+// engine-fanned path.
+func benchRegistry(b *testing.B, workers int, parallel bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext()
+		ctx.TraceSamples = 100
+		ctx.Engine.SetWorkers(workers)
+		var err error
+		if parallel {
+			_, err = experiments.RunAllParallel(ctx)
+		} else {
+			_, err = experiments.RunAll(ctx)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistrySequential is the sequential baseline: every
+// experiment in registry order on a single engine worker.
+func BenchmarkRegistrySequential(b *testing.B) { benchRegistry(b, 1, false) }
+
+// BenchmarkRegistryParallel fans the registry across GOMAXPROCS engine
+// workers. Output is byte-identical to the sequential run (the
+// experiments package property-tests this); on a multi-core machine the
+// wall-clock gap is the engine's speedup.
+func BenchmarkRegistryParallel(b *testing.B) { benchRegistry(b, runtime.GOMAXPROCS(0), true) }
+
+// benchScenario evaluates the full-cartesian stress preset (all apps x
+// all modes x the full thread ladder) on a fresh engine per iteration.
+func benchScenario(b *testing.B, workers int) {
+	sp, err := scenario.ByName("full-cartesian")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext()
+		ctx.Engine.SetWorkers(workers)
+		if _, err := ctx.RunScenario(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioSequential sweeps the 216-point stress scenario on
+// one worker.
+func BenchmarkScenarioSequential(b *testing.B) { benchScenario(b, 1) }
+
+// BenchmarkScenarioParallel sweeps it across GOMAXPROCS workers.
+func BenchmarkScenarioParallel(b *testing.B) { benchScenario(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkMicroDeviceMatrix regenerates the Section II device
 // capability matrix (extension id "micro").

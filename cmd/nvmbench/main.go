@@ -1,13 +1,19 @@
-// Command nvmbench regenerates the paper's tables and figures.
+// Command nvmbench regenerates the paper's tables and figures and runs
+// declarative sweep scenarios.
 //
 // Usage:
 //
 //	nvmbench -list
 //	nvmbench -run fig2
-//	nvmbench -run all [-threads 48] [-low 24] [-samples 200]
+//	nvmbench -run all [-parallel] [-threads 48] [-low 24] [-samples 200]
+//	nvmbench -scenario full-cartesian [-workers 8]
 //
 // Each experiment prints its rows/series plus the paper-shape checks
-// (who wins, by what factor) with PASS/DEVIATION status.
+// (who wins, by what factor) with PASS/DEVIATION status. With -parallel
+// the experiments fan out across the evaluation engine's worker pool;
+// the output is byte-identical to the sequential run. -scenario runs a
+// named sweep preset (see -list) through the engine instead of a paper
+// experiment.
 package main
 
 import (
@@ -15,14 +21,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list experiment ids and exit")
+	list := flag.Bool("list", false, "list experiment ids and scenario presets, then exit")
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	scen := flag.String("scenario", "", "run a named scenario preset instead of an experiment")
+	parallel := flag.Bool("parallel", false, "fan experiments across the engine's worker pool")
+	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	threads := flag.Int("threads", 48, "full concurrency level")
 	low := flag.Int("low", 24, "low concurrency level (Fig 6)")
 	samples := flag.Int("samples", 200, "trace resolution in samples")
@@ -30,8 +41,13 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		fmt.Println("experiments:")
 		for _, e := range experiments.Registry() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Doc)
+			fmt.Printf("  %-8s %s\n", e.ID, e.Doc)
+		}
+		fmt.Println("\nscenario presets (-scenario):")
+		for _, s := range scenario.Presets() {
+			fmt.Printf("  %-26s %3d points  %s\n", s.Name, s.Size(), s.Description)
 		}
 		return
 	}
@@ -39,10 +55,57 @@ func main() {
 	m := core.NewMachine()
 	ctx := m.Context()
 	ctx.Threads, ctx.LowThreads, ctx.TraceSamples = *threads, *low, *samples
+	ctx.Engine.SetWorkers(*workers)
+
+	if *scen != "" {
+		// A preset fixes its own sweep axes and always batches through
+		// the engine, so the experiment flags would be silently ignored;
+		// reject them instead.
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "run", "parallel", "threads", "low", "samples":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fatal(fmt.Errorf("-scenario sweeps are defined by the preset; drop %s",
+				strings.Join(conflicts, ", ")))
+		}
+		sp, outs, err := m.RunScenarioNamed(*scen)
+		if err != nil {
+			fatal(err)
+		}
+		stats := m.Engine().Stats()
+		switch *format {
+		case "json":
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(outs); err != nil {
+				fatal(err)
+			}
+		case "text":
+			fmt.Printf("== scenario %s: %s ==\n", sp.Name, sp.Description)
+			fmt.Print(scenario.Table(outs))
+			fmt.Printf("points: %d, workers: %d, cache hits/misses: %d/%d\n",
+				len(outs), m.Engine().Workers(), stats.Hits, stats.Misses)
+		default:
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+		return
+	}
 
 	var reports []core.Report
 	if *run == "all" {
-		rs, err := m.RunAllExperiments()
+		var (
+			rs  []core.Report
+			err error
+		)
+		if *parallel {
+			rs, err = m.RunAllExperimentsParallel()
+		} else {
+			rs, err = m.RunAllExperiments()
+		}
 		if err != nil {
 			fatal(err)
 		}

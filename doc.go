@@ -6,4 +6,16 @@
 // architecture overview); cmd/nvmbench regenerates every table and
 // figure of the paper's evaluation, and bench_test.go exposes one
 // testing.B benchmark per experiment.
+//
+// Evaluation flows through two layers added on top of the original
+// harness: internal/scenario declares sweeps (application set, mode
+// set, thread sweep, footprint scales) as data, and internal/engine
+// executes them as (workload, mode, threads) job batches across a
+// worker pool with per-mode system memoization and result caching.
+// Parallel execution is deterministic: reports are byte-identical to
+// the sequential path, and cmd/nvmbench's -parallel flag (or
+// core.Machine.RunAllExperimentsParallel) regenerates the full
+// evaluation fanned across GOMAXPROCS. Named scenario presets — the
+// paper's sweep shapes plus stress sweeps beyond them — run via
+// cmd/nvmbench -scenario or core.Machine.RunScenarioNamed.
 package repro

@@ -16,9 +16,11 @@ import (
 	"fmt"
 
 	"repro/internal/dwarfs"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/memsys"
 	"repro/internal/platform"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -64,14 +66,21 @@ func (m *Machine) Workload(app string) (*workload.Workload, error) {
 	return e.New(), nil
 }
 
+// Scenario re-exports the declarative sweep spec.
+type Scenario = scenario.Spec
+
+// Outcome re-exports one evaluated sweep point.
+type Outcome = scenario.Outcome
+
 // RunApp evaluates an application on a memory configuration at the given
-// concurrency (1..48 on the local socket).
+// concurrency (1..48 on the local socket), through the machine's
+// evaluation engine (repeated points are served from its cache).
 func (m *Machine) RunApp(app string, mode Mode, threads int) (Result, error) {
 	w, err := m.Workload(app)
 	if err != nil {
 		return Result{}, err
 	}
-	return workload.Run(w, memsys.New(m.ctx.Socket(), mode), threads)
+	return m.ctx.RunAt(w, mode, threads)
 }
 
 // RunWorkload evaluates a custom workload descriptor.
@@ -79,7 +88,36 @@ func (m *Machine) RunWorkload(w *workload.Workload, mode Mode, threads int) (Res
 	if w == nil {
 		return Result{}, fmt.Errorf("core: nil workload")
 	}
-	return workload.Run(w, memsys.New(m.ctx.Socket(), mode), threads)
+	return m.ctx.RunAt(w, mode, threads)
+}
+
+// RunScenario expands a declarative sweep and evaluates it across the
+// engine's worker pool, returning outcomes in the spec's canonical
+// order. Use scenario presets (Scenarios lists them) or construct a Spec
+// directly for arbitrary sweeps.
+func (m *Machine) RunScenario(sp Scenario) ([]Outcome, error) {
+	return m.ctx.RunScenario(sp)
+}
+
+// RunScenarioNamed runs a preset scenario by name.
+func (m *Machine) RunScenarioNamed(name string) (Scenario, []Outcome, error) {
+	sp, err := scenario.ByName(name)
+	if err != nil {
+		return Scenario{}, nil, err
+	}
+	outs, err := m.RunScenario(sp)
+	return sp, outs, err
+}
+
+// Scenarios lists the preset scenario names.
+func (m *Machine) Scenarios() []string { return scenario.Names() }
+
+// RunAll evaluates the full cartesian product of the given applications,
+// modes and thread counts as one engine batch. Empty slices take the
+// paper defaults (all eight apps, the three paper-wide modes, 48
+// threads).
+func (m *Machine) RunAll(apps []string, modes []Mode, threads []int) ([]Outcome, error) {
+	return m.RunScenario(Scenario{Name: "adhoc", Apps: apps, Modes: modes, Threads: threads})
 }
 
 // Experiment regenerates one of the paper's tables or figures by id
@@ -95,10 +133,21 @@ func (m *Machine) Experiment(id string) (Report, error) {
 // Experiments lists the available experiment ids in paper order.
 func (m *Machine) Experiments() []string { return experiments.IDs() }
 
-// RunAllExperiments regenerates the full evaluation.
+// RunAllExperiments regenerates the full evaluation sequentially.
 func (m *Machine) RunAllExperiments() ([]Report, error) {
 	return experiments.RunAll(m.ctx)
 }
+
+// RunAllExperimentsParallel regenerates the full evaluation with the
+// experiments fanned across the engine's worker pool. Reports are
+// byte-identical to RunAllExperiments, in the same registry order.
+func (m *Machine) RunAllExperimentsParallel() ([]Report, error) {
+	return experiments.RunAllParallel(m.ctx)
+}
+
+// Engine exposes the machine's concurrent evaluation engine (worker
+// count, cache statistics).
+func (m *Machine) Engine() *engine.Engine { return m.ctx.Engine }
 
 // Context exposes the experiment context for advanced tuning (trace
 // resolution, noise, concurrency levels).

@@ -73,3 +73,66 @@ func TestModeConstants(t *testing.T) {
 		t.Error("mode re-exports broken")
 	}
 }
+
+func TestRunScenario(t *testing.T) {
+	m := NewMachine()
+	if len(m.Scenarios()) == 0 {
+		t.Fatal("no scenario presets")
+	}
+	sp, outs, err := m.RunScenarioNamed("scalapack-phases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != sp.Size() {
+		t.Errorf("got %d outcomes, want %d", len(outs), sp.Size())
+	}
+	if _, _, err := m.RunScenarioNamed("nope"); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+}
+
+func TestRunAllBatched(t *testing.T) {
+	m := NewMachine()
+	outs, err := m.RunAll([]string{"HACC", "FFT"}, []Mode{UncachedNVM}, []int{24, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 4 {
+		t.Fatalf("got %d outcomes, want 4", len(outs))
+	}
+	if outs[0].App != "HACC" || outs[3].App != "FFT" || outs[3].Threads != 48 {
+		t.Errorf("outcome order broken: %+v", outs)
+	}
+	// RunApp on the same point is served from the engine cache.
+	m.Engine().ResetStats()
+	if _, err := m.RunApp("HACC", UncachedNVM, 24); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Engine().Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Errorf("stats = %+v, want a pure cache hit", s)
+	}
+}
+
+func TestRunAllExperimentsParallelMatches(t *testing.T) {
+	seqM := NewMachine()
+	seqM.Context().TraceSamples = 60
+	seq, err := seqM.RunAllExperiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parM := NewMachine()
+	parM.Context().TraceSamples = 60
+	parM.Engine().SetWorkers(4)
+	par, err := parM.RunAllExperimentsParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("report counts differ")
+	}
+	for i := range seq {
+		if seq[i].String() != par[i].String() {
+			t.Errorf("%s: parallel differs from sequential", seq[i].ID)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package engine is the concurrent evaluation engine behind the
+// experiment harness: it fans (workload, mode, threads) evaluation jobs
+// across a worker pool, memoizes memsys.System construction per mode and
+// caches workload.Run results by job key, so that sweeps sharing
+// evaluation points (Fig 2 / Table III / Fig 6 all run the eight apps at
+// full concurrency) pay for each point once.
+//
+// Determinism: workload.Run is a pure function of its inputs, results are
+// returned in submission order, and cached results are shared read-only,
+// so a batch evaluated across N workers is byte-identical to the same
+// batch evaluated sequentially. The experiment harness relies on this to
+// keep parallel report generation bit-exact (see the property test in
+// internal/experiments).
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Job is one evaluation point of a sweep: a workload on a memory
+// configuration at a thread count.
+type Job struct {
+	Workload *workload.Workload
+	Mode     memsys.Mode
+	Threads  int
+
+	// InDRAM is the per-structure placement for Placed-mode jobs
+	// (ignored otherwise).
+	InDRAM map[string]bool
+
+	// Variant tags a job that runs on a tweaked system (ablation
+	// studies). Jobs with a non-empty Variant bypass the memoized
+	// per-mode system: the engine builds a fresh one and applies Tweak.
+	// Tweak must be deterministic for a given Variant string, since the
+	// result cache keys on the tag, not the closure.
+	Variant string
+	Tweak   func(*memsys.System)
+}
+
+// Key is the cache identity of a job.
+type Key struct {
+	App         string
+	Fingerprint uint64
+	Mode        memsys.Mode
+	Threads     int
+	Placement   uint64
+	Variant     string
+}
+
+func (j Job) key() Key {
+	k := Key{
+		App:     j.Workload.Name,
+		Mode:    j.Mode,
+		Threads: j.Threads,
+		Variant: j.Variant,
+	}
+	k.Fingerprint = j.Workload.Fingerprint()
+	if len(j.InDRAM) > 0 {
+		names := make([]string, 0, len(j.InDRAM))
+		for name, in := range j.InDRAM {
+			if in {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		h := fnv.New64a()
+		for _, name := range names {
+			h.Write([]byte(name))
+			h.Write([]byte{0})
+		}
+		k.Placement = h.Sum64()
+	}
+	return k
+}
+
+// Stats reports the engine's cache accounting.
+type Stats struct {
+	// Hits counts Run calls served from (or coalesced onto) an already
+	// submitted evaluation; Misses counts evaluations actually computed.
+	Hits, Misses uint64
+}
+
+// entry is a singleflight cache slot: the first goroutine to claim it
+// computes the result, concurrent claimants block on the same Once and
+// then share it.
+type entry struct {
+	once sync.Once
+	res  workload.Result
+	err  error
+}
+
+// Engine evaluates jobs on one socket with per-mode system memoization
+// and a result cache.
+type Engine struct {
+	sock    *platform.Socket
+	workers int
+
+	sysMu   sync.Mutex
+	systems map[memsys.Mode]*memsys.System
+
+	cache sync.Map // Key -> *entry
+	hits  atomic.Uint64
+	miss  atomic.Uint64
+}
+
+// New builds an engine for the socket. workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 degenerates to the sequential path.
+func New(sock *platform.Socket, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		sock:    sock,
+		workers: workers,
+		systems: make(map[memsys.Mode]*memsys.System),
+	}
+}
+
+// Workers returns the pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// SetWorkers resizes the pool for subsequent batches (<= 0 restores
+// GOMAXPROCS). Not safe to call concurrently with RunBatch.
+func (e *Engine) SetWorkers(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e.workers = workers
+}
+
+// Socket exposes the engine's socket.
+func (e *Engine) Socket() *platform.Socket { return e.sock }
+
+// System returns the memoized stock system for a mode. Systems are
+// read-only during solving, so one instance serves all workers.
+func (e *Engine) System(mode memsys.Mode) *memsys.System {
+	e.sysMu.Lock()
+	defer e.sysMu.Unlock()
+	sys, ok := e.systems[mode]
+	if !ok {
+		sys = memsys.New(e.sock, mode)
+		e.systems[mode] = sys
+	}
+	return sys
+}
+
+// Run evaluates one job through the cache. Safe for concurrent use.
+func (e *Engine) Run(job Job) (workload.Result, error) {
+	if job.Workload == nil {
+		return workload.Result{}, fmt.Errorf("engine: nil workload")
+	}
+	if job.Tweak != nil && job.Variant == "" {
+		return workload.Result{}, fmt.Errorf("engine: job with Tweak needs a Variant tag for cache identity")
+	}
+	v, loaded := e.cache.LoadOrStore(job.key(), &entry{})
+	en := v.(*entry)
+	if loaded {
+		e.hits.Add(1)
+	} else {
+		e.miss.Add(1)
+	}
+	en.once.Do(func() { en.res, en.err = e.compute(job) })
+	// Return a private copy of the mutable slice so a caller editing its
+	// Result cannot corrupt the cached entry other consumers share (the
+	// error path too: failed entries stay cached).
+	res := en.res
+	res.Phases = append([]workload.PhaseOutcome(nil), en.res.Phases...)
+	return res, en.err
+}
+
+func (e *Engine) compute(job Job) (workload.Result, error) {
+	sys := e.System(job.Mode)
+	if job.Tweak != nil {
+		sys = memsys.New(e.sock, job.Mode)
+		job.Tweak(sys)
+	}
+	if job.Mode == memsys.Placed {
+		return workload.RunPlaced(job.Workload, sys, job.Threads, job.InDRAM)
+	}
+	return workload.Run(job.Workload, sys, job.Threads)
+}
+
+// RunBatch fans the jobs across the worker pool and returns their
+// results in submission order. On failure it returns the first error in
+// submission order (independent of scheduling) alongside the partial
+// results.
+func (e *Engine) RunBatch(jobs []Job) ([]workload.Result, error) {
+	results := make([]workload.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	run := func(i int) { results[i], errs[i] = e.Run(jobs[i]) }
+	forEach(e.workers, len(jobs), run)
+	for i, err := range errs {
+		if err != nil {
+			name := "<nil>"
+			if jobs[i].Workload != nil {
+				name = jobs[i].Workload.Name
+			}
+			return results, fmt.Errorf("engine: job %d (%s on %s @ %d): %w",
+				i, name, jobs[i].Mode, jobs[i].Threads, err)
+		}
+	}
+	return results, nil
+}
+
+// Stats returns the cache accounting since construction (or the last
+// ResetStats).
+func (e *Engine) Stats() Stats {
+	return Stats{Hits: e.hits.Load(), Misses: e.miss.Load()}
+}
+
+// ResetStats zeroes the hit/miss counters (the cache itself is kept).
+func (e *Engine) ResetStats() {
+	e.hits.Store(0)
+	e.miss.Store(0)
+}
+
+// forEach runs fn(0..n-1) across at most workers goroutines and waits.
+func forEach(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Map runs fn for indices 0..n-1 across at most workers goroutines and
+// returns the outputs in index order — the deterministic fan-out the
+// experiment harness uses to parallelize whole experiments. On failure
+// it returns the first error in index order.
+func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	forEach(workers, n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/dwarfs"
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func sock() *platform.Socket { return platform.NewPurley().Socket(0) }
+
+func paperJobs() []Job {
+	var jobs []Job
+	for _, e := range dwarfs.All() {
+		w := e.New()
+		for _, mode := range memsys.Modes() {
+			for _, th := range []int{24, 48} {
+				jobs = append(jobs, Job{Workload: w, Mode: mode, Threads: th})
+			}
+		}
+	}
+	return jobs
+}
+
+func TestRunCachesResults(t *testing.T) {
+	e := New(sock(), 4)
+	job := Job{Workload: dwarfs.All()[0].New(), Mode: memsys.UncachedNVM, Threads: 48}
+	r1, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh but identical workload value must hit the same cache slot.
+	r2, err := e.Run(Job{Workload: dwarfs.All()[0].New(), Mode: memsys.UncachedNVM, Threads: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss + 1 hit", s)
+	}
+	if r1.Time != r2.Time || r1.Slowdown != r2.Slowdown {
+		t.Errorf("cached result differs: %v vs %v", r1.Time, r2.Time)
+	}
+}
+
+func TestDistinctJobsMiss(t *testing.T) {
+	e := New(sock(), 2)
+	w := dwarfs.All()[0].New()
+	for _, job := range []Job{
+		{Workload: w, Mode: memsys.DRAMOnly, Threads: 48},
+		{Workload: w, Mode: memsys.UncachedNVM, Threads: 48},
+		{Workload: w, Mode: memsys.UncachedNVM, Threads: 24},
+	} {
+		if _, err := e.Run(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.Stats(); s.Misses != 3 || s.Hits != 0 {
+		t.Errorf("stats = %+v, want 3 misses", s)
+	}
+}
+
+func TestBatchCoalescesDuplicates(t *testing.T) {
+	e := New(sock(), 8)
+	w := dwarfs.All()[0].New()
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{Workload: w, Mode: memsys.CachedNVM, Threads: 48}
+	}
+	results, err := e.RunBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Misses != 1 || s.Hits != 15 {
+		t.Errorf("stats = %+v, want 1 miss + 15 hits", s)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("coalesced results differ at %d", i)
+		}
+	}
+}
+
+// The headline engine property: a batch fanned across many workers is
+// identical to the same batch on one worker.
+func TestBatchParallelMatchesSequential(t *testing.T) {
+	jobs := paperJobs()
+	seq := New(sock(), 1)
+	par := New(sock(), 8)
+	sres, err := seq.RunBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := par.RunBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sres) != len(pres) {
+		t.Fatalf("result counts differ: %d vs %d", len(sres), len(pres))
+	}
+	for i := range sres {
+		if !reflect.DeepEqual(sres[i], pres[i]) {
+			t.Errorf("job %d (%s on %v @ %d) differs under parallelism",
+				i, jobs[i].Workload.Name, jobs[i].Mode, jobs[i].Threads)
+		}
+	}
+}
+
+func TestSystemMemoizedPerMode(t *testing.T) {
+	e := New(sock(), 2)
+	if e.System(memsys.CachedNVM) != e.System(memsys.CachedNVM) {
+		t.Error("system not memoized")
+	}
+	if e.System(memsys.CachedNVM) == e.System(memsys.DRAMOnly) {
+		t.Error("modes share a system")
+	}
+}
+
+func TestVariantJobs(t *testing.T) {
+	e := New(sock(), 2)
+	w, err := dwarfs.ByName("Hypre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stock, err := e.Run(Job{Workload: w.New(), Mode: memsys.CachedNVM, Threads: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweaked, err := e.Run(Job{
+		Workload: w.New(), Mode: memsys.CachedNVM, Threads: 48,
+		Variant: "missOverlap=1.5",
+		Tweak:   func(s *memsys.System) { s.MissOverlap = 1.5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stock.Time == tweaked.Time {
+		t.Error("variant job not evaluated on a tweaked system")
+	}
+	// The tweak must not leak into the memoized stock system.
+	again, err := e.Run(Job{Workload: w.New(), Mode: memsys.CachedNVM, Threads: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Time != stock.Time {
+		t.Error("stock system polluted by variant tweak")
+	}
+	if e.System(memsys.CachedNVM).MissOverlap == 1.5 {
+		t.Error("memoized system mutated")
+	}
+}
+
+func TestTweakRequiresVariant(t *testing.T) {
+	e := New(sock(), 1)
+	_, err := e.Run(Job{
+		Workload: dwarfs.All()[0].New(), Mode: memsys.CachedNVM, Threads: 48,
+		Tweak: func(s *memsys.System) { s.MissOverlap = 0.1 },
+	})
+	if err == nil {
+		t.Error("Tweak without Variant should be rejected")
+	}
+}
+
+func TestPlacedJob(t *testing.T) {
+	e := New(sock(), 2)
+	entry, err := dwarfs.ByName("ScaLAPACK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := entry.New()
+	if len(w.Structures) == 0 {
+		t.Fatal("ScaLAPACK has no structure profile")
+	}
+	inDRAM := map[string]bool{w.Structures[0].Name: true}
+	got, err := e.Run(Job{Workload: w, Mode: memsys.Placed, Threads: 48, InDRAM: inDRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := workload.RunPlaced(w, memsys.New(e.Socket(), memsys.Placed), 48, inDRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != want.Time {
+		t.Errorf("placed via engine %v != direct %v", got.Time, want.Time)
+	}
+	// A different placement is a different cache identity.
+	other, err := e.Run(Job{Workload: w, Mode: memsys.Placed, Threads: 48,
+		InDRAM: map[string]bool{w.Structures[1].Name: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 misses for 2 placements", s)
+	}
+	_ = other
+}
+
+func TestBatchErrorIsFirstInSubmissionOrder(t *testing.T) {
+	e := New(sock(), 4)
+	w := dwarfs.All()[0].New()
+	jobs := []Job{
+		{Workload: w, Mode: memsys.DRAMOnly, Threads: 48},
+		{Workload: w, Mode: memsys.DRAMOnly, Threads: 99}, // invalid
+		{Workload: nil, Mode: memsys.DRAMOnly, Threads: 48},
+	}
+	_, err := e.RunBatch(jobs)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	want := "job 1"
+	if got := err.Error(); len(got) < len(want) || got[:14] != "engine: job 1 " {
+		t.Errorf("error = %q, want the first failing job in submission order", got)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out, err := Map(8, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	_, err = Map(4, 10, func(i int) (int, error) {
+		if i%2 == 1 {
+			return 0, fmt.Errorf("odd %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "odd 1" {
+		t.Errorf("err = %v, want first error in index order", err)
+	}
+}
+
+// A caller mutating its returned Result must not corrupt the cached
+// entry other consumers share.
+func TestResultIsolatedFromCache(t *testing.T) {
+	e := New(sock(), 2)
+	job := Job{Workload: dwarfs.All()[0].New(), Mode: memsys.UncachedNVM, Threads: 48}
+	r1, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r1.Phases[0].Epoch.Mult
+	r1.Phases[0].Epoch.Mult = -1
+	r2, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Phases[0].Epoch.Mult != want {
+		t.Errorf("cache corrupted through a returned Result: Mult = %v, want %v",
+			r2.Phases[0].Epoch.Mult, want)
+	}
+}
+
+// A nil workload in a batch surfaces as an error naming the job, not a
+// panic while formatting it.
+func TestBatchNilWorkloadErrors(t *testing.T) {
+	e := New(sock(), 2)
+	_, err := e.RunBatch([]Job{{Workload: nil, Mode: memsys.DRAMOnly, Threads: 48}})
+	if err == nil {
+		t.Fatal("nil workload should fail")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	e := New(sock(), 1)
+	if _, err := e.Run(Job{Workload: dwarfs.All()[0].New(), Mode: memsys.DRAMOnly, Threads: 8}); err != nil {
+		t.Fatal(err)
+	}
+	e.ResetStats()
+	if s := e.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	e := New(sock(), 0)
+	if e.Workers() < 1 {
+		t.Errorf("workers = %d", e.Workers())
+	}
+	e.SetWorkers(3)
+	if e.Workers() != 3 {
+		t.Errorf("workers = %d after SetWorkers(3)", e.Workers())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/dwarfs"
+	"repro/internal/engine"
 	"repro/internal/memsys"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -33,8 +34,11 @@ func Ablation(c *Context) (Report, error) {
 		name string
 		mut  func(*memsys.System)
 	}
+	// The baseline row carries no Variant tag, so its jobs share the
+	// engine's cache with the Table III / Fig 2 sweep points; the tweaked
+	// rows are cached under their variant tags (see engine.Job).
 	variants := []variant{
-		{"baseline", func(*memsys.System) {}},
+		{"baseline", nil},
 		{"missOverlap=0.4", func(s *memsys.System) { s.MissOverlap = 0.4 }},
 		{"missOverlap=0.8", func(s *memsys.System) { s.MissOverlap = 0.8 }},
 		{"writebackThreads=4", func(s *memsys.System) { s.WritebackThreads = 4 }},
@@ -43,27 +47,39 @@ func Ablation(c *Context) (Report, error) {
 		{"tagCheck=50ns", func(s *memsys.System) { s.TagCheckOverhead = units.Nanoseconds(50) }},
 	}
 
+	// The cached-mode knobs do not change the uncached tier by
+	// construction; run uncached for the tiers and cached for the knob's
+	// effect to register in the row. The whole variant x app grid is one
+	// engine batch.
+	apps := dwarfs.All()
+	var jobs []engine.Job
+	for _, v := range variants {
+		for _, e := range apps {
+			job := engine.Job{Workload: e.New(), Mode: memsys.UncachedNVM, Threads: c.Threads}
+			if v.mut != nil {
+				job.Variant, job.Tweak = v.name, v.mut
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	results, err := c.Engine.RunBatch(jobs)
+	if err != nil {
+		return Report{}, err
+	}
+
 	var b strings.Builder
 	var checks []Check
 	fmt.Fprintf(&b, "%-22s", "variant")
-	for _, e := range dwarfs.All() {
+	for _, e := range apps {
 		fmt.Fprintf(&b, " %10s", e.Name)
 	}
 	b.WriteByte('\n')
 
-	for _, v := range variants {
+	for vi, v := range variants {
 		fmt.Fprintf(&b, "%-22s", v.name)
 		stable := true
-		for _, e := range dwarfs.All() {
-			// The cached-mode knobs do not change the uncached tier by
-			// construction; run uncached for the tiers and cached for
-			// the knob's effect to register in the row.
-			usys := memsys.New(c.Socket(), memsys.UncachedNVM)
-			v.mut(usys)
-			res, err := workload.Run(e.New(), usys, c.Threads)
-			if err != nil {
-				return Report{}, err
-			}
+		for ai, e := range apps {
+			res := results[vi*len(apps)+ai]
 			tier := tierOf(res.Slowdown)
 			fmt.Fprintf(&b, " %9.2fx", res.Slowdown)
 			if tier != paperTier[e.Name] {
@@ -77,15 +93,15 @@ func Ablation(c *Context) (Report, error) {
 
 	// Remote placement grows every slowdown but preserves the ordering
 	// of the extremes.
-	remote := memsys.New(c.Socket(), memsys.UncachedNVM).WithNUMA(memsys.DefaultNUMA())
-	hacc, err := workload.Run(mustApp("HACC"), remote, c.Threads)
+	remoteTweak := func(s *memsys.System) { s.NUMA = memsys.DefaultNUMA() }
+	remoteResults, err := c.Engine.RunBatch([]engine.Job{
+		{Workload: mustApp("HACC"), Mode: memsys.UncachedNVM, Threads: c.Threads, Variant: "remote-numa", Tweak: remoteTweak},
+		{Workload: mustApp("FFT"), Mode: memsys.UncachedNVM, Threads: c.Threads, Variant: "remote-numa", Tweak: remoteTweak},
+	})
 	if err != nil {
 		return Report{}, err
 	}
-	fft, err := workload.Run(mustApp("FFT"), remote, c.Threads)
-	if err != nil {
-		return Report{}, err
-	}
+	hacc, fft := remoteResults[0], remoteResults[1]
 	checks = append(checks, check("remote NUMA preserves extremes", "HACC least, FFT most affected",
 		fmt.Sprintf("HACC %.2fx, FFT %.2fx", hacc.Slowdown, fft.Slowdown),
 		hacc.Slowdown < fft.Slowdown))

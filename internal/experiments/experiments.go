@@ -9,12 +9,18 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/memsys"
 	"repro/internal/platform"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
-// Context carries the shared experiment environment.
+// Context carries the shared experiment environment. All evaluation
+// flows through the Engine, so repeated sweep points (Fig 2, Table III
+// and Fig 6 share the full-concurrency runs) are computed once, and the
+// whole registry can be regenerated in parallel (RunAllParallel) with
+// byte-identical output.
 type Context struct {
 	Machine *platform.Machine
 	// Threads is the default (full) concurrency; LowThreads the low
@@ -24,17 +30,23 @@ type Context struct {
 	TraceSamples int
 	// Noise is the multiplicative measurement noise for traces/counters.
 	Noise float64
+	// Engine evaluates (workload, mode, threads) jobs with memoized
+	// systems and result caching.
+	Engine *engine.Engine
 }
 
 // NewContext returns the paper-default context: the Purley machine with
-// experiments pinned to the local socket at 48 and 24 threads.
+// experiments pinned to the local socket at 48 and 24 threads, and an
+// engine sized to the host (GOMAXPROCS workers).
 func NewContext() *Context {
+	m := platform.NewPurley()
 	return &Context{
-		Machine:      platform.NewPurley(),
+		Machine:      m,
 		Threads:      48,
 		LowThreads:   24,
 		TraceSamples: 200,
 		Noise:        0.04,
+		Engine:       engine.New(m.Socket(0), 0),
 	}
 }
 
@@ -42,14 +54,29 @@ func NewContext() *Context {
 // NUMA-pinned runs.
 func (c *Context) Socket() *platform.Socket { return c.Machine.Socket(0) }
 
-// System builds a memory system on the local socket.
+// System returns the engine's memoized memory system for a mode. The
+// shared instance is read-only during solving; callers that mutate
+// solver knobs (the ablation study) must build their own via memsys.New.
 func (c *Context) System(mode memsys.Mode) *memsys.System {
-	return memsys.New(c.Socket(), mode)
+	return c.Engine.System(mode)
 }
 
 // Run evaluates a workload on a mode at full concurrency.
 func (c *Context) Run(w *workload.Workload, mode memsys.Mode) (workload.Result, error) {
-	return workload.Run(w, c.System(mode), c.Threads)
+	return c.RunAt(w, mode, c.Threads)
+}
+
+// RunAt evaluates a workload on a mode at an explicit concurrency,
+// through the engine's cache.
+func (c *Context) RunAt(w *workload.Workload, mode memsys.Mode, threads int) (workload.Result, error) {
+	return c.Engine.Run(engine.Job{Workload: w, Mode: mode, Threads: threads})
+}
+
+// RunScenario expands a declarative sweep and evaluates it across the
+// engine's worker pool, returning outcomes in the spec's canonical
+// order.
+func (c *Context) RunScenario(sp scenario.Spec) ([]scenario.Outcome, error) {
+	return sp.Run(c.Engine)
 }
 
 // Report is a rendered experiment result.
@@ -140,7 +167,8 @@ func IDs() []string {
 	return out
 }
 
-// RunAll executes every experiment and returns the reports in order.
+// RunAll executes every experiment sequentially and returns the reports
+// in registry order.
 func RunAll(c *Context) ([]Report, error) {
 	var out []Report
 	for _, e := range Registry() {
@@ -151,6 +179,22 @@ func RunAll(c *Context) ([]Report, error) {
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// RunAllParallel fans the experiments across the engine's worker pool
+// and returns the reports in registry order. Every experiment is a pure
+// function of the context and the engine's cache is shared read-only, so
+// the reports are byte-identical to RunAll's (the determinism property
+// test asserts this).
+func RunAllParallel(c *Context) ([]Report, error) {
+	reg := Registry()
+	return engine.Map(c.Engine.Workers(), len(reg), func(i int) (Report, error) {
+		r, err := reg[i].Fn(c)
+		if err != nil {
+			return r, fmt.Errorf("%s: %w", reg[i].ID, err)
+		}
+		return r, nil
+	})
 }
 
 func check(name, paper, measured string, pass bool) Check {

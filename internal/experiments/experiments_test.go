@@ -149,4 +149,63 @@ func TestContextDefaults(t *testing.T) {
 	if c.Socket() == nil || c.System(0) == nil {
 		t.Error("context wiring broken")
 	}
+	if c.Engine == nil || c.Engine.Workers() < 1 {
+		t.Error("context has no engine")
+	}
+}
+
+// The engine determinism property: fanning every registry experiment
+// across the worker pool produces reports byte-identical to the
+// sequential path, on fresh contexts so neither run sees the other's
+// cache.
+func TestParallelMatchesSequential(t *testing.T) {
+	cs := ctx()
+	seq, err := RunAll(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := ctx()
+	cp.Engine.SetWorkers(8)
+	par, err := RunAllParallel(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("report counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID {
+			t.Errorf("report %d: id %s (sequential) vs %s (parallel)", i, seq[i].ID, par[i].ID)
+		}
+		if seq[i].String() != par[i].String() {
+			t.Errorf("%s: parallel report is not byte-identical to sequential", seq[i].ID)
+		}
+	}
+}
+
+// The experiments share evaluation points (Fig 2, Table III and Fig 6
+// all run the eight apps at full concurrency), so a full registry pass
+// must see cache hits, and a second pass must add no misses.
+func TestEngineCacheAccounting(t *testing.T) {
+	c := ctx()
+	if _, err := RunAll(c); err != nil {
+		t.Fatal(err)
+	}
+	first := c.Engine.Stats()
+	if first.Misses == 0 {
+		t.Error("no evaluations computed")
+	}
+	if first.Hits == 0 {
+		t.Error("experiments share sweep points but no cache hits were recorded")
+	}
+	if _, err := RunAll(c); err != nil {
+		t.Fatal(err)
+	}
+	second := c.Engine.Stats()
+	if second.Misses != first.Misses {
+		t.Errorf("second pass recomputed %d points", second.Misses-first.Misses)
+	}
+	if second.Hits <= first.Hits {
+		t.Error("second pass recorded no hits")
+	}
 }

@@ -7,10 +7,10 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/dwarfs"
 	"repro/internal/dwarfs/sparse"
-	"repro/internal/dwarfs/spectral"
 	"repro/internal/dwarfs/structured"
 	"repro/internal/dwarfs/unstructured"
 	"repro/internal/memsys"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -22,27 +22,39 @@ func Fig3(c *Context) (Report, error) {
 	var b strings.Builder
 	var checks []Check
 
-	// (a) SuperLU across datasets.
+	// (a) SuperLU across datasets, as one scenario batch.
 	b.WriteString("(a) SuperLU factor FoM vs footprint/DRAM\n")
 	fmt.Fprintf(&b, "%-12s %10s %14s\n", "dataset", "fp/DRAM", "Factor Mflops")
+	var datasets []scenario.Custom
+	for _, d := range sparse.Datasets() {
+		datasets = append(datasets, scenario.Custom{
+			Label: d.Name,
+			New:   func() *workload.Workload { return sparse.WorkloadDataset(d) },
+		})
+	}
+	outs, err := c.RunScenario(scenario.Spec{
+		Name:    "fig3a-superlu-datasets",
+		Custom:  datasets,
+		Modes:   []memsys.Mode{memsys.CachedNVM},
+		Threads: []int{c.Threads},
+	})
+	if err != nil {
+		return Report{}, err
+	}
 	var first, last float64
-	for i, d := range sparse.Datasets() {
-		w := sparse.WorkloadDataset(d)
-		res, err := c.Run(w, memsys.CachedNVM)
-		if err != nil {
-			return Report{}, err
-		}
-		ratio := w.Footprint.GiBValue() / 96
-		fmt.Fprintf(&b, "%-12s %10.1f %14.0f\n", d.Name, ratio, res.FoMValue)
+	for i, o := range outs {
+		ratio := o.Result.Workload.Footprint.GiBValue() / 96
+		fmt.Fprintf(&b, "%-12s %10.1f %14.0f\n", o.App, ratio, o.Result.FoMValue)
 		if i == 0 {
-			first = res.FoMValue
+			first = o.Result.FoMValue
 		}
-		last = res.FoMValue
+		last = o.Result.FoMValue
 	}
 	checks = append(checks, check("SuperLU FoM at 5.1x DRAM", "sustained (similar Mflops)",
 		fmt.Sprintf("%.0f vs %.0f at 0.2x", last, first), last > 0.7*first))
 
-	// (b, c) BoxLib and Hypre speedups.
+	// (b, c) BoxLib and Hypre speedups: one scenario per app, both NVM
+	// modes per footprint point.
 	type sweep struct {
 		name   string
 		ratios []float64
@@ -56,17 +68,26 @@ func Fig3(c *Context) (Report, error) {
 	for _, s := range sweeps {
 		fmt.Fprintf(&b, "\n(%s) cached speedup over uncached vs footprint/DRAM\n", s.name)
 		fmt.Fprintf(&b, "%10s %10s\n", "fp/DRAM", "speedup")
-		var lastSp float64
+		var points []scenario.Custom
 		for _, r := range s.ratios {
-			w := s.build(r * 96)
-			cres, err := c.Run(w, memsys.CachedNVM)
-			if err != nil {
-				return Report{}, err
-			}
-			ures, err := c.Run(w, memsys.UncachedNVM)
-			if err != nil {
-				return Report{}, err
-			}
+			points = append(points, scenario.Custom{
+				Label: fmt.Sprintf("%s@%.1fx", s.name, r),
+				New:   func() *workload.Workload { return s.build(r * 96) },
+			})
+		}
+		outs, err := c.RunScenario(scenario.Spec{
+			Name:    "fig3bc-" + s.name,
+			Custom:  points,
+			Modes:   []memsys.Mode{memsys.CachedNVM, memsys.UncachedNVM},
+			Threads: []int{c.Threads},
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		var lastSp float64
+		// Outcomes arrive point-major: cached then uncached per ratio.
+		for i, r := range s.ratios {
+			cres, ures := outs[2*i].Result, outs[2*i+1].Result
 			lastSp = float64(ures.Time) / float64(cres.Time)
 			fmt.Fprintf(&b, "%10.1f %9.2fx\n", r, lastSp)
 		}
@@ -81,15 +102,16 @@ func Fig3(c *Context) (Report, error) {
 // Fig4 reconstructs the Hypre bandwidth traces on DRAM-only and
 // cached-NVM.
 func Fig4(c *Context) (Report, error) {
-	w := structured.WorkloadPaper()
-	dres, err := c.Run(w, memsys.DRAMOnly)
+	outs, err := c.RunScenario(scenario.Spec{
+		Name:    "fig4-hypre-trace",
+		Apps:    []string{"Hypre"},
+		Modes:   []memsys.Mode{memsys.DRAMOnly, memsys.CachedNVM},
+		Threads: []int{c.Threads},
+	})
 	if err != nil {
 		return Report{}, err
 	}
-	cres, err := c.Run(w, memsys.CachedNVM)
-	if err != nil {
-		return Report{}, err
-	}
+	dres, cres := outs[0].Result, outs[1].Result
 	dtr := dres.Trace(c.TraceSamples, c.Noise)
 	ctr := cres.Trace(c.TraceSamples, c.Noise)
 
@@ -131,17 +153,19 @@ func Fig5(c *Context) (Report, error) {
 		{"Laghos", "force-assembly", 0.20, 0.20},
 		{"SuperLU", "factor-panels", 0.25, 0.70},
 	}
+	outs, err := c.RunScenario(scenario.Spec{
+		Name:    "fig5-write-throttling",
+		Apps:    []string{apps[0].entryName, apps[1].entryName},
+		Modes:   []memsys.Mode{memsys.DRAMOnly, memsys.UncachedNVM},
+		Threads: []int{c.Threads},
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	byPoint := scenario.NewIndex(outs)
 	for _, app := range apps {
-		e, err := dwarfs.ByName(app.entryName)
-		if err != nil {
-			return Report{}, err
-		}
-		w := e.New()
 		for _, mode := range []memsys.Mode{memsys.DRAMOnly, memsys.UncachedNVM} {
-			res, err := c.Run(w, mode)
-			if err != nil {
-				return Report{}, err
-			}
+			res := byPoint.Get(app.entryName, mode, c.Threads)
 			tr := res.Trace(c.TraceSamples, c.Noise)
 			share := tr.PhaseShare(app.phase)
 			fmt.Fprintf(&b, "%s on %s: phase-1 share %.0f%%, avg read %.1f GB/s, avg write %.1f GB/s\n",
@@ -166,22 +190,22 @@ func Fig5(c *Context) (Report, error) {
 func Fig6(c *Context) (Report, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-10s %10s %14s %14s\n", "App", "DRAM", "Optane-cached", "Optane-uncached")
+	outs, err := c.RunScenario(scenario.Spec{
+		Name:    "fig6-contention",
+		Threads: []int{c.LowThreads, c.Threads},
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	byPoint := scenario.NewIndex(outs)
 	ratios := map[string]map[memsys.Mode]float64{}
 	for _, e := range dwarfs.All() {
-		w := e.New()
 		ratios[e.Name] = map[memsys.Mode]float64{}
 		for _, mode := range memsys.Modes() {
-			sys := c.System(mode)
-			lo, err := workload.Run(w, sys, c.LowThreads)
-			if err != nil {
-				return Report{}, err
-			}
-			hi, err := workload.Run(w, sys, c.Threads)
-			if err != nil {
-				return Report{}, err
-			}
+			lo := byPoint.Get(e.Name, mode, c.LowThreads)
+			hi := byPoint.Get(e.Name, mode, c.Threads)
 			r := hi.FoMValue / lo.FoMValue
-			if !w.FoM.Higher {
+			if !hi.Workload.FoM.Higher {
 				r = lo.FoMValue / hi.FoMValue
 			}
 			ratios[e.Name][mode] = r
@@ -212,16 +236,16 @@ func Fig6(c *Context) (Report, error) {
 
 // Fig7 reconstructs the FT traces at 8 and 24 threads on uncached NVM.
 func Fig7(c *Context) (Report, error) {
-	w := spectral.WorkloadClassD()
-	sys := c.System(memsys.UncachedNVM)
-	lo, err := workload.Run(w, sys, 8)
+	outs, err := c.RunScenario(scenario.Spec{
+		Name:    "fig7-ft-divergence",
+		Apps:    []string{"FFT"},
+		Modes:   []memsys.Mode{memsys.UncachedNVM},
+		Threads: []int{8, 24},
+	})
 	if err != nil {
 		return Report{}, err
 	}
-	hi, err := workload.Run(w, sys, 24)
-	if err != nil {
-		return Report{}, err
-	}
+	lo, hi := outs[0].Result, outs[1].Result
 	var b strings.Builder
 	for _, r := range []struct {
 		res workload.Result
@@ -246,20 +270,20 @@ func Fig7(c *Context) (Report, error) {
 // Fig8 reconstructs the ScaLAPACK traces at 16 and 36 threads on
 // uncached NVM.
 func Fig8(c *Context) (Report, error) {
-	e, err := dwarfs.ByName("ScaLAPACK")
+	outs, err := c.RunScenario(scenario.Spec{
+		Name:    "fig8-scalapack-phases",
+		Apps:    []string{"ScaLAPACK"},
+		Modes:   []memsys.Mode{memsys.UncachedNVM},
+		Threads: []int{16, 36},
+	})
 	if err != nil {
 		return Report{}, err
 	}
-	w := e.New()
-	sys := c.System(memsys.UncachedNVM)
 	var b strings.Builder
 	shares := map[int]float64{}
 	reads := map[int]float64{}
-	for _, th := range []int{16, 36} {
-		res, err := workload.Run(w, sys, th)
-		if err != nil {
-			return Report{}, err
-		}
+	for i, th := range []int{16, 36} {
+		res := outs[i].Result
 		tr := res.Trace(c.TraceSamples, c.Noise)
 		shares[th] = tr.PhaseShare("panel")
 		// Stage-2 achieved read bandwidth.

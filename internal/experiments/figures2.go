@@ -7,52 +7,58 @@ import (
 	"repro/internal/dwarfs/dense"
 	"repro/internal/dwarfs/montecarlo"
 	"repro/internal/dwarfs/spectral"
+	"repro/internal/engine"
 	"repro/internal/memsys"
 	"repro/internal/model"
 	"repro/internal/placement"
+	"repro/internal/scenario"
 	"repro/internal/units"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
 
-// trainAt fits the Section V-A model on cached-NVM profiling samples at
-// the given concurrency.
-func trainAt(c *Context, w *workload.Workload, threads int, rng *xrand.Rand) (*model.Model, error) {
-	res, err := workload.Run(w, c.System(memsys.CachedNVM), threads)
-	if err != nil {
-		return nil, err
-	}
+// trainOn fits the Section V-A model on cached-NVM profiling samples
+// from an already evaluated training run.
+func trainOn(res workload.Result, rng *xrand.Rand) (*model.Model, error) {
 	return model.Train(model.CollectSamples(res, 8, 0.02, rng))
 }
 
 // Fig10 reports prediction accuracy across the concurrency sweep for
-// XSBench and FT, training at ht=36 only.
+// XSBench and FT, training at ht=36 only. The whole sweep is evaluated
+// as one scenario batch; the model fit and its stochastic sampling stay
+// sequential so the reported accuracies are independent of engine
+// parallelism.
 func Fig10(c *Context) (Report, error) {
 	var b strings.Builder
 	var checks []Check
 	sweep := []int{8, 16, 24, 32, 36, 40, 48}
-	for _, app := range []struct {
-		name  string
-		build func() *workload.Workload
-	}{
-		{"XSBench", montecarlo.WorkloadXL},
-		{"NPB-FT", spectral.WorkloadClassD},
-	} {
+	outs, err := c.RunScenario(scenario.Spec{
+		Name: "fig10-prediction-concurrency",
+		Custom: []scenario.Custom{
+			{Label: "XSBench", New: montecarlo.WorkloadXL},
+			{Label: "NPB-FT", New: spectral.WorkloadClassD},
+		},
+		Modes:   []memsys.Mode{memsys.CachedNVM},
+		Threads: sweep,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	byPoint := scenario.NewIndex(outs)
+	at := func(app string, th int) workload.Result {
+		return byPoint.Get(app, memsys.CachedNVM, th)
+	}
+	for _, app := range []string{"XSBench", "NPB-FT"} {
 		rng := xrand.New(0xf16)
-		w := app.build()
-		m, err := trainAt(c, w, 36, rng)
+		m, err := trainOn(at(app, 36), rng)
 		if err != nil {
 			return Report{}, err
 		}
-		fmt.Fprintf(&b, "%s (trained at ht=36):\n%8s %10s\n", app.name, "threads", "accuracy")
+		fmt.Fprintf(&b, "%s (trained at ht=36):\n%8s %10s\n", app, "threads", "accuracy")
 		var sum float64
 		accs := map[int]float64{}
 		for _, th := range sweep {
-			res, err := workload.Run(w, c.System(memsys.CachedNVM), th)
-			if err != nil {
-				return Report{}, err
-			}
-			_, _, acc := m.EvaluatePoint(res, 0.02, rng)
+			_, _, acc := m.EvaluatePoint(at(app, th), 0.02, rng)
 			accs[th] = acc
 			sum += acc
 			fmt.Fprintf(&b, "%8d %9.1f%%\n", th, 100*acc)
@@ -60,13 +66,13 @@ func Fig10(c *Context) (Report, error) {
 		avgErr := 1 - sum/float64(len(sweep))
 		fmt.Fprintf(&b, "average error: %.1f%%\n\n", 100*avgErr)
 		paperErr := 0.05
-		if app.name == "NPB-FT" {
+		if app == "NPB-FT" {
 			paperErr = 0.08
 		}
 		checks = append(checks,
-			check(app.name+" average error", pct(paperErr), pct(avgErr), avgErr < 0.40),
-			check(app.name+" training point accuracy", ">= 90%", pct(accs[36]), accs[36] >= 0.90),
-			check(app.name+" extremes weakest", "lowest/highest levels dip",
+			check(app+" average error", pct(paperErr), pct(avgErr), avgErr < 0.40),
+			check(app+" training point accuracy", ">= 90%", pct(accs[36]), accs[36] >= 0.90),
+			check(app+" extremes weakest", "lowest/highest levels dip",
 				fmt.Sprintf("acc(8)=%.0f%%, acc(36)=%.0f%%", 100*accs[8], 100*accs[36]),
 				accs[8] <= accs[36]))
 	}
@@ -79,21 +85,33 @@ func Fig11(c *Context) (Report, error) {
 	var b strings.Builder
 	var checks []Check
 
-	// XSBench: 67, 266, 545 GB.
+	// XSBench: 67, 266, 545 GB, evaluated as one scenario batch.
 	xsSizes := []float64{67, 266, 545}
+	var xsPoints []scenario.Custom
+	for _, gib := range xsSizes {
+		xsPoints = append(xsPoints, scenario.Custom{
+			Label: fmt.Sprintf("XSBench@%vGB", gib),
+			New:   func() *workload.Workload { return montecarlo.WorkloadSized(gib) },
+		})
+	}
+	xsOuts, err := c.RunScenario(scenario.Spec{
+		Name:    "fig11-xsbench-datasize",
+		Custom:  xsPoints,
+		Modes:   []memsys.Mode{memsys.CachedNVM},
+		Threads: []int{36},
+	})
+	if err != nil {
+		return Report{}, err
+	}
 	rng := xrand.New(0xf11)
-	mXS, err := trainAt(c, montecarlo.WorkloadSized(xsSizes[0]), 36, rng)
+	mXS, err := trainOn(xsOuts[0].Result, rng)
 	if err != nil {
 		return Report{}, err
 	}
 	fmt.Fprintf(&b, "XSBench (trained at %v GB):\n%10s %10s\n", xsSizes[0], "mem (GB)", "accuracy")
 	var xsAccs []float64
-	for _, gib := range xsSizes {
-		res, err := workload.Run(montecarlo.WorkloadSized(gib), c.System(memsys.CachedNVM), 36)
-		if err != nil {
-			return Report{}, err
-		}
-		_, _, acc := mXS.EvaluatePoint(res, 0.02, rng)
+	for i, gib := range xsSizes {
+		_, _, acc := mXS.EvaluatePoint(xsOuts[i].Result, 0.02, rng)
 		xsAccs = append(xsAccs, acc)
 		fmt.Fprintf(&b, "%10.0f %9.1f%%\n", gib, 100*acc)
 	}
@@ -104,22 +122,34 @@ func Fig11(c *Context) (Report, error) {
 
 	// ScaLAPACK: 29, 52, 81 GB -> N = 36000, 48000, 60000.
 	ns := []int{36000, 48000, 60000}
+	var slPoints []scenario.Custom
+	for _, n := range ns {
+		slPoints = append(slPoints, scenario.Custom{
+			Label: fmt.Sprintf("ScaLAPACK@N=%d", n),
+			New:   func() *workload.Workload { return dense.WorkloadN(n) },
+		})
+	}
+	slOuts, err := c.RunScenario(scenario.Spec{
+		Name:    "fig11-scalapack-datasize",
+		Custom:  slPoints,
+		Modes:   []memsys.Mode{memsys.CachedNVM},
+		Threads: []int{36},
+	})
+	if err != nil {
+		return Report{}, err
+	}
 	rng2 := xrand.New(0xf12)
-	mSL, err := trainAt(c, dense.WorkloadN(ns[0]), 36, rng2)
+	mSL, err := trainOn(slOuts[0].Result, rng2)
 	if err != nil {
 		return Report{}, err
 	}
 	fmt.Fprintf(&b, "\nScaLAPACK (trained at N=%d):\n%10s %10s %10s\n", ns[0], "N", "mem (GB)", "accuracy")
 	var slAccs []float64
-	for _, n := range ns {
-		w := dense.WorkloadN(n)
-		res, err := workload.Run(w, c.System(memsys.CachedNVM), 36)
-		if err != nil {
-			return Report{}, err
-		}
+	for i, n := range ns {
+		res := slOuts[i].Result
 		_, _, acc := mSL.EvaluatePoint(res, 0.02, rng2)
 		slAccs = append(slAccs, acc)
-		fmt.Fprintf(&b, "%10d %10.0f %9.1f%%\n", n, float64(w.Footprint)/1e9, 100*acc)
+		fmt.Fprintf(&b, "%10d %10.0f %9.1f%%\n", n, float64(res.Workload.Footprint)/1e9, 100*acc)
 	}
 	minSL := slAccs[0]
 	for _, a := range slAccs {
@@ -139,19 +169,24 @@ func Fig12(c *Context) (Report, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%8s %8s %10s %12s %12s %10s\n",
 		"N", "DRAM", "Optimized", "cached-NVM", "uncached-NVM", "DRAM use")
-	var worstOpt, bestSpeed float64
-	var usage float64
-	for _, n := range dims {
-		w := dense.WorkloadN(n)
+	// Each matrix dimension is an independent optimize+evaluate job; fan
+	// them across the engine's workers and fold in dimension order.
+	outs, err := engine.Map(c.Engine.Workers(), len(dims), func(i int) (placement.Outcome, error) {
+		w := dense.WorkloadN(dims[i])
 		budget := units.Bytes(float64(w.Footprint) * 0.40)
 		plan, err := placement.Optimize(w, budget, placement.WriteAware)
 		if err != nil {
-			return Report{}, err
+			return placement.Outcome{}, err
 		}
-		out, err := placement.Evaluate(w, plan, c.Socket(), c.Threads)
-		if err != nil {
-			return Report{}, err
-		}
+		return placement.Evaluate(w, plan, c.Socket(), c.Threads)
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	var worstOpt, bestSpeed float64
+	var usage float64
+	for i, n := range dims {
+		out := outs[i]
 		norm := func(t units.Duration) float64 { return float64(t) / float64(out.DRAM) }
 		fmt.Fprintf(&b, "%8d %8.2f %10.2f %12.2f %12.2f %9.0f%%\n",
 			n, 1.0, norm(out.Placed), norm(out.Cached), norm(out.Uncached),

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dwarfs"
 	"repro/internal/memsys"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -40,27 +41,31 @@ type fig2Row struct {
 	DRAM, Cached, Uncach float64
 }
 
-// fig2Rows evaluates every application on the three configurations.
+// fig2Rows evaluates every application on the three configurations as
+// one scenario batch on the engine.
 func fig2Rows(c *Context) ([]fig2Row, error) {
+	outs, err := c.RunScenario(scenario.Spec{
+		Name:    "fig2-overview",
+		Threads: []int{c.Threads},
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []fig2Row
-	for _, e := range dwarfs.All() {
-		w := e.New()
-		row := fig2Row{Name: e.Name, FoM: w.FoM.Name, Unit: w.FoM.Unit, Higher: w.FoM.Higher}
-		for _, mode := range memsys.Modes() {
-			res, err := c.Run(w, mode)
-			if err != nil {
-				return nil, err
-			}
-			switch mode {
-			case memsys.DRAMOnly:
-				row.DRAM = res.FoMValue
-			case memsys.CachedNVM:
-				row.Cached = res.FoMValue
-			case memsys.UncachedNVM:
-				row.Uncach = res.FoMValue
-			}
+	for _, o := range outs {
+		if len(rows) == 0 || rows[len(rows)-1].Name != o.App {
+			fom := o.Result.Workload.FoM
+			rows = append(rows, fig2Row{Name: o.App, FoM: fom.Name, Unit: fom.Unit, Higher: fom.Higher})
 		}
-		rows = append(rows, row)
+		row := &rows[len(rows)-1]
+		switch o.Mode {
+		case memsys.DRAMOnly:
+			row.DRAM = o.Result.FoMValue
+		case memsys.CachedNVM:
+			row.Cached = o.Result.FoMValue
+		case memsys.UncachedNVM:
+			row.Uncach = o.Result.FoMValue
+		}
 	}
 	return rows, nil
 }
@@ -133,13 +138,17 @@ func Table3(c *Context) (Report, error) {
 	fmt.Fprintf(&b, "%-10s %-28s %12s %12s %12s %10s %10s %-13s\n",
 		"App", "Dwarf", "MemBW(MB/s)", "Read(MB/s)", "Write(MB/s)", "Write(%)", "Slowdown", "Tier")
 	var checks []Check
+	outs, err := c.RunScenario(scenario.Spec{
+		Name:    "table3-uncached",
+		Modes:   []memsys.Mode{memsys.UncachedNVM},
+		Threads: []int{c.Threads},
+	})
+	if err != nil {
+		return Report{}, err
+	}
 	results := map[string]workload.Result{}
-	for _, e := range dwarfs.All() {
-		w := e.New()
-		res, err := c.Run(w, memsys.UncachedNVM)
-		if err != nil {
-			return Report{}, err
-		}
+	for i, e := range dwarfs.All() {
+		res := outs[i].Result
 		results[e.Name] = res
 		tier := tierOf(res.Slowdown)
 		fmt.Fprintf(&b, "%-10s %-28s %12.0f %12.0f %12.0f %10.1f %9.2fx %-13s\n",

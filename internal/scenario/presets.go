@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memsys"
+)
+
+// Presets returns the named scenarios: one per paper sweep (the
+// experiment functions in internal/experiments declare these shapes when
+// regenerating the figures) followed by sweeps beyond the paper's
+// evaluation — the full-cartesian stress sweep, the capacity-pressure
+// sweep and the hyperthread-oversubscription ladder.
+func Presets() []Spec {
+	return []Spec{
+		{
+			Name:        "paper-overview",
+			Description: "Fig 2 shape: all eight applications on the three configurations at full concurrency",
+		},
+		{
+			Name:        "uncached-characterization",
+			Description: "Table III shape: all applications on uncached NVM at full concurrency",
+			Modes:       []memsys.Mode{memsys.UncachedNVM},
+		},
+		{
+			Name:        "hypre-trace",
+			Description: "Fig 4 shape: Hypre on DRAM-only versus cached NVM",
+			Apps:        []string{"Hypre"},
+			Modes:       []memsys.Mode{memsys.DRAMOnly, memsys.CachedNVM},
+		},
+		{
+			Name:        "write-throttling",
+			Description: "Fig 5 shape: Laghos and SuperLU on DRAM-only versus uncached NVM",
+			Apps:        []string{"Laghos", "SuperLU"},
+			Modes:       []memsys.Mode{memsys.DRAMOnly, memsys.UncachedNVM},
+		},
+		{
+			Name:        "contention",
+			Description: "Fig 6 shape: all applications and modes at half versus full concurrency",
+			Threads:     []int{24, 48},
+		},
+		{
+			Name:        "ft-divergence",
+			Description: "Fig 7 shape: FT on uncached NVM at 8 versus 24 threads",
+			Apps:        []string{"FFT"},
+			Modes:       []memsys.Mode{memsys.UncachedNVM},
+			Threads:     []int{8, 24},
+		},
+		{
+			Name:        "scalapack-phases",
+			Description: "Fig 8 shape: ScaLAPACK on uncached NVM at 16 versus 36 threads",
+			Apps:        []string{"ScaLAPACK"},
+			Modes:       []memsys.Mode{memsys.UncachedNVM},
+			Threads:     []int{16, 36},
+		},
+		{
+			Name:        "beyond-dram",
+			Description: "Fig 3 shape: BoxLib and Hypre on cached versus uncached NVM as footprints grow past DRAM",
+			Apps:        []string{"BoxLib", "Hypre"},
+			Modes:       []memsys.Mode{memsys.CachedNVM, memsys.UncachedNVM},
+			Scales:      []float64{0.5, 1, 2, 4},
+		},
+		{
+			Name:        "prediction-concurrency",
+			Description: "Fig 10 shape: XSBench and FT on cached NVM across the concurrency sweep",
+			Apps:        []string{"XSBench", "FFT"},
+			Modes:       []memsys.Mode{memsys.CachedNVM},
+			Threads:     []int{8, 16, 24, 32, 36, 40, 48},
+		},
+		{
+			Name:        "prediction-datasize",
+			Description: "Fig 11 shape: XSBench and ScaLAPACK on cached NVM across growing data sizes",
+			Apps:        []string{"XSBench", "ScaLAPACK"},
+			Modes:       []memsys.Mode{memsys.CachedNVM},
+			Threads:     []int{36},
+			Scales:      []float64{1, 2, 4, 8},
+		},
+		{
+			Name: "full-cartesian",
+			Description: "stress sweep beyond the paper: all applications x all modes x the full " +
+				"thread ladder (216 evaluation points)",
+			Threads: []int{1, 2, 4, 8, 16, 24, 32, 40, 48},
+		},
+		{
+			Name: "capacity-pressure",
+			Description: "capacity sweep beyond the paper: every application from half to eight times " +
+				"its paper footprint on both NVM configurations",
+			Modes:  []memsys.Mode{memsys.CachedNVM, memsys.UncachedNVM},
+			Scales: []float64{0.5, 1, 2, 4, 8},
+		},
+		{
+			Name: "ht-oversubscription",
+			Description: "hyperthreading ladder beyond the paper: all applications and modes from the " +
+				"physical-core count up to full SMT",
+			Threads: []int{24, 28, 32, 36, 40, 44, 48},
+		},
+	}
+}
+
+// Names lists the preset names in registry order.
+func Names() []string {
+	var out []string
+	for _, s := range Presets() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// ByName returns the named preset.
+func ByName(name string) (Spec, error) {
+	for _, s := range Presets() {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown preset %q (have %s)", name, strings.Join(Names(), ", "))
+}

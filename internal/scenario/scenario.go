@@ -1,0 +1,265 @@
+// Package scenario is the declarative sweep layer above the evaluation
+// engine: a Spec names the applications (or custom workload builders),
+// memory modes, thread counts and footprint scales to sweep, and expands
+// into the engine's (workload, mode, threads) job list in a fixed
+// deterministic order. Experiments declare their sweeps as Specs and
+// submit them to the engine instead of looping inline, and named presets
+// (see presets.go) open arbitrary sweeps — including non-paper ones like
+// the full-cartesian stress sweep — to cmd/nvmbench and the public API.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dwarfs"
+	"repro/internal/engine"
+	"repro/internal/memsys"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Custom couples a label with a workload builder, for sweeps over
+// non-registry inputs (dataset sweeps, sized problems).
+type Custom struct {
+	Label string
+	New   func() *workload.Workload
+}
+
+// Spec declares a sweep. Zero-valued axes take paper defaults: all eight
+// registry applications, the three paper-wide modes, 48 threads, scale 1.
+type Spec struct {
+	Name        string
+	Description string
+
+	// Apps lists dwarf-registry applications. Ignored when Custom is
+	// non-empty.
+	Apps []string
+	// Custom lists explicit workload builders, replacing Apps.
+	Custom []Custom
+	// Modes lists the memory configurations to sweep.
+	Modes []memsys.Mode
+	// Threads lists the concurrency levels to sweep.
+	Threads []int
+	// Scales lists footprint multipliers: each scales the workload's
+	// footprint, per-phase working sets and baseline time linearly,
+	// modelling the same code on a proportionally larger (or smaller)
+	// problem — the axis behind the capacity-pressure sweeps.
+	Scales []float64
+}
+
+// Meta labels one expanded evaluation point.
+type Meta struct {
+	App     string
+	Mode    memsys.Mode
+	Threads int
+	Scale   float64
+}
+
+// Outcome couples an evaluation point with its result.
+type Outcome struct {
+	Meta
+	Result workload.Result
+}
+
+func (s Spec) apps() []string {
+	if len(s.Apps) > 0 {
+		return s.Apps
+	}
+	return dwarfs.Names()
+}
+
+func (s Spec) modes() []memsys.Mode {
+	if len(s.Modes) > 0 {
+		return s.Modes
+	}
+	return memsys.Modes()
+}
+
+func (s Spec) threads() []int {
+	if len(s.Threads) > 0 {
+		return s.Threads
+	}
+	return []int{48}
+}
+
+func (s Spec) scales() []float64 {
+	if len(s.Scales) > 0 {
+		return s.Scales
+	}
+	return []float64{1}
+}
+
+// Size returns the number of evaluation points the spec expands to.
+func (s Spec) Size() int {
+	napps := len(s.Custom)
+	if napps == 0 {
+		napps = len(s.apps())
+	}
+	return napps * len(s.modes()) * len(s.threads()) * len(s.scales())
+}
+
+// Validate checks the spec against the registry and the thread limits.
+func (s Spec) Validate() error {
+	if len(s.Custom) == 0 {
+		for _, app := range s.Apps {
+			if _, err := dwarfs.ByName(app); err != nil {
+				return fmt.Errorf("scenario %s: %w", s.Name, err)
+			}
+		}
+	}
+	for _, c := range s.Custom {
+		if c.New == nil {
+			return fmt.Errorf("scenario %s: custom workload %q has no builder", s.Name, c.Label)
+		}
+	}
+	for _, mode := range s.modes() {
+		if mode == memsys.Placed {
+			return fmt.Errorf("scenario %s: Placed mode needs a per-structure plan; use internal/placement", s.Name)
+		}
+	}
+	for _, th := range s.threads() {
+		if th < 1 || th > workload.MaxThreads {
+			return fmt.Errorf("scenario %s: threads %d out of [1,%d]", s.Name, th, workload.MaxThreads)
+		}
+	}
+	for _, sc := range s.scales() {
+		if sc <= 0 {
+			return fmt.Errorf("scenario %s: non-positive scale %v", s.Name, sc)
+		}
+	}
+	if s.Size() == 0 {
+		return fmt.Errorf("scenario %s: empty sweep", s.Name)
+	}
+	return nil
+}
+
+// builders resolves the sweep's workload constructors in order.
+func (s Spec) builders() ([]Custom, error) {
+	if len(s.Custom) > 0 {
+		return s.Custom, nil
+	}
+	var out []Custom
+	for _, app := range s.apps() {
+		e, err := dwarfs.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Custom{Label: e.Name, New: e.New})
+	}
+	return out, nil
+}
+
+// Expand materializes the sweep: the meta labels and engine jobs, index
+// aligned, in the spec's canonical order (app, scale, mode, threads —
+// innermost last).
+func (s Spec) Expand() ([]Meta, []engine.Job, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	builders, err := s.builders()
+	if err != nil {
+		return nil, nil, err
+	}
+	metas := make([]Meta, 0, s.Size())
+	jobs := make([]engine.Job, 0, s.Size())
+	for _, b := range builders {
+		base := b.New()
+		if base == nil {
+			return nil, nil, fmt.Errorf("scenario %s: builder for %q returned a nil workload", s.Name, b.Label)
+		}
+		for _, sc := range s.scales() {
+			w := Scaled(base, sc)
+			for _, mode := range s.modes() {
+				for _, th := range s.threads() {
+					metas = append(metas, Meta{App: b.Label, Mode: mode, Threads: th, Scale: sc})
+					jobs = append(jobs, engine.Job{Workload: w, Mode: mode, Threads: th})
+				}
+			}
+		}
+	}
+	return metas, jobs, nil
+}
+
+// Run expands the spec and evaluates it on the engine, returning the
+// outcomes in the spec's canonical order.
+func (s Spec) Run(e *engine.Engine) ([]Outcome, error) {
+	metas, jobs, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	results, err := e.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Outcome, len(metas))
+	for i := range metas {
+		out[i] = Outcome{Meta: metas[i], Result: results[i]}
+	}
+	return out, nil
+}
+
+// Index is a point-addressed view of a sweep's outcomes, for experiment
+// code that assembles rows/series out of submission order.
+type Index map[Meta]workload.Result
+
+// NewIndex builds the lookup from a sweep's outcomes.
+func NewIndex(outs []Outcome) Index {
+	ix := make(Index, len(outs))
+	for _, o := range outs {
+		ix[o.Meta] = o.Result
+	}
+	return ix
+}
+
+// Get returns the unscaled (Scale 1) result for an evaluation point. A
+// missing point is a programming error — the spec did not cover the
+// lookup — so Get panics rather than returning a zero Result that would
+// silently render as all-zero rows.
+func (ix Index) Get(app string, mode memsys.Mode, threads int) workload.Result {
+	res, ok := ix[Meta{App: app, Mode: mode, Threads: threads, Scale: 1}]
+	if !ok {
+		panic(fmt.Sprintf("scenario: no outcome for %s on %s @ %d threads", app, mode, threads))
+	}
+	return res
+}
+
+// Scaled returns the workload scaled to a proportionally larger or
+// smaller problem: footprint, per-phase working sets and baseline time
+// grow linearly with the factor, while bandwidth demands (a property of
+// the code, not the input size) are unchanged. Scale 1 returns the
+// workload itself.
+func Scaled(w *workload.Workload, scale float64) *workload.Workload {
+	if scale == 1 {
+		return w
+	}
+	cp := *w
+	cp.Input = fmt.Sprintf("%s [x%g footprint]", w.Input, scale)
+	cp.Footprint = units.Bytes(float64(w.Footprint) * scale)
+	cp.BaselineTime = units.Duration(float64(w.BaselineTime) * scale)
+	cp.Phases = append([]memsys.Phase(nil), w.Phases...)
+	for i := range cp.Phases {
+		cp.Phases[i].WorkingSet = units.Bytes(float64(cp.Phases[i].WorkingSet) * scale)
+	}
+	return &cp
+}
+
+// Table renders outcomes as a fixed-width sweep report.
+func Table(outcomes []Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s %7s %6s %10s %12s %10s %10s %10s  %s\n",
+		"App", "Mode", "Threads", "Scale", "Time(s)", "FoM", "Slowdown", "Rd(GB/s)", "Wr(GB/s)", "Bound")
+	for _, o := range outcomes {
+		// Report the binding resource of the most dilated phase.
+		bound, worst := "", 0.0
+		for _, po := range o.Result.Phases {
+			if bound == "" || po.Epoch.Mult > worst {
+				bound, worst = string(po.Epoch.BoundBy), po.Epoch.Mult
+			}
+		}
+		fmt.Fprintf(&b, "%-12s %-14s %7d %6.2g %10.3f %12.4g %9.2fx %10.1f %10.1f  %s\n",
+			o.App, o.Mode, o.Threads, o.Scale, o.Result.Time.Seconds(), o.Result.FoMValue,
+			o.Result.Slowdown, o.Result.AvgRead().GBpsValue(), o.Result.AvgWrite().GBpsValue(), bound)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/memdev"
+	"repro/internal/memsys"
+	"repro/internal/units"
+)
+
+func fpWorkload() *Workload {
+	return &Workload{
+		Name: "fp", Dwarf: "test", Input: "unit",
+		Footprint: 10 * units.GiB, BaselineTime: units.Duration(5), BaseThreads: 48,
+		FoM:     FoM{Name: "Time", Unit: "s"},
+		Phases:  []memsys.Phase{{Name: "p", Share: 1, ReadBW: units.GBps(10), ReadMix: memsys.Pure(memdev.Sequential), WorkingSet: units.GiB}},
+		Scaling: Scaling{ParallelFrac: 0.9},
+		PhaseScalings: map[string]Scaling{
+			"a": {ParallelFrac: 0.5},
+			"b": {ParallelFrac: 0.7},
+			"c": {ParallelFrac: 0.9},
+		},
+		Seed: 7,
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	if fpWorkload().Fingerprint() != fpWorkload().Fingerprint() {
+		t.Error("identical workloads fingerprint differently")
+	}
+}
+
+func TestFingerprintMapOrderIndependent(t *testing.T) {
+	w1 := fpWorkload()
+	w2 := fpWorkload()
+	// Rebuild the map in reverse insertion order.
+	w2.PhaseScalings = map[string]Scaling{}
+	for _, k := range []string{"c", "b", "a"} {
+		w2.PhaseScalings[k] = fpWorkload().PhaseScalings[k]
+	}
+	if w1.Fingerprint() != w2.Fingerprint() {
+		t.Error("fingerprint depends on map construction order")
+	}
+}
+
+func TestFingerprintSensitive(t *testing.T) {
+	base := fpWorkload().Fingerprint()
+	muts := []func(*Workload){
+		func(w *Workload) { w.Name = "other" },
+		func(w *Workload) { w.Footprint *= 2 },
+		func(w *Workload) { w.BaselineTime *= 2 },
+		func(w *Workload) { w.Phases[0].ReadBW *= 2 },
+		func(w *Workload) { w.Phases[0].WorkingSet *= 2 },
+		func(w *Workload) { w.Phases[0].WritePattern = memdev.Random },
+		func(w *Workload) { w.Scaling.ParallelFrac = 0.1 },
+		func(w *Workload) { w.PhaseScalings["a"] = Scaling{ParallelFrac: 0.99} },
+		func(w *Workload) { delete(w.PhaseScalings, "b") },
+		func(w *Workload) { w.Seed = 8 },
+		func(w *Workload) { w.HTWriteAmplification = 0.5 },
+		func(w *Workload) { w.Structures = []Structure{{Name: "s", Size: units.GiB, ReadFrac: 1, WriteFrac: 1}} },
+	}
+	for i, mut := range muts {
+		w := fpWorkload()
+		mut(w)
+		if w.Fingerprint() == base {
+			t.Errorf("mutation %d not reflected in fingerprint", i)
+		}
+	}
+}
