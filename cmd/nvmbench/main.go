@@ -1,5 +1,5 @@
 // Command nvmbench regenerates the paper's tables and figures and runs
-// declarative sweep scenarios.
+// declarative sweep scenarios, named or loaded from spec files.
 //
 // Usage:
 //
@@ -7,19 +7,25 @@
 //	nvmbench -run fig2
 //	nvmbench -run all [-parallel] [-threads 48] [-low 24] [-samples 200]
 //	nvmbench -scenario full-cartesian [-workers 8]
+//	nvmbench -spec specs/beyond-dram.json [-format json]
+//	nvmbench -spec mysweeps/ [-workers 8]
+//	nvmbench -export-specs specs
 //
 // Each experiment prints its rows/series plus the paper-shape checks
 // (who wins, by what factor) with PASS/DEVIATION status. With -parallel
 // the experiments fan out across the evaluation engine's worker pool;
 // the output is byte-identical to the sequential run. -scenario runs a
-// named sweep preset (see -list) through the engine instead of a paper
-// experiment.
+// named sweep preset (see -list); -spec runs user-authored spec files —
+// one file or a whole directory — through the same engine, so new
+// sweeps open without recompiling. -export-specs dumps the presets as
+// spec files, the seed corpus for authoring new ones.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -32,6 +38,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and scenario presets, then exit")
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
 	scen := flag.String("scenario", "", "run a named scenario preset instead of an experiment")
+	spec := flag.String("spec", "", "run scenario spec file(s): a *.json path or a directory of them")
+	exportDir := flag.String("export-specs", "", "write every preset as a spec file under this directory, then exit")
 	parallel := flag.Bool("parallel", false, "fan experiments across the engine's worker pool")
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	threads := flag.Int("threads", 48, "full concurrency level")
@@ -52,15 +60,22 @@ func main() {
 		return
 	}
 
+	if *exportDir != "" {
+		if err := exportSpecs(*exportDir, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	m := core.NewMachine()
 	ctx := m.Context()
 	ctx.Threads, ctx.LowThreads, ctx.TraceSamples = *threads, *low, *samples
 	ctx.Engine.SetWorkers(*workers)
 
-	if *scen != "" {
-		// A preset fixes its own sweep axes and always batches through
+	if *scen != "" || *spec != "" {
+		// A scenario fixes its own sweep axes and always batches through
 		// the engine, so the experiment flags would be silently ignored;
-		// reject them instead.
+		// reject them instead. -scenario and -spec are likewise exclusive.
 		var conflicts []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -69,28 +84,20 @@ func main() {
 			}
 		})
 		if len(conflicts) > 0 {
-			fatal(fmt.Errorf("-scenario sweeps are defined by the preset; drop %s",
+			fatal(fmt.Errorf("scenario sweeps are defined by the spec; drop %s",
 				strings.Join(conflicts, ", ")))
 		}
-		sp, outs, err := m.RunScenarioNamed(*scen)
+		if *scen != "" && *spec != "" {
+			fatal(fmt.Errorf("-scenario and -spec are mutually exclusive"))
+		}
+		var err error
+		if *scen != "" {
+			err = runScenarioNamed(m, *scen, *format, os.Stdout)
+		} else {
+			err = runSpecs(m, *spec, *format, os.Stdout)
+		}
 		if err != nil {
 			fatal(err)
-		}
-		stats := m.Engine().Stats()
-		switch *format {
-		case "json":
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(outs); err != nil {
-				fatal(err)
-			}
-		case "text":
-			fmt.Printf("== scenario %s: %s ==\n", sp.Name, sp.Description)
-			fmt.Print(scenario.Table(outs))
-			fmt.Printf("points: %d, workers: %d, cache hits/misses: %d/%d\n",
-				len(outs), m.Engine().Workers(), stats.Hits, stats.Misses)
-		default:
-			fatal(fmt.Errorf("unknown format %q", *format))
 		}
 		return
 	}
@@ -144,6 +151,88 @@ func main() {
 	}
 	if deviations > 0 {
 		os.Exit(1)
+	}
+}
+
+// exportSpecs writes every preset as a spec file under dir.
+func exportSpecs(dir string, w io.Writer) error {
+	presets := scenario.Presets()
+	if err := scenario.WriteSpecs(dir, presets); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d spec files to %s\n", len(presets), dir)
+	return nil
+}
+
+// runScenarioNamed runs one preset sweep through the machine's engine.
+func runScenarioNamed(m *core.Machine, name, format string, w io.Writer) error {
+	sp, outs, err := m.RunScenarioNamed(name)
+	if err != nil {
+		return err
+	}
+	return renderScenarios(m, []core.Scenario{sp}, [][]core.Outcome{outs}, format, w)
+}
+
+// runSpecs loads one spec file or a directory of them and runs each
+// sweep through the machine's engine.
+func runSpecs(m *core.Machine, path, format string, w io.Writer) error {
+	var specs []core.Scenario
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		specs, err = scenario.LoadDir(path)
+		if err != nil {
+			return err
+		}
+	} else {
+		sp, err := scenario.LoadSpec(path)
+		if err != nil {
+			return err
+		}
+		specs = []core.Scenario{sp}
+	}
+	all := make([][]core.Outcome, 0, len(specs))
+	for _, sp := range specs {
+		outs, err := m.RunScenario(sp)
+		if err != nil {
+			return err
+		}
+		all = append(all, outs)
+	}
+	return renderScenarios(m, specs, all, format, w)
+}
+
+// renderScenarios prints sweep outcomes: a table plus per-spec cache
+// accounting in text mode, or a spec-keyed JSON document.
+func renderScenarios(m *core.Machine, specs []core.Scenario, all [][]core.Outcome, format string, w io.Writer) error {
+	switch format {
+	case "json":
+		type doc struct {
+			Name        string         `json:"name"`
+			Description string         `json:"description,omitempty"`
+			Points      int            `json:"points"`
+			Outcomes    []core.Outcome `json:"outcomes"`
+		}
+		docs := make([]doc, len(specs))
+		for i, sp := range specs {
+			docs[i] = doc{Name: sp.Name, Description: sp.Description, Points: len(all[i]), Outcomes: all[i]}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(docs)
+	case "text":
+		origins := m.Engine().OriginStats()
+		for i, sp := range specs {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "== scenario %s: %s ==\n", sp.Name, sp.Description)
+			fmt.Fprint(w, scenario.Table(all[i]))
+			st := origins[sp.Name]
+			fmt.Fprintf(w, "points: %d, workers: %d, cache hits/misses: %d/%d\n",
+				len(all[i]), m.Engine().Workers(), st.Hits, st.Misses)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", format)
 	}
 }
 

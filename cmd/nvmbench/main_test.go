@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// The unknown-preset error must teach: every valid name, straight from
+// the preset registry, so the user's next invocation can succeed.
+func TestUnknownPresetErrorListsNames(t *testing.T) {
+	err := runScenarioNamed(core.NewMachine(), "no-such-sweep", "text", io.Discard)
+	if err == nil {
+		t.Fatal("unknown preset should fail")
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list preset %q", err, name)
+		}
+	}
+}
+
+func TestExportSpecsRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := exportSpecs(dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), dir) {
+		t.Errorf("export summary %q does not name the directory", out.String())
+	}
+	specs, err := scenario.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(scenario.Presets()) {
+		t.Errorf("exported %d specs, want %d", len(specs), len(scenario.Presets()))
+	}
+}
+
+// userSpec is the README's worked example: a spec a user would author
+// by hand, exercising the sized and composite stanzas.
+const userSpec = `{
+  "name": "my-sweep",
+  "description": "XSBench at paper size and doubled, plus a fused solver pair",
+  "apps": ["XSBench"],
+  "sized": [{"app": "XSBench", "scale": 2, "label": "XSBench-2x"}],
+  "composite": [{"label": "hypre+fft", "parts": [{"app": "Hypre", "weight": 3}, {"app": "FFT", "weight": 1}]}],
+  "modes": ["DRAM", "uncached-NVM"],
+  "threads": [48]
+}
+`
+
+func TestRunSpecFileEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "my-sweep.json")
+	if err := os.WriteFile(path, []byte(userSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runSpecs(core.NewMachine(), path, "text", &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"== scenario my-sweep", "XSBench-2x", "hypre+fft", "uncached-NVM", "cache hits/misses"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("spec run output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunSpecDirJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.json"), []byte(userSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	second := strings.Replace(userSpec, "my-sweep", "second-sweep", 1)
+	if err := os.WriteFile(filepath.Join(dir, "b.json"), []byte(second), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runSpecs(core.NewMachine(), dir, "json", &out); err != nil {
+		t.Fatal(err)
+	}
+	var docs []struct {
+		Name     string `json:"name"`
+		Points   int    `json:"points"`
+		Outcomes []struct {
+			App      string  `json:"app"`
+			Mode     string  `json:"mode"`
+			TimeS    float64 `json:"time_s"`
+			Slowdown float64 `json:"slowdown"`
+		} `json:"outcomes"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &docs); err != nil {
+		t.Fatalf("%v in:\n%s", err, out.String())
+	}
+	if len(docs) != 2 || docs[0].Name != "my-sweep" || docs[1].Name != "second-sweep" {
+		t.Fatalf("docs = %+v", docs)
+	}
+	for _, d := range docs {
+		if d.Points != 6 || len(d.Outcomes) != 6 {
+			t.Errorf("%s: points = %d, want 3 sources x 2 modes", d.Name, d.Points)
+		}
+		for _, o := range d.Outcomes {
+			if o.Mode != "DRAM" && o.Mode != "uncached-NVM" {
+				t.Errorf("%s: mode %q not a name", d.Name, o.Mode)
+			}
+			if o.TimeS <= 0 {
+				t.Errorf("%s: %s non-positive time", d.Name, o.App)
+			}
+		}
+	}
+}
+
+func TestRunSpecsBadInput(t *testing.T) {
+	m := core.NewMachine()
+	if err := runSpecs(m, filepath.Join(t.TempDir(), "missing.json"), "text", io.Discard); err == nil {
+		t.Error("missing spec file should fail")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runSpecs(m, path, "text", io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "bad.json:") {
+		t.Errorf("broken spec error should carry the path and position, got %v", err)
+	}
+	good := filepath.Join(t.TempDir(), "g.json")
+	if err := os.WriteFile(good, []byte(userSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSpecs(m, good, "yaml", io.Discard); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

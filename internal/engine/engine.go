@@ -33,6 +33,12 @@ type Job struct {
 	Mode     memsys.Mode
 	Threads  int
 
+	// Origin names the scenario spec (or other submitter) the job came
+	// from. It is metadata only — deliberately not part of the cache key,
+	// so identical points submitted by different specs still coalesce —
+	// and feeds the per-origin accounting in OriginStats.
+	Origin string
+
 	// InDRAM is the per-structure placement for Placed-mode jobs
 	// (ignored otherwise).
 	InDRAM map[string]bool
@@ -110,6 +116,9 @@ type Engine struct {
 	cache sync.Map // Key -> *entry
 	hits  atomic.Uint64
 	miss  atomic.Uint64
+
+	originMu sync.Mutex
+	origins  map[string]Stats
 }
 
 // New builds an engine for the socket. workers <= 0 selects
@@ -122,6 +131,7 @@ func New(sock *platform.Socket, workers int) *Engine {
 		sock:    sock,
 		workers: workers,
 		systems: make(map[memsys.Mode]*memsys.System),
+		origins: make(map[string]Stats),
 	}
 }
 
@@ -167,6 +177,17 @@ func (e *Engine) Run(job Job) (workload.Result, error) {
 		e.hits.Add(1)
 	} else {
 		e.miss.Add(1)
+	}
+	if job.Origin != "" {
+		e.originMu.Lock()
+		st := e.origins[job.Origin]
+		if loaded {
+			st.Hits++
+		} else {
+			st.Misses++
+		}
+		e.origins[job.Origin] = st
+		e.originMu.Unlock()
 	}
 	en.once.Do(func() { en.res, en.err = e.compute(job) })
 	// Return a private copy of the mutable slice so a caller editing its
@@ -217,10 +238,27 @@ func (e *Engine) Stats() Stats {
 	return Stats{Hits: e.hits.Load(), Misses: e.miss.Load()}
 }
 
-// ResetStats zeroes the hit/miss counters (the cache itself is kept).
+// OriginStats returns the cache accounting broken down by job origin
+// (the scenario spec that submitted each job). Jobs with an empty Origin
+// are counted only in the aggregate Stats.
+func (e *Engine) OriginStats() map[string]Stats {
+	e.originMu.Lock()
+	defer e.originMu.Unlock()
+	out := make(map[string]Stats, len(e.origins))
+	for k, v := range e.origins {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the hit/miss counters, aggregate and per-origin (the
+// cache itself is kept).
 func (e *Engine) ResetStats() {
 	e.hits.Store(0)
 	e.miss.Store(0)
+	e.originMu.Lock()
+	e.origins = make(map[string]Stats)
+	e.originMu.Unlock()
 }
 
 // forEach runs fn(0..n-1) across at most workers goroutines and waits.

@@ -289,3 +289,38 @@ func TestWorkersDefault(t *testing.T) {
 		t.Errorf("workers = %d after SetWorkers(3)", e.Workers())
 	}
 }
+
+func TestOriginStats(t *testing.T) {
+	e := New(sock(), 2)
+	w := dwarfs.All()[0].New()
+	// Two specs submit the same evaluation point: one miss attributed to
+	// the first origin, one hit to the second — the Origin tag must not
+	// split the cache.
+	if _, err := e.Run(Job{Workload: w, Mode: memsys.DRAMOnly, Threads: 48, Origin: "fig2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(Job{Workload: w, Mode: memsys.DRAMOnly, Threads: 48, Origin: "table3"}); err != nil {
+		t.Fatal(err)
+	}
+	got := e.OriginStats()
+	if got["fig2"] != (Stats{Misses: 1}) {
+		t.Errorf("fig2 stats = %+v, want 1 miss", got["fig2"])
+	}
+	if got["table3"] != (Stats{Hits: 1}) {
+		t.Errorf("table3 stats = %+v, want 1 hit", got["table3"])
+	}
+	// Untagged jobs count only in the aggregate.
+	if _, err := e.Run(Job{Workload: w, Mode: memsys.UncachedNVM, Threads: 48}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.OriginStats(); len(got) != 2 {
+		t.Errorf("origins = %v, want fig2 and table3 only", got)
+	}
+	if s := e.Stats(); s.Misses != 2 || s.Hits != 1 {
+		t.Errorf("aggregate stats = %+v", s)
+	}
+	e.ResetStats()
+	if got := e.OriginStats(); len(got) != 0 {
+		t.Errorf("origins after reset = %v", got)
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// The golden corpus freezes the paper's reproduced numbers as versioned
+// fixtures: every registered experiment and every preset scenario
+// renders to one canonical text artifact, compared byte-for-byte in
+// golden_test.go. Rendering is deterministic (the solver is analytic,
+// traces draw from seeded generators, and parallel evaluation is
+// byte-identical to sequential), so any drift in an artifact is a real
+// behaviour change — a solver-constant edit, a workload re-profile, a
+// renderer change — and must be reviewed and re-pinned with -update.
+
+// Artifact is one canonical golden text: a name (the file stem under
+// testdata/golden/) and the rendered body.
+type Artifact struct {
+	Name string
+	Body string
+}
+
+// ExperimentArtifacts renders every registered experiment in paper
+// order.
+func ExperimentArtifacts(c *Context) ([]Artifact, error) {
+	var out []Artifact
+	for _, e := range Registry() {
+		r, err := e.Fn(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, Artifact{Name: e.ID, Body: r.String() + "\n"})
+	}
+	return out, nil
+}
+
+// ScenarioArtifacts evaluates every preset scenario through the
+// context's engine and renders each as its sweep table. The render
+// deliberately excludes run-environment facts (worker counts, cache
+// hit rates) so the artifact pins only model behaviour.
+func ScenarioArtifacts(c *Context) ([]Artifact, error) {
+	var out []Artifact
+	for _, sp := range scenario.Presets() {
+		outs, err := c.RunScenario(sp)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sp.Name, err)
+		}
+		body := fmt.Sprintf("== scenario %s: %s ==\npoints: %d\n%s",
+			sp.Name, sp.Description, len(outs), scenario.Table(outs))
+		out = append(out, Artifact{Name: "scenario-" + sp.Name, Body: body})
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden from the current model")
+
+const goldenDir = "testdata/golden"
+
+// checkArtifacts compares rendered artifacts byte-for-byte against the
+// committed corpus (or rewrites it under -update).
+func checkArtifacts(t *testing.T, arts []Artifact) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range arts {
+		path := filepath.Join(goldenDir, a.Name+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(a.Body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: missing golden (regenerate with `go test ./internal/experiments -run Golden -update`): %v", a.Name, err)
+			continue
+		}
+		if string(want) != a.Body {
+			t.Errorf("%s: output drifted from %s\n%s\nIf the change is intended, re-pin with `go test ./internal/experiments -run Golden -update`.",
+				a.Name, path, firstDiff(string(want), a.Body))
+		}
+	}
+}
+
+// firstDiff renders the first differing line for a readable failure.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("first diff at line %d:\n  golden: %q\n  got:    %q", i+1, w, g)
+		}
+	}
+	return "contents equal except length"
+}
+
+func TestGoldenExperiments(t *testing.T) {
+	arts, err := ExperimentArtifacts(NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(Registry()) {
+		t.Fatalf("rendered %d artifacts for %d experiments", len(arts), len(Registry()))
+	}
+	checkArtifacts(t, arts)
+}
+
+func TestGoldenScenarios(t *testing.T) {
+	arts, err := ScenarioArtifacts(NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArtifacts(t, arts)
+}
+
+// TestGoldenNoStrays fails on orphaned golden files left behind by a
+// renamed or removed experiment or preset.
+func TestGoldenNoStrays(t *testing.T) {
+	expect := map[string]bool{}
+	for _, e := range Registry() {
+		expect[e.ID+".golden"] = true
+	}
+	for _, name := range scenario.Names() {
+		expect["scenario-"+name+".golden"] = true
+	}
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./internal/experiments -run Golden -update`)", err)
+	}
+	for _, e := range entries {
+		if !expect[e.Name()] {
+			t.Errorf("stray golden file %s/%s: no experiment or preset renders it", goldenDir, e.Name())
+		}
+	}
+	if len(entries) != len(expect) {
+		t.Errorf("golden corpus holds %d files, want %d (one per experiment and preset)", len(entries), len(expect))
+	}
+}

@@ -1,0 +1,40 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLoadSpec drives the spec-file decoder with arbitrary bytes: a
+// malformed spec must come back as an error, never a panic, and a spec
+// that decodes must survive re-encoding (unless it still carries the
+// one non-serializable source, which file-loaded specs cannot).
+func FuzzLoadSpec(f *testing.F) {
+	for _, sp := range Presets() {
+		b, err := Encode(sp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"name": "x", "sized": [{"app": "FFT", "scale": 2}]}`))
+	f.Add([]byte(`{"name": "x", "composite": [{"label": "c", "parts": [{"app": "FFT", "weight": 1}]}]}`))
+	f.Add([]byte(`{"name": "x", "workloads": [{"name": "w"}]}`))
+	f.Add([]byte(`{"name": "x", "modes": ["DRAM", "nope"]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"name": "x", "threads": [1e99]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data, "fuzz.json")
+		if err != nil {
+			return
+		}
+		if _, err := json.Marshal(sp); err != nil {
+			t.Errorf("parsed spec failed to re-marshal: %v", err)
+		}
+		// A valid spec must also expand without panicking.
+		if _, _, err := sp.Expand(); err != nil {
+			t.Errorf("parsed spec failed to expand: %v", err)
+		}
+	})
+}

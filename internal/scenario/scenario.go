@@ -6,6 +6,12 @@
 // submit them to the engine instead of looping inline, and named presets
 // (see presets.go) open arbitrary sweeps — including non-paper ones like
 // the full-cartesian stress sweep — to cmd/nvmbench and the public API.
+//
+// Specs are also files: the JSON schema in specfile.go round-trips every
+// serializable Spec (LoadSpec / LoadDir / Encode), the presets ship as
+// specs/*.json at the repository root, and the sized/composite stanzas
+// declare derived workloads — resized registry applications and fused
+// multi-application pipelines — without writing Go.
 package scenario
 
 import (
@@ -20,23 +26,75 @@ import (
 )
 
 // Custom couples a label with a workload builder, for sweeps over
-// non-registry inputs (dataset sweeps, sized problems).
+// non-registry inputs (dataset sweeps, sized problems). Custom entries
+// are Go closures and therefore the one workload source that cannot
+// round-trip through a spec file; the serializable equivalents are
+// Workloads, Sized and Composite.
 type Custom struct {
 	Label string
 	New   func() *workload.Workload
 }
 
+// Sized declares a registry application on a proportionally resized
+// problem — the file-level form of Scaled(app, Scale). It is a workload
+// source of its own (unlike the Scales axis, which rescales every
+// source), so one spec can sweep, say, the paper-input XSBench next to a
+// 4x one.
+type Sized struct {
+	// App names the dwarf-registry application to resize.
+	App string
+	// Scale multiplies the footprint, per-phase working sets and baseline
+	// time.
+	Scale float64
+	// Label names the sweep rows; empty defaults to "App-xScale".
+	Label string
+}
+
+// Part is one member application of a Composite workload.
+type Part struct {
+	// App names the dwarf-registry application.
+	App string
+	// Weight is the part's share of execution time; weights are
+	// normalized over the composite.
+	Weight float64
+}
+
+// Composite declares a fused multi-application workload: the parts'
+// phases interleave on one timeline with their time shares scaled by the
+// normalized weights, their footprints coexist in memory, and the
+// scaling/amplification knobs blend weight-proportionally. This models
+// co-scheduled or tightly coupled applications (a solver feeding an
+// analysis stage) — a sweep shape the paper never ran but the spec files
+// open up.
+type Composite struct {
+	Label string
+	Parts []Part
+}
+
 // Spec declares a sweep. Zero-valued axes take paper defaults: all eight
 // registry applications, the three paper-wide modes, 48 threads, scale 1.
+//
+// A Spec is data: it marshals to and from the JSON schema in specfile.go
+// (see LoadSpec), except for the Custom field, whose builders are Go
+// closures. The workload sources — Apps, Custom, Workloads, Sized,
+// Composite — are additive; when any of them is set, Apps contributes
+// only the applications it explicitly names.
 type Spec struct {
 	Name        string
 	Description string
 
-	// Apps lists dwarf-registry applications. Ignored when Custom is
-	// non-empty.
+	// Apps lists dwarf-registry applications.
 	Apps []string
-	// Custom lists explicit workload builders, replacing Apps.
+	// Custom lists explicit workload builders (Go code only; a spec
+	// carrying Custom entries cannot be marshaled to a file).
 	Custom []Custom
+	// Workloads lists full inline workload descriptors (the
+	// internal/workload JSON schema in spec files).
+	Workloads []*workload.Workload
+	// Sized lists resized registry applications.
+	Sized []Sized
+	// Composite lists fused multi-application workloads.
+	Composite []Composite
 	// Modes lists the memory configurations to sweep.
 	Modes []memsys.Mode
 	// Threads lists the concurrency levels to sweep.
@@ -62,7 +120,16 @@ type Outcome struct {
 	Result workload.Result
 }
 
+// customSources counts the non-Apps workload sources.
+func (s Spec) customSources() int {
+	return len(s.Custom) + len(s.Workloads) + len(s.Sized) + len(s.Composite)
+}
+
 func (s Spec) apps() []string {
+	if s.customSources() > 0 {
+		// Explicit sources present: Apps contributes only what it names.
+		return s.Apps
+	}
 	if len(s.Apps) > 0 {
 		return s.Apps
 	}
@@ -92,25 +159,53 @@ func (s Spec) scales() []float64 {
 
 // Size returns the number of evaluation points the spec expands to.
 func (s Spec) Size() int {
-	napps := len(s.Custom)
-	if napps == 0 {
-		napps = len(s.apps())
-	}
+	napps := len(s.apps()) + s.customSources()
 	return napps * len(s.modes()) * len(s.threads()) * len(s.scales())
 }
 
 // Validate checks the spec against the registry and the thread limits.
 func (s Spec) Validate() error {
-	if len(s.Custom) == 0 {
-		for _, app := range s.Apps {
-			if _, err := dwarfs.ByName(app); err != nil {
-				return fmt.Errorf("scenario %s: %w", s.Name, err)
-			}
+	for _, app := range s.Apps {
+		if _, err := dwarfs.ByName(app); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 	}
 	for _, c := range s.Custom {
 		if c.New == nil {
 			return fmt.Errorf("scenario %s: custom workload %q has no builder", s.Name, c.Label)
+		}
+	}
+	for i, w := range s.Workloads {
+		if w == nil {
+			return fmt.Errorf("scenario %s: workloads[%d] is null", s.Name, i)
+		}
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	for _, sz := range s.Sized {
+		if _, err := dwarfs.ByName(sz.App); err != nil {
+			return fmt.Errorf("scenario %s: sized: %w", s.Name, err)
+		}
+		if sz.Scale <= 0 {
+			return fmt.Errorf("scenario %s: sized %q: non-positive scale %v", s.Name, sz.App, sz.Scale)
+		}
+	}
+	for _, c := range s.Composite {
+		if c.Label == "" {
+			return fmt.Errorf("scenario %s: composite with empty label", s.Name)
+		}
+		if len(c.Parts) == 0 {
+			return fmt.Errorf("scenario %s: composite %q has no parts", s.Name, c.Label)
+		}
+		for _, p := range c.Parts {
+			if _, err := dwarfs.ByName(p.App); err != nil {
+				return fmt.Errorf("scenario %s: composite %q: %w", s.Name, c.Label, err)
+			}
+			if p.Weight <= 0 {
+				return fmt.Errorf("scenario %s: composite %q: non-positive weight %v for %s",
+					s.Name, c.Label, p.Weight, p.App)
+			}
 		}
 	}
 	for _, mode := range s.modes() {
@@ -131,14 +226,24 @@ func (s Spec) Validate() error {
 	if s.Size() == 0 {
 		return fmt.Errorf("scenario %s: empty sweep", s.Name)
 	}
+	// The sources are additive, so two of them carrying one label would
+	// render indistinguishable rows and collide in Index lookups.
+	if bs, err := s.builders(); err == nil {
+		seen := map[string]bool{}
+		for _, b := range bs {
+			if seen[b.Label] {
+				return fmt.Errorf("scenario %s: duplicate workload label %q across sources", s.Name, b.Label)
+			}
+			seen[b.Label] = true
+		}
+	}
 	return nil
 }
 
-// builders resolves the sweep's workload constructors in order.
+// builders resolves the sweep's workload constructors in canonical
+// source order: registry apps, Custom, inline Workloads, Sized,
+// Composite.
 func (s Spec) builders() ([]Custom, error) {
-	if len(s.Custom) > 0 {
-		return s.Custom, nil
-	}
 	var out []Custom
 	for _, app := range s.apps() {
 		e, err := dwarfs.ByName(app)
@@ -146,6 +251,39 @@ func (s Spec) builders() ([]Custom, error) {
 			return nil, err
 		}
 		out = append(out, Custom{Label: e.Name, New: e.New})
+	}
+	out = append(out, s.Custom...)
+	for _, w := range s.Workloads {
+		w := w
+		out = append(out, Custom{Label: w.Name, New: func() *workload.Workload { return w }})
+	}
+	for _, sz := range s.Sized {
+		sz := sz
+		e, err := dwarfs.ByName(sz.App)
+		if err != nil {
+			return nil, err
+		}
+		label := sz.Label
+		if label == "" {
+			label = fmt.Sprintf("%s-x%g", e.Name, sz.Scale)
+		}
+		out = append(out, Custom{Label: label, New: func() *workload.Workload {
+			w := Scaled(e.New(), sz.Scale)
+			w.Name = label
+			return w
+		}})
+	}
+	for _, c := range s.Composite {
+		c := c
+		out = append(out, Custom{Label: c.Label, New: func() *workload.Workload {
+			w, err := Fuse(c)
+			if err != nil {
+				// Validate catches every error Fuse can produce; a nil
+				// here surfaces as Expand's nil-workload error.
+				return nil
+			}
+			return w
+		}})
 	}
 	return out, nil
 }
@@ -173,7 +311,7 @@ func (s Spec) Expand() ([]Meta, []engine.Job, error) {
 			for _, mode := range s.modes() {
 				for _, th := range s.threads() {
 					metas = append(metas, Meta{App: b.Label, Mode: mode, Threads: th, Scale: sc})
-					jobs = append(jobs, engine.Job{Workload: w, Mode: mode, Threads: th})
+					jobs = append(jobs, engine.Job{Workload: w, Mode: mode, Threads: th, Origin: s.Name})
 				}
 			}
 		}

@@ -1,0 +1,266 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dwarfs"
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+// fileSpec is a representative user-authored spec exercising every
+// serializable workload source.
+func fileSpec(t *testing.T) Spec {
+	t.Helper()
+	w := dwarfs.All()[0].New()
+	return Spec{
+		Name:        "user-sweep",
+		Description: "inline + sized + composite sources",
+		Apps:        []string{"Hypre"},
+		Workloads:   []*workload.Workload{w},
+		Sized:       []Sized{{App: "XSBench", Scale: 2, Label: "XSBench-XXL"}},
+		Composite:   []Composite{{Label: "hypre+fft", Parts: []Part{{App: "Hypre", Weight: 3}, {App: "FFT", Weight: 1}}}},
+		Modes:       []memsys.Mode{memsys.DRAMOnly, memsys.UncachedNVM},
+		Threads:     []int{8, 48},
+		Scales:      []float64{1, 2},
+	}
+}
+
+func TestPresetsRoundTripJSON(t *testing.T) {
+	for _, sp := range Presets() {
+		b, err := Encode(sp)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", sp.Name, err)
+		}
+		got, err := ParseSpec(b, sp.Name+".json")
+		if err != nil {
+			t.Fatalf("%s: parse: %v", sp.Name, err)
+		}
+		if !reflect.DeepEqual(got, sp) {
+			t.Errorf("%s: round trip drifted:\nfile: %+v\nGo:   %+v", sp.Name, got, sp)
+		}
+	}
+}
+
+func TestSpecEncodeIdempotent(t *testing.T) {
+	sp := fileSpec(t)
+	b1, err := Encode(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpec(b1, "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("encode not idempotent:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+func TestSpecWithAllSourcesRuns(t *testing.T) {
+	sp := fileSpec(t)
+	sp.Modes = []memsys.Mode{memsys.UncachedNVM}
+	sp.Threads = []int{48}
+	sp.Scales = nil
+	// 1 app + 1 inline + 1 sized + 1 composite = 4 sources.
+	if sp.Size() != 4 {
+		t.Fatalf("Size() = %d, want 4", sp.Size())
+	}
+	outs, err := sp.Run(eng(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]string, len(outs))
+	for i, o := range outs {
+		labels[i] = o.App
+		if o.Result.Time <= 0 {
+			t.Errorf("%s: non-positive time", o.App)
+		}
+	}
+	want := []string{"Hypre", "HACC", "XSBench-XXL", "hypre+fft"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Errorf("labels = %v, want %v", labels, want)
+	}
+}
+
+func TestMarshalRejectsCustomBuilders(t *testing.T) {
+	sp := Spec{Name: "x", Custom: []Custom{{Label: "c", New: dwarfs.All()[0].New}}}
+	if _, err := json.Marshal(sp); err == nil {
+		t.Error("Custom builders must not marshal silently")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, m := range memsys.Modes() {
+		got, err := ParseMode(strings.ToUpper(m.String()))
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	_, err := ParseMode("optane")
+	if err == nil || !strings.Contains(err.Error(), "cached-NVM") {
+		t.Errorf("unknown mode error should list valid names, got %v", err)
+	}
+	// Placed cannot appear in a spec file (it needs a per-structure
+	// plan), so ParseMode must neither accept nor advertise it.
+	if _, err := ParseMode("write-aware"); err == nil {
+		t.Error("ParseMode should reject Placed")
+	} else if !strings.Contains(err.Error(), "(have DRAM, cached-NVM, uncached-NVM)") {
+		t.Errorf("unknown-mode error should advertise exactly the paper modes: %v", err)
+	}
+}
+
+func TestParseSpecErrorQuality(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"syntax", "{\n  \"name\": \"x\",\n  broken\n}", "bad.json:3:"},
+		{"unknown-field", "{\n  \"name\": \"x\",\n  \"thread\": [8]\n}", "bad.json:3:"},
+		{"unknown-field-named", "{\"name\": \"x\", \"thread\": [8]}", `unknown field "thread"`},
+		{"type", "{\n  \"name\": \"x\",\n  \"threads\": \"8\"\n}", "bad.json:3:"},
+		{"bad-mode", `{"name": "x", "modes": ["fast"]}`, `unknown mode "fast"`},
+		{"bad-app", `{"name": "x", "apps": ["NoSuchApp"]}`, "unknown application"},
+		{"no-name", `{"threads": [8]}`, "no name"},
+		{"bad-threads", `{"name": "x", "threads": [0]}`, "threads 0"},
+		{"bad-composite", `{"name": "x", "composite": [{"label": "c", "parts": []}]}`, "no parts"},
+		{"bad-sized", `{"name": "x", "sized": [{"app": "FFT", "scale": 0}]}`, "non-positive scale"},
+		{"nested-unknown-field", `{"name": "x", "workloads": [{"name": "w", "seeed": 42}]}`, `unknown field "seeed"`},
+		{"dup-label", `{"name": "x", "apps": ["FFT"], "composite": [{"label": "FFT", "parts": [{"app": "Hypre", "weight": 1}]}]}`, "duplicate workload label"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec([]byte(c.src), "bad.json")
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLoadSpecAndDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteSpecs(dir, Presets()); err != nil {
+		t.Fatal(err)
+	}
+	// One file loads alone.
+	sp, err := LoadSpec(filepath.Join(dir, "beyond-dram.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ByName("beyond-dram")
+	if !reflect.DeepEqual(sp, want) {
+		t.Errorf("loaded %+v, want %+v", sp, want)
+	}
+	// The directory loads in name order and covers every preset.
+	specs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(Presets()) {
+		t.Fatalf("loaded %d specs, want %d", len(specs), len(Presets()))
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i-1].Name >= specs[i].Name {
+			t.Errorf("LoadDir order: %q before %q", specs[i-1].Name, specs[i].Name)
+		}
+	}
+	// Non-spec files are ignored; duplicate names across files are not.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err != nil {
+		t.Errorf("non-JSON files should be ignored: %v", err)
+	}
+	dup, _ := Encode(want)
+	if err := os.WriteFile(filepath.Join(dir, "zz-dup.json"), dup, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate spec names should fail, got %v", err)
+	}
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty directory should fail")
+	}
+	if _, err := LoadSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestFuseComposite(t *testing.T) {
+	w, err := Fuse(Composite{Label: "duo", Parts: []Part{{App: "Hypre", Weight: 3}, {App: "FFT", Weight: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mustNew := func(app string) *workload.Workload {
+		e, err := dwarfs.ByName(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.New()
+	}
+	hy, fft := mustNew("Hypre"), mustNew("FFT")
+	if len(w.Phases) != len(hy.Phases)+len(fft.Phases) {
+		t.Errorf("phases = %d, want %d", len(w.Phases), len(hy.Phases)+len(fft.Phases))
+	}
+	if w.Footprint != hy.Footprint+fft.Footprint {
+		t.Errorf("footprint %v, want coexisting sum %v", w.Footprint, hy.Footprint+fft.Footprint)
+	}
+	if !strings.HasPrefix(w.Phases[0].Name, "Hypre/") {
+		t.Errorf("phase names should be app-prefixed, got %q", w.Phases[0].Name)
+	}
+	// The dominant part anchors the profiling concurrency.
+	if w.BaseThreads != hy.BaseThreads {
+		t.Errorf("base threads %d, want Hypre's %d", w.BaseThreads, hy.BaseThreads)
+	}
+	if w.FoM.Higher {
+		t.Error("composite FoM must be time-based")
+	}
+	for _, bad := range []Composite{
+		{Label: "", Parts: []Part{{App: "FFT", Weight: 1}}},
+		{Label: "x"},
+		{Label: "x", Parts: []Part{{App: "FFT", Weight: 0}}},
+		{Label: "x", Parts: []Part{{App: "NoSuchApp", Weight: 1}}},
+	} {
+		if _, err := Fuse(bad); err == nil {
+			t.Errorf("Fuse(%+v) should fail", bad)
+		}
+	}
+}
+
+func TestOutcomeJSON(t *testing.T) {
+	sp := Spec{Name: "j", Apps: []string{"FFT"}, Modes: []memsys.Mode{memsys.UncachedNVM}, Threads: []int{48}}
+	outs, err := sp.Run(eng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(outs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(b, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["mode"] != "uncached-NVM" {
+		t.Errorf("mode = %v, want the name, not the enum", rec["mode"])
+	}
+	for _, k := range []string{"app", "threads", "scale", "time_s", "fom", "slowdown", "nvm_read_gbps"} {
+		if _, ok := rec[k]; !ok {
+			t.Errorf("outcome JSON missing %q: %s", k, b)
+		}
+	}
+}

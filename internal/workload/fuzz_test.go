@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWorkloadJSON drives the user-facing workload schema with
+// arbitrary bytes: malformed descriptors must error, never panic, and a
+// descriptor that decodes is by construction valid (UnmarshalJSON runs
+// Validate) and must re-marshal.
+func FuzzWorkloadJSON(f *testing.F) {
+	valid, err := json.Marshal(testWorkload())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"name": "x", "phases": [{"share": 2}]}`))
+	f.Add([]byte(`{"name": "x", "phases": [{"write_pattern": "nope"}]}`))
+	f.Add([]byte(`{"name": "x", "phase_scalings": {"p": [1]}}`))
+	f.Add([]byte(`{"base_threads": -1}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w Workload
+		if err := json.Unmarshal(data, &w); err != nil {
+			return
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("decoded workload fails Validate: %v", err)
+		}
+		if _, err := json.Marshal(&w); err != nil {
+			t.Errorf("decoded workload failed to re-marshal: %v", err)
+		}
+	})
+}

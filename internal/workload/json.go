@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
@@ -115,10 +116,13 @@ func (w *Workload) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON decodes and validates a workload from the user-facing
-// schema.
+// schema. Unknown fields are rejected so a typoed knob fails loudly
+// instead of silently taking its zero default.
 func (w *Workload) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var jw jsonWorkload
-	if err := json.Unmarshal(data, &jw); err != nil {
+	if err := dec.Decode(&jw); err != nil {
 		return fmt.Errorf("workload: %w", err)
 	}
 	out := Workload{

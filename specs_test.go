@@ -1,0 +1,67 @@
+package repro
+
+// Load-through guard for the shipped scenario spec files: specs/*.json
+// and the Go preset literals in internal/scenario must stay in exact
+// agreement, in both directions — the files decode to the literals, and
+// the literals encode to the files byte-for-byte. Regenerate the tree
+// with `go run ./cmd/nvmbench -export-specs specs` after editing a
+// preset.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestSpecFilesMatchPresets(t *testing.T) {
+	specs, err := scenario.LoadDir("specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presets := scenario.Presets()
+	if len(specs) != len(presets) {
+		t.Fatalf("specs/ holds %d specs, presets() has %d", len(specs), len(presets))
+	}
+	byName := map[string]scenario.Spec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	for _, want := range presets {
+		got, ok := byName[want.Name]
+		if !ok {
+			t.Errorf("preset %q has no specs/%s.json", want.Name, want.Name)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("preset %q drifted from its spec file:\nfile: %+v\nGo:   %+v", want.Name, got, want)
+		}
+	}
+}
+
+func TestSpecFileBytesPinned(t *testing.T) {
+	for _, sp := range scenario.Presets() {
+		want, err := scenario.Encode(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		path := filepath.Join("specs", sp.Name+".json")
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with `go run ./cmd/nvmbench -export-specs specs`)", sp.Name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s is stale; regenerate with `go run ./cmd/nvmbench -export-specs specs`", path)
+		}
+	}
+	// No stray spec files beyond the presets.
+	entries, err := os.ReadDir("specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(scenario.Presets()) {
+		t.Errorf("specs/ holds %d entries, want exactly the %d presets", len(entries), len(scenario.Presets()))
+	}
+}
