@@ -13,13 +13,12 @@ import (
 	"runtime"
 	"testing"
 
-	"repro/internal/addrsim"
+	"repro/internal/benchkit"
 	"repro/internal/dramcache"
 	"repro/internal/dwarfs"
 	"repro/internal/experiments"
 	"repro/internal/memdev"
 	"repro/internal/memsys"
-	"repro/internal/scenario"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -111,18 +110,9 @@ func BenchmarkWPQ(b *testing.B) {
 }
 
 // BenchmarkAddressCache measures the operational direct-mapped DRAM
-// cache (ablation: address-level versus closed-form hit model).
-func BenchmarkAddressCache(b *testing.B) {
-	c := dramcache.NewCache(4 * units.MiB)
-	g := addrsim.NewGenerator(memdev.Stencil, 8*units.MiB, 0.2, 8, 1)
-	reqs := g.Generate(1 << 16)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r := reqs[i&(1<<16-1)]
-		c.Access(r.Line, r.Write)
-	}
-}
+// cache (ablation: address-level versus closed-form hit model). Tracked
+// by the benchkit baseline.
+func BenchmarkAddressCache(b *testing.B) { benchkit.AddressCache(b) }
 
 // BenchmarkHitModelClosedForm is the counterpart closed-form evaluation.
 func BenchmarkHitModelClosedForm(b *testing.B) {
@@ -166,29 +156,31 @@ func BenchmarkRegistrySequential(b *testing.B) { benchRegistry(b, 1, false) }
 // wall-clock gap is the engine's speedup.
 func BenchmarkRegistryParallel(b *testing.B) { benchRegistry(b, runtime.GOMAXPROCS(0), true) }
 
-// benchScenario evaluates the full-cartesian stress preset (all apps x
-// all modes x the full thread ladder) on a fresh engine per iteration.
-func benchScenario(b *testing.B, workers int) {
-	sp, err := scenario.ByName("full-cartesian")
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		ctx := experiments.NewContext()
-		ctx.Engine.SetWorkers(workers)
-		if _, err := ctx.RunScenario(sp); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkScenarioSequential sweeps the 216-point stress scenario on
-// one worker.
-func BenchmarkScenarioSequential(b *testing.B) { benchScenario(b, 1) }
+// BenchmarkScenarioSequential sweeps the 216-point full-cartesian
+// stress scenario (all apps x all modes x the full thread ladder) on
+// one worker, fresh engine per iteration. Tracked by the benchkit
+// baseline.
+func BenchmarkScenarioSequential(b *testing.B) { benchkit.ScenarioSequential(b) }
 
 // BenchmarkScenarioParallel sweeps it across GOMAXPROCS workers.
-func BenchmarkScenarioParallel(b *testing.B) { benchScenario(b, runtime.GOMAXPROCS(0)) }
+func BenchmarkScenarioParallel(b *testing.B) { benchkit.ScenarioParallel(b) }
+
+// --- tracked hot-path benches (internal/benchkit baseline set) ---
+
+// BenchmarkAddrsimCrossval is one cross-validation workload unit
+// through the streaming address simulator. Tracked by the benchkit
+// baseline.
+func BenchmarkAddrsimCrossval(b *testing.B) { benchkit.AddrsimCrossval(b) }
+
+// BenchmarkTraceBuild reconstructs a 2000-sample noisy bandwidth trace
+// over a 150-segment timeline (the Figure 4/7/8 shape). Tracked by the
+// benchkit baseline.
+func BenchmarkTraceBuild(b *testing.B) { benchkit.TraceBuild(b) }
+
+// BenchmarkEngineCacheHit measures a fully cached engine evaluation —
+// the common case inside overlapping sweeps. Tracked by the benchkit
+// baseline.
+func BenchmarkEngineCacheHit(b *testing.B) { benchkit.EngineCacheHit(b) }
 
 // BenchmarkMicroDeviceMatrix regenerates the Section II device
 // capability matrix (extension id "micro").

@@ -10,6 +10,9 @@
 //	nvmbench -spec specs/beyond-dram.json [-format json]
 //	nvmbench -spec mysweeps/ [-workers 8]
 //	nvmbench -export-specs specs
+//	nvmbench -bench-json BENCH_0.json
+//	nvmbench -bench-gate BENCH_0.json [-bench-tol 0.10]
+//	nvmbench -bench-baseline-txt BENCH_0.json
 //
 // Each experiment prints its rows/series plus the paper-shape checks
 // (who wins, by what factor) with PASS/DEVIATION status. With -parallel
@@ -19,6 +22,14 @@
 // one file or a whole directory — through the same engine, so new
 // sweeps open without recompiling. -export-specs dumps the presets as
 // spec files, the seed corpus for authoring new ones.
+//
+// The -bench-* flags drive the performance baseline (internal/benchkit):
+// -bench-json measures the tracked hot-path benchmarks and writes a
+// machine-readable suite, -bench-gate measures them and fails on any
+// allocs/op regression or a >tol calibration-normalized time/op
+// regression against a committed baseline (CI runs this against
+// BENCH_0.json), and -bench-baseline-txt renders a baseline for
+// benchstat.
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/benchkit"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
@@ -46,7 +58,38 @@ func main() {
 	low := flag.Int("low", 24, "low concurrency level (Fig 6)")
 	samples := flag.Int("samples", 200, "trace resolution in samples")
 	format := flag.String("format", "text", "output format: text|json")
+	benchJSON := flag.String("bench-json", "", "measure the tracked hot-path benchmarks and write the suite as JSON to this path, then exit")
+	benchGate := flag.String("bench-gate", "", "measure the tracked benchmarks and gate them against this baseline file, then exit (non-zero on regression)")
+	benchTxt := flag.String("bench-baseline-txt", "", "print this baseline file in go-bench text format (for benchstat), then exit")
+	benchTol := flag.Float64("bench-tol", 0.10, "tolerated normalized time/op regression for -bench-gate")
+	benchCount := flag.Int("bench-count", 3, "runs per tracked benchmark; the median ns/op and max allocs/op are kept")
 	flag.Parse()
+	measureTracked := func() benchkit.Suite {
+		return benchkit.MeasureCount(benchkit.Tracked(), *benchCount)
+	}
+
+	if *benchTxt != "" {
+		if err := printBaselineTxt(*benchTxt, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, os.Stdout, measureTracked); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchGate != "" {
+		ok, err := gateBench(*benchGate, *benchTol, os.Stdout, measureTracked)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("experiments:")
@@ -234,6 +277,61 @@ func renderScenarios(m *core.Machine, specs []core.Scenario, all [][]core.Outcom
 	default:
 		return fmt.Errorf("unknown format %q", format)
 	}
+}
+
+// writeBenchJSON measures the tracked benchmarks and writes the suite
+// (wrapped as a gate-ready baseline document) to path. Re-pinning an
+// existing baseline file keeps its Note and historical Before suite.
+func writeBenchJSON(path string, w io.Writer, measure func() benchkit.Suite) error {
+	doc := benchkit.Baseline{
+		Note: "tracked hot-path benchmark suite; regenerate with nvmbench -bench-json",
+	}
+	if prev, err := benchkit.Load(path); err == nil {
+		doc.Note = prev.Note
+		doc.Before = prev.Before
+	}
+	doc.Suite = measure()
+	if err := doc.Write(path); err != nil {
+		return err
+	}
+	s := doc.Suite
+	fmt.Fprintf(w, "wrote %d benchmark records to %s (calibration %.0f ns/op)\n",
+		len(s.Records), path, s.CalibrationNs)
+	return nil
+}
+
+// gateBench measures the tracked benchmarks and gates them against the
+// committed baseline: any allocs/op increase past a record's slack
+// fails, and any calibration-normalized time/op ratio above 1+tol
+// fails. It reports whether the gate passed.
+func gateBench(baselinePath string, tol float64, w io.Writer, measure func() benchkit.Suite) (bool, error) {
+	base, err := benchkit.Load(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	cur := measure()
+	fmt.Fprint(w, benchkit.Diff(base.Suite, cur))
+	regs := benchkit.Gate(base.Suite, cur, tol)
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "bench gate PASS against %s (time tolerance %.0f%%)\n", baselinePath, 100*tol)
+		return true, nil
+	}
+	fmt.Fprintf(w, "bench gate FAIL against %s:\n", baselinePath)
+	for _, r := range regs {
+		fmt.Fprintf(w, "  REGRESSION %s\n", r)
+	}
+	return false, nil
+}
+
+// printBaselineTxt renders a baseline file in go-bench text format so
+// benchstat can compare it against a fresh `go test -bench` run.
+func printBaselineTxt(path string, w io.Writer) error {
+	base, err := benchkit.Load(path)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, base.Suite.GoBenchText())
+	return err
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/benchkit"
 	"repro/internal/core"
 	"repro/internal/scenario"
 )
@@ -137,5 +138,102 @@ func TestRunSpecsBadInput(t *testing.T) {
 	}
 	if err := runSpecs(m, good, "yaml", io.Discard); err == nil {
 		t.Error("unknown format should fail")
+	}
+}
+
+// --- benchmark baseline plumbing ---
+
+func fakeSuite(ns float64, allocs int64) benchkit.Suite {
+	return benchkit.Suite{
+		GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64",
+		CalibrationNs: 1000,
+		Records: []benchkit.Record{
+			{Name: "BenchmarkFake", Iterations: 10, NsPerOp: ns, AllocsPerOp: allocs},
+		},
+	}
+}
+
+func TestWriteBenchJSONAndGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	measure := func() benchkit.Suite { return fakeSuite(500, 3) }
+	var out strings.Builder
+	if err := writeBenchJSON(path, &out, measure); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 benchmark records") {
+		t.Errorf("unexpected output %q", out.String())
+	}
+
+	// Same numbers: gate passes.
+	ok, err := gateBench(path, 0.10, io.Discard, measure)
+	if err != nil || !ok {
+		t.Fatalf("identical run should pass the gate: ok=%v err=%v", ok, err)
+	}
+
+	// Alloc regression: gate fails with a diagnostic.
+	var diag strings.Builder
+	ok, err = gateBench(path, 0.10, &diag, func() benchkit.Suite { return fakeSuite(500, 4) })
+	if err != nil || ok {
+		t.Fatalf("alloc regression should fail the gate: ok=%v err=%v", ok, err)
+	}
+	if !strings.Contains(diag.String(), "REGRESSION") || !strings.Contains(diag.String(), "allocs/op") {
+		t.Errorf("diagnostic should name the regression, got %q", diag.String())
+	}
+
+	// Time regression beyond tolerance fails; within tolerance passes.
+	ok, _ = gateBench(path, 0.10, io.Discard, func() benchkit.Suite { return fakeSuite(600, 3) })
+	if ok {
+		t.Error("20% time regression should fail a 10% gate")
+	}
+	ok, _ = gateBench(path, 0.30, io.Discard, func() benchkit.Suite { return fakeSuite(600, 3) })
+	if !ok {
+		t.Error("20% time regression should pass a 30% gate")
+	}
+}
+
+// Re-pinning an existing baseline must keep the historical before-suite
+// and the hand-written note, replacing only the gating suite.
+func TestWriteBenchJSONPreservesHistory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	before := fakeSuite(900, 10)
+	doc := benchkit.Baseline{Note: "headline numbers", Before: &before, Suite: fakeSuite(500, 3)}
+	if err := doc.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBenchJSON(path, io.Discard, func() benchkit.Suite { return fakeSuite(400, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	back, err := benchkit.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Note != "headline numbers" {
+		t.Errorf("note lost on re-pin: %q", back.Note)
+	}
+	if back.Before == nil || back.Before.Records[0].AllocsPerOp != 10 {
+		t.Error("before-suite lost on re-pin")
+	}
+	if back.Suite.Records[0].AllocsPerOp != 2 {
+		t.Errorf("gating suite not replaced: %+v", back.Suite.Records[0])
+	}
+}
+
+func TestPrintBaselineTxt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := writeBenchJSON(path, io.Discard, func() benchkit.Suite { return fakeSuite(500, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := printBaselineTxt(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkFake") || !strings.Contains(out.String(), "ns/op") {
+		t.Errorf("not benchstat-consumable: %q", out.String())
+	}
+	if err := printBaselineTxt(filepath.Join(dir, "missing.json"), io.Discard); err == nil {
+		t.Error("missing baseline should fail")
 	}
 }

@@ -29,4 +29,12 @@
 // canonical text artifact per experiment and preset, compared
 // byte-for-byte by `go test -run Golden` and regenerated with -update,
 // so behaviour-preserving refactors are provably so.
+//
+// The hot paths are performance-pinned as well: internal/benchkit
+// measures a tracked benchmark set (streaming address simulation,
+// packed-tag DRAM cache, trace reconstruction, engine cache hits, the
+// full-cartesian sweep) and gates it against the committed BENCH_0.json
+// baseline — any allocs/op regression or >10% calibration-normalized
+// time/op regression fails (cmd/nvmbench -bench-gate; see the README's
+// Performance section for budgets and workflow).
 package repro

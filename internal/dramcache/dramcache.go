@@ -24,13 +24,30 @@ import (
 	"repro/internal/units"
 )
 
+// Request is one memory access driven through the cache: a 64-byte line
+// index plus a store flag. internal/addrsim generates streams of these.
+type Request struct {
+	Line  int64 // 64-byte line index (non-negative)
+	Write bool
+}
+
 // Cache is a direct-mapped, write-back, write-allocate cache with 64-byte
-// lines, indexed by physical line address modulo the set count — the
+// lines, indexed by the low bits of the physical line address — the
 // organization of DRAM in Memory mode.
+//
+// The tag store packs each set into one int64 word so an access costs a
+// single mask and a single array load on the hot path:
+//
+//	word == 0              invalid (the zero value make() provides)
+//	word == (line+1)<<1|d  holds line, with dirty bit d
+//
+// Line addresses must be non-negative (they are line indexes,
+// byte address / 64; Access panics otherwise, since a negative address
+// could alias the sentinel) and below 2^62.
 type Cache struct {
 	sets  int64
-	tags  []int64 // tag per set; -1 = invalid
-	dirty []bool
+	mask  int64   // sets-1; sets is always a power of two
+	words []int64 // packed tag+dirty per set
 
 	// Statistics (in lines).
 	Hits       int64
@@ -40,20 +57,25 @@ type Cache struct {
 }
 
 // NewCache builds a cache of the given capacity. Capacity must cover at
-// least one line. For large modelled capacities use a scaled-down capacity
-// with the same working-set ratio (set sampling); hit rates are
-// ratio-invariant for the streams we study, which is itself verified by a
-// property test.
+// least one line; it is rounded up to the next whole line and then to the
+// next power-of-two set count, so indexing is a mask rather than a modulo
+// (Sets reports the effective size — identical to capacity/64 for the
+// power-of-two capacities the simulator sweeps). For large modelled
+// capacities use a scaled-down capacity with the same working-set ratio
+// (set sampling); hit rates are ratio-invariant for the streams we study,
+// which is itself verified by a property test.
 func NewCache(capacity units.Bytes) *Cache {
-	sets := int64(capacity) / units.CacheLine
-	if sets < 1 {
+	if int64(capacity) < units.CacheLine {
 		panic(fmt.Sprintf("dramcache: capacity %v below one line", capacity))
 	}
-	tags := make([]int64, sets)
-	for i := range tags {
-		tags[i] = -1
+	lines := (int64(capacity) + units.CacheLine - 1) / units.CacheLine
+	sets := int64(1)
+	for sets < lines {
+		sets <<= 1
 	}
-	return &Cache{sets: sets, tags: tags, dirty: make([]bool, sets)}
+	// The zero value of a word is the invalid sentinel, so the slice is
+	// ready as allocated — one zeroing pass, no rewrite.
+	return &Cache{sets: sets, mask: sets - 1, words: make([]int64, sets)}
 }
 
 // Sets returns the number of cache sets (lines).
@@ -61,29 +83,73 @@ func (c *Cache) Sets() int64 { return c.sets }
 
 // Access performs one line access. lineAddr is the 64-byte-aligned line
 // index; write marks a store. It reports whether the access hit and
-// whether a dirty victim was written back.
+// whether a dirty victim was written back. It does not allocate.
 func (c *Cache) Access(lineAddr int64, write bool) (hit, writeback bool) {
-	set := lineAddr % c.sets
-	if set < 0 {
-		set += c.sets
+	if lineAddr < 0 {
+		panic(fmt.Sprintf("dramcache: negative line address %d", lineAddr))
 	}
-	if c.tags[set] == lineAddr {
+	set := lineAddr & c.mask
+	w := c.words[set]
+	tagged := (lineAddr + 1) << 1
+	if w&^1 == tagged {
 		c.Hits++
 		if write {
-			c.dirty[set] = true
+			c.words[set] = w | 1
 		}
 		return true, false
 	}
-	// Miss: allocate (write-allocate policy), evicting any victim.
+	// Miss: allocate (write-allocate policy), evicting any victim. A set
+	// is valid-and-dirty exactly when its dirty bit is set (the invalid
+	// sentinel 0 has it clear).
 	c.Misses++
-	if c.tags[set] >= 0 && c.dirty[set] {
+	if w&1 != 0 {
 		c.Writebacks++
 		writeback = true
 	}
-	c.tags[set] = lineAddr
-	c.dirty[set] = write
+	if write {
+		tagged |= 1
+	}
+	c.words[set] = tagged
 	c.Fills++
 	return false, writeback
+}
+
+// AccessBatch drives a request slice through the cache, equivalent to
+// calling Access per element but with the tag store and statistics kept
+// in registers across the batch. It returns the number of hits in the
+// batch.
+func (c *Cache) AccessBatch(reqs []Request) (hits int64) {
+	words, mask := c.words, c.mask
+	var h, m, wb, f int64
+	for _, r := range reqs {
+		if r.Line < 0 {
+			panic(fmt.Sprintf("dramcache: negative line address %d", r.Line))
+		}
+		set := r.Line & mask
+		w := words[set]
+		tagged := (r.Line + 1) << 1
+		if w&^1 == tagged {
+			h++
+			if r.Write {
+				words[set] = w | 1
+			}
+			continue
+		}
+		m++
+		if w&1 != 0 {
+			wb++
+		}
+		if r.Write {
+			tagged |= 1
+		}
+		words[set] = tagged
+		f++
+	}
+	c.Hits += h
+	c.Misses += m
+	c.Writebacks += wb
+	c.Fills += f
+	return h
 }
 
 // HitRate returns hits / (hits + misses), or 0 with no accesses.

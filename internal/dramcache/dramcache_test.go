@@ -116,6 +116,48 @@ func TestCacheTraffic(t *testing.T) {
 	}
 }
 
+// Access and AccessBatch sit on the simulator's innermost loop and must
+// never allocate.
+func TestAccessDoesNotAllocate(t *testing.T) {
+	c := NewCache(64 * units.KiB)
+	line := int64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Access(line, line%3 == 0)
+		line += 7
+	}); n != 0 {
+		t.Errorf("Access allocates %v per call, want 0", n)
+	}
+	reqs := make([]Request, 256)
+	for i := range reqs {
+		reqs[i] = Request{Line: int64(i * 5), Write: i%4 == 0}
+	}
+	if n := testing.AllocsPerRun(100, func() { c.AccessBatch(reqs) }); n != 0 {
+		t.Errorf("AccessBatch allocates %v per call, want 0", n)
+	}
+}
+
+// Non-power-of-two and non-line-multiple capacities round up to the
+// next power-of-two set count (the documented rule replacing silent
+// truncation); power-of-two capacities are exact.
+func TestNewCacheRounding(t *testing.T) {
+	cases := []struct {
+		capacity units.Bytes
+		sets     int64
+	}{
+		{64, 1},
+		{65, 2},                     // partial second line rounds up
+		{64 * units.KiB, 1024},      // exact power of two
+		{3 * 64 * units.KiB, 4096},  // 3072 lines -> 4096 sets
+		{100 * units.KiB, 2048},     // 1600 lines -> 2048 sets
+		{1*units.MiB - 64, 1 << 14}, // 16383 lines -> 16384 sets
+	}
+	for _, c := range cases {
+		if got := NewCache(c.capacity).Sets(); got != c.sets {
+			t.Errorf("NewCache(%v).Sets() = %d, want %d", c.capacity, got, c.sets)
+		}
+	}
+}
+
 func TestHitRateZeroOnEmpty(t *testing.T) {
 	c := NewCache(64 * units.KiB)
 	if c.HitRate() != 0 {

@@ -53,8 +53,9 @@ func ByName(name string) (Entry, error) {
 
 // Names lists the application names in registry order.
 func Names() []string {
-	var out []string
-	for _, e := range All() {
+	all := All()
+	out := make([]string, 0, len(all))
+	for _, e := range all {
 		out = append(out, e.Name)
 	}
 	return out

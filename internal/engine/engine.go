@@ -11,6 +11,14 @@
 // batch evaluated sequentially. The experiment harness relies on this to
 // keep parallel report generation bit-exact (see the property test in
 // internal/experiments).
+//
+// Hot-path allocation contract: a cache-hit Run is allocation-free. The
+// result cache is a sharded typed map (no interface boxing, no global
+// lock), per-origin accounting is a pair of atomic counters per origin,
+// and Run returns the cached Phases slice copy-on-write: the slice is
+// capacity-clamped so appending reallocates, and callers must treat the
+// shared elements as read-only (every consumer in this repo only ranges
+// over them).
 package engine
 
 import (
@@ -88,6 +96,30 @@ func (j Job) key() Key {
 	return k
 }
 
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hash is an allocation-free FNV-1a over every key field, used to pick
+// the cache shard.
+func (k Key) hash() uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(k.App); i++ {
+		h = (h ^ uint64(k.App[i])) * fnvPrime64
+	}
+	for _, v := range [...]uint64{k.Fingerprint, uint64(k.Mode), uint64(k.Threads), k.Placement} {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (v >> s & 0xff)) * fnvPrime64
+		}
+	}
+	h = (h ^ 0xff) * fnvPrime64 // field separator
+	for i := 0; i < len(k.Variant); i++ {
+		h = (h ^ uint64(k.Variant[i])) * fnvPrime64
+	}
+	return h
+}
+
 // Stats reports the engine's cache accounting.
 type Stats struct {
 	// Hits counts Run calls served from (or coalesced onto) an already
@@ -104,6 +136,24 @@ type entry struct {
 	err  error
 }
 
+// cacheShardCount spreads the result cache across independent locks so
+// worker-pool lookups do not serialize. Must be a power of two.
+const cacheShardCount = 64
+
+// cacheShard is one lock-striped slice of the result cache. The typed
+// map keeps cache-hit lookups allocation-free (no interface boxing).
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[Key]*entry
+}
+
+// originCounter is the per-origin accounting slot: plain atomics, so the
+// per-job increment takes no lock once the origin has been seen.
+type originCounter struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
 // Engine evaluates jobs on one socket with per-mode system memoization
 // and a result cache.
 type Engine struct {
@@ -113,12 +163,12 @@ type Engine struct {
 	sysMu   sync.Mutex
 	systems map[memsys.Mode]*memsys.System
 
-	cache sync.Map // Key -> *entry
-	hits  atomic.Uint64
-	miss  atomic.Uint64
+	shards [cacheShardCount]cacheShard
+	hits   atomic.Uint64
+	miss   atomic.Uint64
 
-	originMu sync.Mutex
-	origins  map[string]Stats
+	originMu sync.RWMutex
+	origins  map[string]*originCounter
 }
 
 // New builds an engine for the socket. workers <= 0 selects
@@ -131,7 +181,7 @@ func New(sock *platform.Socket, workers int) *Engine {
 		sock:    sock,
 		workers: workers,
 		systems: make(map[memsys.Mode]*memsys.System),
-		origins: make(map[string]Stats),
+		origins: make(map[string]*originCounter),
 	}
 }
 
@@ -163,7 +213,56 @@ func (e *Engine) System(mode memsys.Mode) *memsys.System {
 	return sys
 }
 
+// entryFor returns the singleflight slot for a key, creating it if this
+// is the first submission. loaded reports whether the slot already
+// existed. The hit path is a shard read-lock and one typed map lookup —
+// no allocation.
+func (e *Engine) entryFor(k Key) (en *entry, loaded bool) {
+	sh := &e.shards[k.hash()&(cacheShardCount-1)]
+	sh.mu.RLock()
+	en = sh.m[k]
+	sh.mu.RUnlock()
+	if en != nil {
+		return en, true
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if en = sh.m[k]; en != nil {
+		return en, true
+	}
+	if sh.m == nil {
+		sh.m = make(map[Key]*entry)
+	}
+	en = &entry{}
+	sh.m[k] = en
+	return en, false
+}
+
+// originFor returns the accounting slot for an origin, creating it on
+// first sight; subsequent jobs from the same origin only pay a
+// read-lock and two atomic adds.
+func (e *Engine) originFor(origin string) *originCounter {
+	e.originMu.RLock()
+	c := e.origins[origin]
+	e.originMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	e.originMu.Lock()
+	defer e.originMu.Unlock()
+	if c = e.origins[origin]; c == nil {
+		c = &originCounter{}
+		e.origins[origin] = c
+	}
+	return c
+}
+
 // Run evaluates one job through the cache. Safe for concurrent use.
+//
+// The returned Result shares the cached Phases slice copy-on-write: its
+// capacity is clamped to its length, so appending reallocates instead of
+// corrupting the cache, and the shared elements must be treated as
+// read-only. A cache-hit Run performs no allocation.
 func (e *Engine) Run(job Job) (workload.Result, error) {
 	if job.Workload == nil {
 		return workload.Result{}, fmt.Errorf("engine: nil workload")
@@ -171,31 +270,29 @@ func (e *Engine) Run(job Job) (workload.Result, error) {
 	if job.Tweak != nil && job.Variant == "" {
 		return workload.Result{}, fmt.Errorf("engine: job with Tweak needs a Variant tag for cache identity")
 	}
-	v, loaded := e.cache.LoadOrStore(job.key(), &entry{})
-	en := v.(*entry)
+	en, loaded := e.entryFor(job.key())
 	if loaded {
 		e.hits.Add(1)
 	} else {
 		e.miss.Add(1)
 	}
 	if job.Origin != "" {
-		e.originMu.Lock()
-		st := e.origins[job.Origin]
+		c := e.originFor(job.Origin)
 		if loaded {
-			st.Hits++
+			c.hits.Add(1)
 		} else {
-			st.Misses++
+			c.misses.Add(1)
 		}
-		e.origins[job.Origin] = st
-		e.originMu.Unlock()
 	}
 	en.once.Do(func() { en.res, en.err = e.compute(job) })
-	// Return a private copy of the mutable slice so a caller editing its
-	// Result cannot corrupt the cached entry other consumers share (the
-	// error path too: failed entries stay cached).
+	if en.err != nil {
+		// Failed entries stay cached; the zero result carries no slice to
+		// protect.
+		return en.res, en.err
+	}
 	res := en.res
-	res.Phases = append([]workload.PhaseOutcome(nil), en.res.Phases...)
-	return res, en.err
+	res.Phases = res.Phases[:len(res.Phases):len(res.Phases)]
+	return res, nil
 }
 
 func (e *Engine) compute(job Job) (workload.Result, error) {
@@ -242,11 +339,11 @@ func (e *Engine) Stats() Stats {
 // (the scenario spec that submitted each job). Jobs with an empty Origin
 // are counted only in the aggregate Stats.
 func (e *Engine) OriginStats() map[string]Stats {
-	e.originMu.Lock()
-	defer e.originMu.Unlock()
+	e.originMu.RLock()
+	defer e.originMu.RUnlock()
 	out := make(map[string]Stats, len(e.origins))
-	for k, v := range e.origins {
-		out[k] = v
+	for k, c := range e.origins {
+		out[k] = Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 	}
 	return out
 }
@@ -257,11 +354,15 @@ func (e *Engine) ResetStats() {
 	e.hits.Store(0)
 	e.miss.Store(0)
 	e.originMu.Lock()
-	e.origins = make(map[string]Stats)
+	e.origins = make(map[string]*originCounter)
 	e.originMu.Unlock()
 }
 
 // forEach runs fn(0..n-1) across at most workers goroutines and waits.
+// Indexes are claimed in chunks off one atomic cursor, so the
+// synchronization cost is one atomic add per chunk instead of one
+// channel operation per job; chunks are kept small relative to n/workers
+// so heterogeneous job costs (cache hits vs fresh solves) still balance.
 func forEach(workers, n int, fn func(int)) {
 	if workers > n {
 		workers = n
@@ -272,21 +373,31 @@ func forEach(workers, n int, fn func(int)) {
 		}
 		return
 	}
-	idx := make(chan int)
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				fn(i)
+			for {
+				hi := int(next.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 }
 

@@ -237,8 +237,10 @@ func TestMapOrdered(t *testing.T) {
 	}
 }
 
-// A caller mutating its returned Result must not corrupt the cached
-// entry other consumers share.
+// Run returns the cached Phases copy-on-write: appending to the
+// returned slice must reallocate (capacity is clamped to length) rather
+// than grow into — and corrupt — the cached entry other consumers share.
+// The elements themselves are shared read-only by contract.
 func TestResultIsolatedFromCache(t *testing.T) {
 	e := New(sock(), 2)
 	job := Job{Workload: dwarfs.All()[0].New(), Mode: memsys.UncachedNVM, Threads: 48}
@@ -246,15 +248,67 @@ func TestResultIsolatedFromCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := r1.Phases[0].Epoch.Mult
-	r1.Phases[0].Epoch.Mult = -1
+	if cap(r1.Phases) != len(r1.Phases) {
+		t.Fatalf("returned Phases capacity %d exceeds length %d: append would write into the cache",
+			cap(r1.Phases), len(r1.Phases))
+	}
+	want := len(r1.Phases)
+	r1.Phases = append(r1.Phases, workload.PhaseOutcome{})
+	r1.Phases[want].Epoch.Mult = -1
 	r2, err := e.Run(job)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r2.Phases[0].Epoch.Mult != want {
-		t.Errorf("cache corrupted through a returned Result: Mult = %v, want %v",
-			r2.Phases[0].Epoch.Mult, want)
+	if len(r2.Phases) != want {
+		t.Errorf("cache corrupted through an appended Result: %d phases, want %d",
+			len(r2.Phases), want)
+	}
+	for _, po := range r2.Phases {
+		if po.Epoch.Mult == -1 {
+			t.Error("appended element leaked into the cached entry")
+		}
+	}
+}
+
+// A cache-hit Run is the common case inside overlapping sweeps and must
+// not allocate: the typed sharded map avoids key boxing and the Phases
+// slice is shared copy-on-write.
+func TestRunCacheHitDoesNotAllocate(t *testing.T) {
+	e := New(sock(), 1)
+	job := Job{Workload: dwarfs.All()[0].New(), Mode: memsys.UncachedNVM, Threads: 48}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := e.Run(job); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache-hit Run allocates %v per call, want 0", allocs)
+	}
+}
+
+// Per-origin accounting must not reintroduce allocations or a global
+// lock on the hot path: after an origin's first job, hits are two atomic
+// adds.
+func TestRunCacheHitWithOriginDoesNotAllocate(t *testing.T) {
+	e := New(sock(), 1)
+	job := Job{Workload: dwarfs.All()[0].New(), Mode: memsys.UncachedNVM, Threads: 48, Origin: "spec-a"}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := e.Run(job); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache-hit Run with origin allocates %v per call, want 0", allocs)
+	}
+	st := e.OriginStats()["spec-a"]
+	if st.Hits == 0 || st.Misses != 1 {
+		t.Errorf("origin stats = %+v, want 1 miss and many hits", st)
 	}
 }
 

@@ -272,8 +272,8 @@ func TestWPQDrainsOverTime(t *testing.T) {
 	// Store one block, then arrive much later: queue should be empty.
 	w.Store(0, 0)
 	w.Store(10/rate, 1<<30)
-	if len(w.queue) != 1 {
-		t.Errorf("queue length = %d after long idle, want 1 (only the new block)", len(w.queue))
+	if w.Len() != 1 {
+		t.Errorf("queue length = %d after long idle, want 1 (only the new block)", w.Len())
 	}
 	if w.MediaWrites != 1 {
 		t.Errorf("media writes = %d, want 1 drained", w.MediaWrites)

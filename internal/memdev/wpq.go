@@ -19,10 +19,15 @@ type WPQ struct {
 	// DrainRate is the media write bandwidth in blocks per second.
 	DrainRate float64
 
-	// queue holds pending media-block addresses in arrival order;
-	// pending maps block address to its queue residency count.
-	queue   []uint64
-	pending map[uint64]int
+	// ring holds the pending media-block addresses in arrival order as a
+	// fixed circular buffer (occupancy is bounded by Slots, so the queue
+	// never reallocates); pending marks block addresses currently
+	// resident.
+	ring  []uint64
+	head  int
+	count int
+
+	pending map[uint64]bool
 
 	// clock advances as stores arrive and the queue drains.
 	clock float64
@@ -46,7 +51,8 @@ func NewWPQ(slots int, mediaWriteBW units.Bandwidth) *WPQ {
 	return &WPQ{
 		Slots:     slots,
 		DrainRate: float64(mediaWriteBW) / units.MediaBlock,
-		pending:   make(map[uint64]int),
+		ring:      make([]uint64, slots),
+		pending:   make(map[uint64]bool, slots),
 	}
 }
 
@@ -59,12 +65,11 @@ func (w *WPQ) Store(now float64, lineAddr uint64) (stall float64) {
 	}
 	w.LineStores++
 	block := lineAddr / units.LinesPerMediaBlock
-	if _, ok := w.pending[block]; ok {
+	if w.pending[block] {
 		// Combine: the line joins an already-pending media write.
-		w.pending[block]++
 		return 0
 	}
-	if len(w.queue) >= w.Slots {
+	if w.count >= w.Slots {
 		// Full: wait for one slot to drain.
 		w.Stalls++
 		wait := 1 / w.DrainRate
@@ -73,8 +78,9 @@ func (w *WPQ) Store(now float64, lineAddr uint64) (stall float64) {
 		w.drainOne()
 		stall = wait
 	}
-	w.queue = append(w.queue, block)
-	w.pending[block] = 1
+	w.ring[(w.head+w.count)%len(w.ring)] = block
+	w.count++
+	w.pending[block] = true
 	return stall
 }
 
@@ -83,30 +89,31 @@ func (w *WPQ) drainTo(now float64) {
 	elapsed := now - w.clock
 	w.clock = now
 	w.drainCredit += elapsed * w.DrainRate
-	for w.drainCredit >= 1 && len(w.queue) > 0 {
+	for w.drainCredit >= 1 && w.count > 0 {
 		w.drainCredit--
 		w.drainOne()
 	}
-	if len(w.queue) == 0 && w.drainCredit > 1 {
+	if w.count == 0 && w.drainCredit > 1 {
 		w.drainCredit = 1 // an empty queue cannot bank unlimited credit
 	}
 }
 
 // drainOne retires the oldest pending media write.
 func (w *WPQ) drainOne() {
-	if len(w.queue) == 0 {
+	if w.count == 0 {
 		return
 	}
-	block := w.queue[0]
-	w.queue = w.queue[1:]
+	block := w.ring[w.head]
+	w.head = (w.head + 1) % len(w.ring)
+	w.count--
 	delete(w.pending, block)
 	w.MediaWrites++
 }
 
 // Flush drains every pending block and returns the time spent.
 func (w *WPQ) Flush() float64 {
-	n := len(w.queue)
-	for len(w.queue) > 0 {
+	n := w.count
+	for w.count > 0 {
 		w.drainOne()
 	}
 	t := float64(n) / w.DrainRate
@@ -114,9 +121,12 @@ func (w *WPQ) Flush() float64 {
 	return t
 }
 
+// Len returns the number of media blocks currently pending in the queue.
+func (w *WPQ) Len() int { return w.count }
+
 // Occupancy returns the current queue occupancy in [0, 1].
 func (w *WPQ) Occupancy() float64 {
-	return float64(len(w.queue)) / float64(w.Slots)
+	return float64(w.count) / float64(w.Slots)
 }
 
 // CombiningRatio reports line stores per media write — 4.0 means perfect

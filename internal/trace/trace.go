@@ -32,9 +32,27 @@ type Trace struct {
 	TotalTime units.Duration
 }
 
+// noisy applies multiplicative Gaussian noise to one bandwidth value. It
+// is the hoisted form of Build's per-sample closure: same draw order
+// (one Norm per nonzero component when noise is enabled), no per-sample
+// allocation.
+func noisy(rng *xrand.Rand, noiseFrac float64, b units.Bandwidth) units.Bandwidth {
+	if noiseFrac <= 0 || b == 0 {
+		return b
+	}
+	v := float64(b) * (1 + rng.Norm(0, noiseFrac))
+	if v < 0 {
+		v = 0
+	}
+	return units.Bandwidth(v)
+}
+
 // Build samples a timeline of segments at n evenly spaced points, adding
 // multiplicative Gaussian noise of the given fraction (0 disables noise;
-// the paper's traces visibly jitter, so figures use ~0.05).
+// the paper's traces visibly jitter, so figures use ~0.05). Samples and
+// Labels are allocated to exactly n up front, and each sample's label
+// shares the segment's name string, so the allocation count is constant
+// in n.
 func Build(timeline []Segment, n int, noiseFrac float64, seed uint64) Trace {
 	var total units.Duration
 	for _, s := range timeline {
@@ -48,6 +66,8 @@ func Build(timeline []Segment, n int, noiseFrac float64, seed uint64) Trace {
 		return tr
 	}
 	rng := xrand.New(seed)
+	tr.Samples = make([]counters.BandwidthSample, n)
+	tr.Labels = make([]string, n)
 	dt := float64(total) / float64(n)
 	segIdx, segEnd := 0, float64(timeline[0].Duration)
 	for i := 0; i < n; i++ {
@@ -56,25 +76,15 @@ func Build(timeline []Segment, n int, noiseFrac float64, seed uint64) Trace {
 			segIdx++
 			segEnd += float64(timeline[segIdx].Duration)
 		}
-		seg := timeline[segIdx]
-		noise := func(b units.Bandwidth) units.Bandwidth {
-			if noiseFrac <= 0 || b == 0 {
-				return b
-			}
-			v := float64(b) * (1 + rng.Norm(0, noiseFrac))
-			if v < 0 {
-				v = 0
-			}
-			return units.Bandwidth(v)
-		}
-		tr.Samples = append(tr.Samples, counters.BandwidthSample{
+		seg := &timeline[segIdx]
+		tr.Samples[i] = counters.BandwidthSample{
 			Time:      units.Duration(t),
-			DRAMRead:  noise(seg.DRAMRead),
-			DRAMWrite: noise(seg.DRAMWrite),
-			NVMRead:   noise(seg.NVMRead),
-			NVMWrite:  noise(seg.NVMWrite),
-		})
-		tr.Labels = append(tr.Labels, seg.Name)
+			DRAMRead:  noisy(rng, noiseFrac, seg.DRAMRead),
+			DRAMWrite: noisy(rng, noiseFrac, seg.DRAMWrite),
+			NVMRead:   noisy(rng, noiseFrac, seg.NVMRead),
+			NVMWrite:  noisy(rng, noiseFrac, seg.NVMWrite),
+		}
+		tr.Labels[i] = seg.Name
 	}
 	return tr
 }
@@ -125,26 +135,79 @@ func (c Column) String() string {
 	}
 }
 
-// Values extracts a column as GB/s values.
+// Values extracts a column as GB/s values. The column switch is hoisted
+// out of the sample loop, so extraction is one tight pass per call.
 func (t Trace) Values(c Column) []float64 {
 	out := make([]float64, len(t.Samples))
-	for i, s := range t.Samples {
-		switch c {
-		case ColDRAMRead:
-			out[i] = s.DRAMRead.GBpsValue()
-		case ColDRAMWrite:
-			out[i] = s.DRAMWrite.GBpsValue()
-		case ColNVMRead:
-			out[i] = s.NVMRead.GBpsValue()
-		case ColNVMWrite:
-			out[i] = s.NVMWrite.GBpsValue()
-		case ColRead:
-			out[i] = (s.DRAMRead + s.NVMRead).GBpsValue()
-		case ColWrite:
-			out[i] = (s.DRAMWrite + s.NVMWrite).GBpsValue()
+	switch c {
+	case ColDRAMRead:
+		for i := range t.Samples {
+			out[i] = t.Samples[i].DRAMRead.GBpsValue()
+		}
+	case ColDRAMWrite:
+		for i := range t.Samples {
+			out[i] = t.Samples[i].DRAMWrite.GBpsValue()
+		}
+	case ColNVMRead:
+		for i := range t.Samples {
+			out[i] = t.Samples[i].NVMRead.GBpsValue()
+		}
+	case ColNVMWrite:
+		for i := range t.Samples {
+			out[i] = t.Samples[i].NVMWrite.GBpsValue()
+		}
+	case ColRead:
+		for i := range t.Samples {
+			out[i] = (t.Samples[i].DRAMRead + t.Samples[i].NVMRead).GBpsValue()
+		}
+	case ColWrite:
+		for i := range t.Samples {
+			out[i] = (t.Samples[i].DRAMWrite + t.Samples[i].NVMWrite).GBpsValue()
 		}
 	}
 	return out
+}
+
+// Columns is the struct-of-arrays view of a trace: every bandwidth
+// component extracted to its own GB/s slice in one pass, index-aligned
+// with Times, Percent and Labels. Renderers that consume several
+// components (CSV, plotting) use it instead of re-walking the sample
+// structs once per column.
+type Columns struct {
+	Times     []float64 // seconds
+	Percent   []float64 // percent of execution
+	Labels    []string  // phase name per sample (shared, not copied)
+	DRAMRead  []float64
+	DRAMWrite []float64
+	NVMRead   []float64
+	NVMWrite  []float64
+}
+
+// Columns extracts the struct-of-arrays view in a single pass over the
+// samples.
+func (t Trace) Columns() Columns {
+	n := len(t.Samples)
+	c := Columns{
+		Times:     make([]float64, n),
+		Percent:   make([]float64, n),
+		Labels:    t.Labels,
+		DRAMRead:  make([]float64, n),
+		DRAMWrite: make([]float64, n),
+		NVMRead:   make([]float64, n),
+		NVMWrite:  make([]float64, n),
+	}
+	for i := range t.Samples {
+		s := &t.Samples[i]
+		c.Times[i] = s.Time.Seconds()
+		if t.TotalTime > 0 {
+			c.Percent[i] = 100 * float64(s.Time) / float64(t.TotalTime)
+		}
+		c.DRAMRead[i] = s.DRAMRead.GBpsValue()
+		c.DRAMWrite[i] = s.DRAMWrite.GBpsValue()
+		c.NVMRead[i] = s.NVMRead.GBpsValue()
+		c.NVMWrite[i] = s.NVMWrite.GBpsValue()
+	}
+	return c
 }
 
 // Smoothed extracts a column as GB/s values smoothed with a trailing
@@ -183,16 +246,19 @@ func (t Trace) PhaseShare(name string) float64 {
 	return float64(n) / float64(len(t.Labels))
 }
 
-// CSV renders the trace with a header row, one sample per line.
+// CSV renders the trace with a header row, one sample per line. It
+// renders from the columnar view, sized up front.
 func (t Trace) CSV() string {
+	const header = "time_s,percent,phase,dram_read_gbps,dram_write_gbps,nvm_read_gbps,nvm_write_gbps\n"
+	cols := t.Columns()
 	var b strings.Builder
-	b.WriteString("time_s,percent,phase,dram_read_gbps,dram_write_gbps,nvm_read_gbps,nvm_write_gbps\n")
-	pct := t.PercentTime()
-	for i, s := range t.Samples {
+	b.Grow(len(header) + 64*len(cols.Times))
+	b.WriteString(header)
+	for i := range cols.Times {
 		fmt.Fprintf(&b, "%.4f,%.2f,%s,%.3f,%.3f,%.3f,%.3f\n",
-			s.Time.Seconds(), pct[i], t.Labels[i],
-			s.DRAMRead.GBpsValue(), s.DRAMWrite.GBpsValue(),
-			s.NVMRead.GBpsValue(), s.NVMWrite.GBpsValue())
+			cols.Times[i], cols.Percent[i], cols.Labels[i],
+			cols.DRAMRead[i], cols.DRAMWrite[i],
+			cols.NVMRead[i], cols.NVMWrite[i])
 	}
 	return b.String()
 }

@@ -302,7 +302,8 @@ func run(w *Workload, sys *memsys.System, threads int, split *memsys.Split) (Res
 		return Result{}, fmt.Errorf("workload %s: threads %d out of [1,%d]", w.Name, threads, MaxThreads)
 	}
 
-	res := Result{Workload: w, Mode: sys.Mode, Threads: threads}
+	res := Result{Workload: w, Mode: sys.Mode, Threads: threads,
+		Phases: make([]PhaseOutcome, 0, len(w.Phases))}
 	var total units.Duration
 	var rB, wB, nrB, nwB float64 // traffic bytes by device/direction
 	for _, ph := range w.Phases {
@@ -333,11 +334,12 @@ func run(w *Workload, sys *memsys.System, threads int, split *memsys.Split) (Res
 		res.AvgNVMWrite = units.Bandwidth(nwB / sec)
 	}
 
-	// Slowdown versus DRAM at the same concurrency.
+	// Slowdown versus DRAM at the same concurrency. The reference system
+	// is read-only during solving, so one instance serves every phase.
 	dramTime := units.Duration(0)
+	dsys := memsys.New(sys.Socket, memsys.DRAMOnly)
 	for _, ph := range w.Phases {
 		sp := w.scaled(ph, threads)
-		dsys := memsys.New(sys.Socket, memsys.DRAMOnly)
 		e := dsys.SolveEpoch(sp, threads)
 		dramTime += units.Duration(ph.Share * float64(w.BaselineTime) / w.phaseSpeedRatio(ph.Name, threads) * e.Mult)
 	}
