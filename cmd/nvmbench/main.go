@@ -7,6 +7,7 @@
 //	nvmbench -run fig2
 //	nvmbench -run all [-parallel] [-threads 48] [-low 24] [-samples 200]
 //	nvmbench -scenario full-cartesian [-workers 8]
+//	nvmbench -scenario full-cartesian -store results/   # warm runs are near-instant
 //	nvmbench -spec specs/beyond-dram.json [-format json]
 //	nvmbench -spec mysweeps/ [-workers 8]
 //	nvmbench -export-specs specs
@@ -22,6 +23,12 @@
 // one file or a whole directory — through the same engine, so new
 // sweeps open without recompiling. -export-specs dumps the presets as
 // spec files, the seed corpus for authoring new ones.
+//
+// -store backs the engine with the disk result store
+// (internal/resultstore): every evaluated point is appended to the store
+// directory as it completes, and any later run — nvmbench or the
+// nvmserve daemon — sharing the directory re-serves those points as
+// cache hits, so a repeated sweep costs only its cold points.
 //
 // The -bench-* flags drive the performance baseline (internal/benchkit):
 // -bench-json measures the tracked hot-path benchmarks and writes a
@@ -43,6 +50,7 @@ import (
 	"repro/internal/benchkit"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/resultstore"
 	"repro/internal/scenario"
 )
 
@@ -51,6 +59,7 @@ func main() {
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
 	scen := flag.String("scenario", "", "run a named scenario preset instead of an experiment")
 	spec := flag.String("spec", "", "run scenario spec file(s): a *.json path or a directory of them")
+	storeDir := flag.String("store", "", "back the engine with a disk result store at this directory: evaluated points persist and later runs re-serve them as cache hits")
 	exportDir := flag.String("export-specs", "", "write every preset as a spec file under this directory, then exit")
 	parallel := flag.Bool("parallel", false, "fan experiments across the engine's worker pool")
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
@@ -111,6 +120,26 @@ func main() {
 	}
 
 	m := core.NewMachine()
+	if *storeDir != "" {
+		d, err := resultstore.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		// Flush and fsync appended results on every return path below;
+		// fatal exits skip this, which the store's append-tolerant format
+		// survives.
+		defer func() {
+			if err := d.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "nvmbench: closing store:", err)
+			}
+		}()
+		defer func() {
+			// Accounting goes to stderr so the -format json document on
+			// stdout stays a single parseable value.
+			fmt.Fprintf(os.Stderr, "result store: %d records at %s\n", d.Persisted(), d.Dir())
+		}()
+		m = core.NewMachineWithStore(d)
+	}
 	ctx := m.Context()
 	ctx.Threads, ctx.LowThreads, ctx.TraceSamples = *threads, *low, *samples
 	ctx.Engine.SetWorkers(*workers)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/benchkit"
 	"repro/internal/core"
+	"repro/internal/resultstore"
 	"repro/internal/scenario"
 )
 
@@ -235,5 +236,62 @@ func TestPrintBaselineTxt(t *testing.T) {
 	}
 	if err := printBaselineTxt(filepath.Join(dir, "missing.json"), io.Discard); err == nil {
 		t.Error("missing baseline should fail")
+	}
+}
+
+// The -store warm-cache contract: a second run of the same sweep against
+// the same store directory recomputes nothing — every point is re-served
+// from disk as a cache hit — and renders byte-identical output.
+func TestStoreWarmRunServesHits(t *testing.T) {
+	dir := t.TempDir()
+	const preset = "beyond-dram"
+
+	cold, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := core.NewMachineWithStore(cold)
+	var out1 strings.Builder
+	if err := runScenarioNamed(m1, preset, "text", &out1); err != nil {
+		t.Fatal(err)
+	}
+	st1 := m1.Engine().OriginStats()[preset]
+	if st1.Misses == 0 {
+		t.Fatal("cold run computed nothing")
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if got, want := warm.Persisted(), int(st1.Misses); got != want {
+		t.Fatalf("store persisted %d records, want %d", got, want)
+	}
+	m2 := core.NewMachineWithStore(warm)
+	var out2 strings.Builder
+	if err := runScenarioNamed(m2, preset, "text", &out2); err != nil {
+		t.Fatal(err)
+	}
+	st2 := m2.Engine().OriginStats()[preset]
+	if st2.Misses != 0 || st2.Hits != st1.Hits+st1.Misses {
+		t.Errorf("warm run stats = %+v, want all %d points as hits", st2, st1.Hits+st1.Misses)
+	}
+	// The rendered tables agree except for the cache accounting line.
+	strip := func(s string) string {
+		lines := strings.Split(s, "\n")
+		var kept []string
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "points:") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(out1.String()) != strip(out2.String()) {
+		t.Errorf("warm run output differs from cold run:\n--- cold ---\n%s--- warm ---\n%s", out1.String(), out2.String())
 	}
 }

@@ -1,0 +1,105 @@
+// Command nvmserve serves sweep evaluations over HTTP: a long-running
+// daemon that accepts declarative scenario specs (the schema under
+// specs/), evaluates them asynchronously across the engine's worker
+// pool, and streams outcomes back as NDJSON — the serving layer over the
+// resumable session machinery in internal/session.
+//
+// Usage:
+//
+//	nvmserve [-addr :8080] [-store results/] [-workers 8]
+//
+// With -store, evaluated points persist to a disk result store shared
+// with nvmbench: a restarted daemon (or a warm nvmbench -store run)
+// re-serves every previously computed point as a cache hit, so repeated
+// and overlapping sweeps cost only their cold points.
+//
+// API:
+//
+//	GET    /healthz                  liveness + store accounting
+//	GET    /v1/presets               shipped sweep presets
+//	POST   /v1/sweeps                submit a spec (body = spec JSON, or empty with ?preset=<name>)
+//	GET    /v1/sweeps                all sessions
+//	GET    /v1/sweeps/{id}           session status (state, progress, per-origin cache hits/misses)
+//	GET    /v1/sweeps/{id}/outcomes  NDJSON outcome stream in deterministic sweep order
+//	DELETE /v1/sweeps/{id}           cancel a running sweep
+//
+// Example:
+//
+//	nvmserve -store results/ &
+//	curl -s -X POST --data-binary @specs/beyond-dram.json localhost:8080/v1/sweeps
+//	curl -s localhost:8080/v1/sweeps/sweep-000001
+//	curl -sN localhost:8080/v1/sweeps/sweep-000001/outcomes
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/resultstore"
+	"repro/internal/session"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "", "back the engine with a disk result store at this directory (sweeps persist and resume across restarts)")
+	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	var store resultstore.Store = resultstore.NewMemory()
+	var disk *resultstore.Disk
+	if *storeDir != "" {
+		d, err := resultstore.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		store, disk = d, d
+		fmt.Printf("nvmserve: result store %s (%d records)\n", d.Dir(), d.Persisted())
+	}
+
+	eng := engine.NewWithStore(platform.NewPurley().Socket(0), *workers, store)
+	mgr := session.NewManager(eng)
+	srv := &http.Server{Addr: *addr, Handler: (&server{mgr: mgr, disk: disk}).handler()}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	fmt.Printf("nvmserve: listening on %s (%d workers)\n", *addr, eng.Workers())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		// ListenAndServe only returns on failure.
+		fatal(err)
+	case s := <-sig:
+		fmt.Printf("nvmserve: %v, shutting down\n", s)
+	}
+
+	// Cancel sweeps first: outcome-stream handlers block in
+	// Session.Stream waiting for points, so they can only drain — and
+	// Shutdown can only return before its deadline — once their sessions
+	// reach a terminal state. Cancellation stops the engine between jobs,
+	// so only whole results ever reach the store.
+	mgr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "nvmserve: shutdown:", err)
+	}
+	if err := store.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvmserve:", err)
+	os.Exit(1)
+}

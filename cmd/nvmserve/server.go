@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/resultstore"
+	"repro/internal/scenario"
+	"repro/internal/session"
+)
+
+// maxSpecBytes bounds a submitted sweep spec; the largest shipped preset
+// is a few KiB, inline workload definitions a few KiB more.
+const maxSpecBytes = 4 << 20
+
+// server is the HTTP/JSON surface over a session manager. All state
+// lives in the manager (sessions) and its engine's result store
+// (evaluated points); the server itself is stateless and safe for
+// concurrent requests.
+type server struct {
+	mgr *session.Manager
+	// disk is the engine's store when it is disk-backed (nil for the
+	// in-memory store); it feeds the health report's record count.
+	disk *resultstore.Disk
+}
+
+// handler builds the daemon's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("GET /v1/presets", s.presets)
+	mux.HandleFunc("POST /v1/sweeps", s.submit)
+	mux.HandleFunc("GET /v1/sweeps", s.list)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.status)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancel)
+	mux.HandleFunc("GET /v1/sweeps/{id}/outcomes", s.outcomes)
+	return mux
+}
+
+// writeJSON renders one response document.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErr renders an error document.
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	doc := map[string]any{
+		"status":   "ok",
+		"sessions": len(s.mgr.List()),
+		"workers":  s.mgr.Engine().Workers(),
+	}
+	if s.disk != nil {
+		doc["store_dir"] = s.disk.Dir()
+		doc["store_records"] = s.disk.Persisted()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *server) presets(w http.ResponseWriter, r *http.Request) {
+	type preset struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		Points      int    `json:"points"`
+	}
+	var out []preset
+	for _, sp := range scenario.Presets() {
+		out = append(out, preset{Name: sp.Name, Description: sp.Description, Points: sp.Size()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// submitReply is the accepted-sweep document: the session id plus the
+// URLs to poll and stream it.
+type submitReply struct {
+	ID       string `json:"id"`
+	Spec     string `json:"spec"`
+	Points   int    `json:"points"`
+	Status   string `json:"status_url"`
+	Outcomes string `json:"outcomes_url"`
+}
+
+// submit starts a sweep: the body is a scenario spec file (the schema
+// under specs/), or empty with ?preset=<name> to run a shipped preset.
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var sp scenario.Spec
+	if name := r.URL.Query().Get("preset"); name != "" {
+		var err error
+		if sp, err = scenario.ByName(name); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+	} else {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(body) > maxSpecBytes {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+			return
+		}
+		if len(body) == 0 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("empty body: POST a scenario spec (see /v1/presets and specs/*.json) or use ?preset=<name>"))
+			return
+		}
+		if sp, err = scenario.ParseSpec(body, "request"); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	sess, err := s.mgr.Submit(sp)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitReply{
+		ID:       sess.ID(),
+		Spec:     sp.Name,
+		Points:   sess.Size(),
+		Status:   "/v1/sweeps/" + sess.ID(),
+		Outcomes: "/v1/sweeps/" + sess.ID() + "/outcomes",
+	})
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *server) session(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.mgr.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no sweep %q", id))
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.session(w, r); ok {
+		writeJSON(w, http.StatusOK, sess.Status())
+	}
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.session(w, r); ok {
+		sess.Cancel()
+		writeJSON(w, http.StatusOK, sess.Status())
+	}
+}
+
+// outcomes streams the sweep as NDJSON: one flat outcome record per line
+// (the nvmbench -format json record schema), in the spec's deterministic
+// order, each line flushed as its point completes — a client reads
+// results while the sweep is still running. If the session fails or is
+// cancelled mid-stream, the final line is an {"error": ...} object.
+func (s *server) outcomes(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	err := sess.Stream(r.Context(), func(o scenario.Outcome) error {
+		if err := enc.Encode(o); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil && r.Context().Err() == nil {
+		// The status line is long gone; surface the failure in-band.
+		enc.Encode(map[string]string{"error": err.Error()})
+	}
+}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/resultstore"
+	"repro/internal/session"
+)
+
+func newTestServer(t *testing.T, store resultstore.Store) (*httptest.Server, *session.Manager) {
+	t.Helper()
+	eng := engine.NewWithStore(platform.NewPurley().Socket(0), 4, store)
+	mgr := session.NewManager(eng)
+	t.Cleanup(mgr.Close)
+	ts := httptest.NewServer((&server{mgr: mgr, disk: diskOf(store)}).handler())
+	t.Cleanup(ts.Close)
+	return ts, mgr
+}
+
+func diskOf(store resultstore.Store) *resultstore.Disk {
+	d, _ := store.(*resultstore.Disk)
+	return d
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	dir := t.TempDir()
+	d, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	ts, _ := newTestServer(t, d)
+	var doc map[string]any
+	resp := getJSON(t, ts.URL+"/healthz", &doc)
+	if resp.StatusCode != http.StatusOK || doc["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, doc)
+	}
+	if doc["store_dir"] != dir {
+		t.Errorf("healthz store_dir = %v, want %s", doc["store_dir"], dir)
+	}
+}
+
+func TestPresetsListsRegistry(t *testing.T) {
+	ts, _ := newTestServer(t, resultstore.NewMemory())
+	var presets []struct {
+		Name   string `json:"name"`
+		Points int    `json:"points"`
+	}
+	getJSON(t, ts.URL+"/v1/presets", &presets)
+	found := false
+	for _, p := range presets {
+		if p.Name == "beyond-dram" && p.Points == 16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("presets missing beyond-dram/16: %+v", presets)
+	}
+}
+
+// The daemon's primary path: POST the shipped beyond-dram spec file,
+// poll status to completion, stream the outcomes, and check them against
+// the spec's size and schema.
+func TestSubmitSpecAndStreamOutcomes(t *testing.T) {
+	ts, _ := newTestServer(t, resultstore.NewMemory())
+	spec, err := os.ReadFile("../../specs/beyond-dram.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(string(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitReply
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.Points != 16 || sub.ID == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, sub)
+	}
+
+	// Stream every outcome (blocks until the sweep completes).
+	oresp, err := http.Get(ts.URL + sub.Outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oresp.Body.Close()
+	if ct := oresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("outcomes content type = %q", ct)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(oresp.Body)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if rec["error"] != nil {
+			t.Fatalf("stream error: %v", rec["error"])
+		}
+		lines = append(lines, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 16 {
+		t.Fatalf("streamed %d outcomes, want 16", len(lines))
+	}
+	if lines[0]["app"] != "BoxLib" || lines[0]["mode"] != "cached-NVM" {
+		t.Errorf("first outcome = %v, want BoxLib on cached-NVM (deterministic order)", lines[0])
+	}
+
+	// Status reflects completion and full per-origin accounting.
+	var st session.Status
+	getJSON(t, ts.URL+sub.Status, &st)
+	if st.State != session.Done || st.Completed != 16 {
+		t.Errorf("status = %+v, want done 16/16", st)
+	}
+	if st.Hits+st.Misses != 16 {
+		t.Errorf("origin accounting %d hits + %d misses, want 16 total", st.Hits, st.Misses)
+	}
+
+	// The sweep list carries the session.
+	var list []session.Status
+	getJSON(t, ts.URL+"/v1/sweeps", &list)
+	if len(list) != 1 || list[0].ID != sub.ID {
+		t.Errorf("sweep list = %+v", list)
+	}
+}
+
+func TestSubmitPresetByName(t *testing.T) {
+	ts, _ := newTestServer(t, resultstore.NewMemory())
+	resp, err := http.Post(ts.URL+"/v1/sweeps?preset=contention", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sub submitReply
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || sub.Spec != "contention" {
+		t.Fatalf("preset submit = %d %+v", resp.StatusCode, sub)
+	}
+}
+
+func TestSubmitRejectsBadInput(t *testing.T) {
+	ts, _ := newTestServer(t, resultstore.NewMemory())
+	cases := []struct {
+		name string
+		url  string
+		body string
+		want int
+	}{
+		{"empty body", "/v1/sweeps", "", http.StatusBadRequest},
+		{"syntax", "/v1/sweeps", `{"name": "x", "apps": [`, http.StatusBadRequest},
+		{"unknown app", "/v1/sweeps", `{"name": "x", "apps": ["NoSuchApp"]}`, http.StatusBadRequest},
+		{"unknown axis", "/v1/sweeps", `{"name": "x", "threadz": [8]}`, http.StatusBadRequest},
+		{"unknown preset", "/v1/sweeps?preset=nope", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]string
+		json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want || doc["error"] == "" {
+			t.Errorf("%s: status %d (want %d), error %q", tc.name, resp.StatusCode, tc.want, doc["error"])
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/v1/sweeps/sweep-000042", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep id = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCancelSweep(t *testing.T) {
+	ts, mgr := newTestServer(t, resultstore.NewMemory())
+	resp, err := http.Post(ts.URL+"/v1/sweeps?preset=full-cartesian", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitReply
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st session.Status
+	if err := json.NewDecoder(dresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", dresp.StatusCode)
+	}
+	// The session ends in a terminal state either way (cancelled mid-run,
+	// or done if the tiny model beat the DELETE).
+	sess, _ := mgr.Get(sub.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for !sess.Status().State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatal("session never terminated after cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

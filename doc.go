@@ -30,6 +30,20 @@
 // byte-for-byte by `go test -run Golden` and regenerated with -update,
 // so behaviour-preserving refactors are provably so.
 //
+// Results are persistent and servable: internal/resultstore puts the
+// engine's result cache behind a pluggable Store interface — the
+// in-process sharded map (still 0 allocs/op on a cache hit) or a
+// disk-backed content-addressed store (append-only JSON-lines segments
+// keyed by workload fingerprint, crash-tolerant, compactable) that
+// re-serves previously computed points as cache hits across process
+// restarts. internal/session runs sweeps asynchronously on top
+// (Submit / Status / Stream / Cancel, with cancellation propagated into
+// engine batch dispatch so partial results are never persisted), and
+// cmd/nvmserve exposes the whole stack as an HTTP/JSON daemon: POST a
+// spec to /v1/sweeps, poll /v1/sweeps/{id}, stream NDJSON outcomes, and
+// resume interrupted sweeps from the shared store (cmd/nvmbench -store
+// uses the same directory for warm-cache CLI runs).
+//
 // The hot paths are performance-pinned as well: internal/benchkit
 // measures a tracked benchmark set (streaming address simulation,
 // packed-tag DRAM cache, trace reconstruction, engine cache hits, the

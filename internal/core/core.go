@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/memsys"
 	"repro/internal/platform"
+	"repro/internal/resultstore"
 	"repro/internal/scenario"
 	"repro/internal/workload"
 )
@@ -50,6 +51,21 @@ type Machine struct {
 func NewMachine() *Machine {
 	return &Machine{ctx: experiments.NewContext()}
 }
+
+// ResultStore re-exports the pluggable result cache behind the engine.
+type ResultStore = resultstore.Store
+
+// NewMachineWithStore builds the testbed over an explicit result store.
+// With a disk store (resultstore.Open) every evaluated sweep point is
+// persisted as it completes and re-served as a cache hit by later
+// processes — the warm-cache path behind nvmbench -store and the
+// nvmserve daemon. The machine does not close the store; its owner does.
+func NewMachineWithStore(store ResultStore) *Machine {
+	return &Machine{ctx: experiments.NewContextWithStore(store)}
+}
+
+// Store exposes the machine's result store.
+func (m *Machine) Store() ResultStore { return m.ctx.Engine.Store() }
 
 // Platform exposes the underlying hardware description.
 func (m *Machine) Platform() *platform.Machine { return m.ctx.Machine }

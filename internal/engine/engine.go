@@ -12,16 +12,24 @@
 // keep parallel report generation bit-exact (see the property test in
 // internal/experiments).
 //
+// The result cache is pluggable (internal/resultstore): the default is
+// the in-process sharded map, and a disk-backed store turns the engine
+// persistent — every computed point is appended as it completes, and a
+// restarted process re-serves previously computed points as cache hits.
+// Resumable sweep sessions (internal/session) and the nvmserve daemon
+// are built on that.
+//
 // Hot-path allocation contract: a cache-hit Run is allocation-free. The
-// result cache is a sharded typed map (no interface boxing, no global
-// lock), per-origin accounting is a pair of atomic counters per origin,
-// and Run returns the cached Phases slice copy-on-write: the slice is
-// capacity-clamped so appending reallocates, and callers must treat the
-// shared elements as read-only (every consumer in this repo only ranges
-// over them).
+// store's hit path is a typed sharded-map lookup (no interface boxing,
+// no global lock), per-origin accounting is a pair of atomic counters
+// per origin, and Run returns the cached Phases slice copy-on-write: the
+// slice is capacity-clamped so appending reallocates, and callers must
+// treat the shared elements as read-only (every consumer in this repo
+// only ranges over them).
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -31,6 +39,7 @@ import (
 
 	"repro/internal/memsys"
 	"repro/internal/platform"
+	"repro/internal/resultstore"
 	"repro/internal/workload"
 )
 
@@ -60,15 +69,10 @@ type Job struct {
 	Tweak   func(*memsys.System)
 }
 
-// Key is the cache identity of a job.
-type Key struct {
-	App         string
-	Fingerprint uint64
-	Mode        memsys.Mode
-	Threads     int
-	Placement   uint64
-	Variant     string
-}
+// Key is the cache identity of a job — the resultstore key the engine
+// derives from the workload fingerprint plus mode, threads, placement
+// and variant.
+type Key = resultstore.Key
 
 func (j Job) key() Key {
 	k := Key{
@@ -96,55 +100,11 @@ func (j Job) key() Key {
 	return k
 }
 
-const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
-)
-
-// hash is an allocation-free FNV-1a over every key field, used to pick
-// the cache shard.
-func (k Key) hash() uint64 {
-	h := uint64(fnvOffset64)
-	for i := 0; i < len(k.App); i++ {
-		h = (h ^ uint64(k.App[i])) * fnvPrime64
-	}
-	for _, v := range [...]uint64{k.Fingerprint, uint64(k.Mode), uint64(k.Threads), k.Placement} {
-		for s := 0; s < 64; s += 8 {
-			h = (h ^ (v >> s & 0xff)) * fnvPrime64
-		}
-	}
-	h = (h ^ 0xff) * fnvPrime64 // field separator
-	for i := 0; i < len(k.Variant); i++ {
-		h = (h ^ uint64(k.Variant[i])) * fnvPrime64
-	}
-	return h
-}
-
 // Stats reports the engine's cache accounting.
 type Stats struct {
 	// Hits counts Run calls served from (or coalesced onto) an already
 	// submitted evaluation; Misses counts evaluations actually computed.
 	Hits, Misses uint64
-}
-
-// entry is a singleflight cache slot: the first goroutine to claim it
-// computes the result, concurrent claimants block on the same Once and
-// then share it.
-type entry struct {
-	once sync.Once
-	res  workload.Result
-	err  error
-}
-
-// cacheShardCount spreads the result cache across independent locks so
-// worker-pool lookups do not serialize. Must be a power of two.
-const cacheShardCount = 64
-
-// cacheShard is one lock-striped slice of the result cache. The typed
-// map keeps cache-hit lookups allocation-free (no interface boxing).
-type cacheShard struct {
-	mu sync.RWMutex
-	m  map[Key]*entry
 }
 
 // originCounter is the per-origin accounting slot: plain atomics, so the
@@ -155,7 +115,7 @@ type originCounter struct {
 }
 
 // Engine evaluates jobs on one socket with per-mode system memoization
-// and a result cache.
+// and a pluggable result store.
 type Engine struct {
 	sock    *platform.Socket
 	workers int
@@ -163,17 +123,26 @@ type Engine struct {
 	sysMu   sync.Mutex
 	systems map[memsys.Mode]*memsys.System
 
-	shards [cacheShardCount]cacheShard
-	hits   atomic.Uint64
-	miss   atomic.Uint64
+	store resultstore.Store
+	hits  atomic.Uint64
+	miss  atomic.Uint64
 
 	originMu sync.RWMutex
 	origins  map[string]*originCounter
 }
 
-// New builds an engine for the socket. workers <= 0 selects
-// runtime.GOMAXPROCS(0); workers == 1 degenerates to the sequential path.
+// New builds an engine for the socket backed by the in-process result
+// store. workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1
+// degenerates to the sequential path.
 func New(sock *platform.Socket, workers int) *Engine {
+	return NewWithStore(sock, workers, resultstore.NewMemory())
+}
+
+// NewWithStore builds an engine over an explicit result store — a
+// resultstore.Disk makes every computed point persistent and re-serves
+// prior points as cache hits after a restart. The engine does not close
+// the store; its owner does.
+func NewWithStore(sock *platform.Socket, workers int, store resultstore.Store) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -181,6 +150,7 @@ func New(sock *platform.Socket, workers int) *Engine {
 		sock:    sock,
 		workers: workers,
 		systems: make(map[memsys.Mode]*memsys.System),
+		store:   store,
 		origins: make(map[string]*originCounter),
 	}
 }
@@ -200,6 +170,9 @@ func (e *Engine) SetWorkers(workers int) {
 // Socket exposes the engine's socket.
 func (e *Engine) Socket() *platform.Socket { return e.sock }
 
+// Store exposes the engine's result store.
+func (e *Engine) Store() resultstore.Store { return e.store }
+
 // System returns the memoized stock system for a mode. Systems are
 // read-only during solving, so one instance serves all workers.
 func (e *Engine) System(mode memsys.Mode) *memsys.System {
@@ -211,31 +184,6 @@ func (e *Engine) System(mode memsys.Mode) *memsys.System {
 		e.systems[mode] = sys
 	}
 	return sys
-}
-
-// entryFor returns the singleflight slot for a key, creating it if this
-// is the first submission. loaded reports whether the slot already
-// existed. The hit path is a shard read-lock and one typed map lookup —
-// no allocation.
-func (e *Engine) entryFor(k Key) (en *entry, loaded bool) {
-	sh := &e.shards[k.hash()&(cacheShardCount-1)]
-	sh.mu.RLock()
-	en = sh.m[k]
-	sh.mu.RUnlock()
-	if en != nil {
-		return en, true
-	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if en = sh.m[k]; en != nil {
-		return en, true
-	}
-	if sh.m == nil {
-		sh.m = make(map[Key]*entry)
-	}
-	en = &entry{}
-	sh.m[k] = en
-	return en, false
 }
 
 // originFor returns the accounting slot for an origin, creating it on
@@ -257,7 +205,8 @@ func (e *Engine) originFor(origin string) *originCounter {
 	return c
 }
 
-// Run evaluates one job through the cache. Safe for concurrent use.
+// Run evaluates one job through the result store. Safe for concurrent
+// use.
 //
 // The returned Result shares the cached Phases slice copy-on-write: its
 // capacity is clamped to its length, so appending reallocates instead of
@@ -270,7 +219,8 @@ func (e *Engine) Run(job Job) (workload.Result, error) {
 	if job.Tweak != nil && job.Variant == "" {
 		return workload.Result{}, fmt.Errorf("engine: job with Tweak needs a Variant tag for cache identity")
 	}
-	en, loaded := e.entryFor(job.key())
+	k := job.key()
+	en, loaded := e.store.Acquire(k)
 	if loaded {
 		e.hits.Add(1)
 	} else {
@@ -284,13 +234,23 @@ func (e *Engine) Run(job Job) (workload.Result, error) {
 			c.misses.Add(1)
 		}
 	}
-	en.once.Do(func() { en.res, en.err = e.compute(job) })
-	if en.err != nil {
+	en.Once.Do(func() {
+		if en.Seeded {
+			// Restored from a persistent store: the solved quantities are
+			// on the entry; reattach the descriptor the store does not
+			// persist.
+			en.Res.Workload = job.Workload
+			return
+		}
+		en.Res, en.Err = e.compute(job)
+		e.store.Commit(k, en.Res, en.Err)
+	})
+	if en.Err != nil {
 		// Failed entries stay cached; the zero result carries no slice to
 		// protect.
-		return en.res, en.err
+		return en.Res, en.Err
 	}
-	res := en.res
+	res := en.Res
 	res.Phases = res.Phases[:len(res.Phases):len(res.Phases)]
 	return res, nil
 }
@@ -312,10 +272,47 @@ func (e *Engine) compute(job Job) (workload.Result, error) {
 // submission order (independent of scheduling) alongside the partial
 // results.
 func (e *Engine) RunBatch(jobs []Job) ([]workload.Result, error) {
+	return e.RunBatchFunc(context.Background(), jobs, nil)
+}
+
+// RunBatchCtx is RunBatch with cancellation: the batch aborts between
+// jobs as soon as ctx is done — jobs already solving finish (and commit
+// to the store as complete entries), jobs not yet started are skipped —
+// and the context error is returned with the partial results. A
+// cancelled batch therefore never writes a partial entry to the result
+// store.
+func (e *Engine) RunBatchCtx(ctx context.Context, jobs []Job) ([]workload.Result, error) {
+	return e.RunBatchFunc(ctx, jobs, nil)
+}
+
+// RunBatchFunc is RunBatchCtx with a completion hook: done (when
+// non-nil) is invoked once per successfully evaluated job, from worker
+// goroutines, possibly concurrently and out of submission order — the
+// feed behind streaming sweep sessions. Jobs skipped by cancellation or
+// failed by evaluation never reach done.
+func (e *Engine) RunBatchFunc(ctx context.Context, jobs []Job, done func(i int, res workload.Result)) ([]workload.Result, error) {
 	results := make([]workload.Result, len(jobs))
 	errs := make([]error, len(jobs))
-	run := func(i int) { results[i], errs[i] = e.Run(jobs[i]) }
+	var cancelled atomic.Bool
+	run := func(i int) {
+		// Abort between jobs: claimed-but-unstarted indexes drain fast
+		// once the context fires.
+		if cancelled.Load() {
+			return
+		}
+		if ctx.Err() != nil {
+			cancelled.Store(true)
+			return
+		}
+		results[i], errs[i] = e.Run(jobs[i])
+		if errs[i] == nil && done != nil {
+			done(i, results[i])
+		}
+	}
 	forEach(e.workers, len(jobs), run)
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("engine: batch cancelled: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			name := "<nil>"
@@ -346,6 +343,17 @@ func (e *Engine) OriginStats() map[string]Stats {
 		out[k] = Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 	}
 	return out
+}
+
+// OriginStatsFor returns the accounting for one origin.
+func (e *Engine) OriginStatsFor(origin string) Stats {
+	e.originMu.RLock()
+	c := e.origins[origin]
+	e.originMu.RUnlock()
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 }
 
 // ResetStats zeroes the hit/miss counters, aggregate and per-origin (the

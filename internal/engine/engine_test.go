@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/dwarfs"
@@ -376,5 +379,81 @@ func TestOriginStats(t *testing.T) {
 	e.ResetStats()
 	if got := e.OriginStats(); len(got) != 0 {
 		t.Errorf("origins after reset = %v", got)
+	}
+}
+
+// A cancelled context aborts the batch between jobs: started jobs finish
+// as whole cache entries, unstarted jobs never touch the store, and the
+// context error is returned.
+func TestRunBatchCtxCancelled(t *testing.T) {
+	e := New(sock(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := paperJobs()
+	_, err := e.RunBatchCtx(ctx, jobs)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := e.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("pre-cancelled batch touched the store: %+v", s)
+	}
+	if n := e.Store().Len(); n != 0 {
+		t.Errorf("pre-cancelled batch left %d store entries", n)
+	}
+	// A background context keeps RunBatch semantics intact.
+	if _, err := e.RunBatchCtx(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mid-batch cancellation: the completion hook fires only for jobs that
+// ran, and the store holds exactly those entries.
+func TestRunBatchFuncCancelMidBatch(t *testing.T) {
+	e := New(sock(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := paperJobs()
+	var done []int
+	_, err := e.RunBatchFunc(ctx, jobs, func(i int, res workload.Result) {
+		done = append(done, i)
+		if len(done) == 3 {
+			cancel()
+		}
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(done) < 3 || len(done) >= len(jobs) {
+		t.Fatalf("completed %d of %d jobs after mid-batch cancel", len(done), len(jobs))
+	}
+	if n := e.Store().Len(); n != len(done) {
+		t.Errorf("store holds %d entries for %d completed jobs", n, len(done))
+	}
+}
+
+// RunBatchFunc must report every completed job exactly once with its
+// result, concurrently safe under many workers.
+func TestRunBatchFuncReportsEachJob(t *testing.T) {
+	e := New(sock(), 8)
+	jobs := paperJobs()
+	var mu sync.Mutex
+	seen := make(map[int]workload.Result)
+	results, err := e.RunBatchFunc(context.Background(), jobs, func(i int, res workload.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := seen[i]; dup {
+			t.Errorf("job %d reported twice", i)
+		}
+		seen[i] = res
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("hook saw %d jobs, want %d", len(seen), len(jobs))
+	}
+	for i, res := range seen {
+		if !reflect.DeepEqual(res, results[i]) {
+			t.Errorf("job %d hook result differs from batch result", i)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/memsys"
 	"repro/internal/platform"
+	"repro/internal/resultstore"
 	"repro/internal/scenario"
 	"repro/internal/workload"
 )
@@ -39,6 +40,15 @@ type Context struct {
 // experiments pinned to the local socket at 48 and 24 threads, and an
 // engine sized to the host (GOMAXPROCS workers).
 func NewContext() *Context {
+	return NewContextWithStore(resultstore.NewMemory())
+}
+
+// NewContextWithStore is NewContext over an explicit result store — a
+// resultstore.Disk makes every evaluated point persistent, so repeated
+// invocations (warm nvmbench runs, restarted daemons) re-serve prior
+// points as cache hits. The context does not close the store; its owner
+// does.
+func NewContextWithStore(store resultstore.Store) *Context {
 	m := platform.NewPurley()
 	return &Context{
 		Machine:      m,
@@ -46,7 +56,7 @@ func NewContext() *Context {
 		LowThreads:   24,
 		TraceSamples: 200,
 		Noise:        0.04,
-		Engine:       engine.New(m.Socket(0), 0),
+		Engine:       engine.NewWithStore(m.Socket(0), 0, store),
 	}
 }
 

@@ -1,0 +1,375 @@
+package resultstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// The on-disk format: a store directory holds append-only JSON-lines
+// segment files named segment-NNNNNNNN.jsonl. Each line is one record —
+// the cache Key plus the solved workload.Result with the Workload
+// descriptor pointer stripped (descriptors are reattached from the job at
+// hit time; see Entry.Seeded). Records are content-addressed: the Key is
+// derived from workload.Fingerprint, so identical evaluation points
+// written by any process land on the same identity and later occurrences
+// win on load.
+//
+// Durability: appends go through a buffered writer flushed to the OS per
+// record; fsync happens on Sync, Compact and Close. A crash can therefore
+// lose at most the records of the current OS write-back window and can
+// leave a truncated final line, which Open tolerates (the tail record is
+// dropped, everything before it loads). Every Open starts a fresh
+// segment, never appending to an old (possibly truncated) one; Compact
+// rewrites all live records into a single new segment via a temp file +
+// rename, so a crash mid-compact leaves the old segments intact.
+
+// segVersion is the record format version; bump when the record schema
+// changes incompatibly.
+const segVersion = 1
+
+// record is one persisted evaluation. Key and Result marshal by their
+// exported Go field names; Result's Workload pointer is nil on disk.
+type record struct {
+	V      int             `json:"v"`
+	Key    Key             `json:"key"`
+	Result workload.Result `json:"result"`
+}
+
+// encodeRecord appends one record line (newline-terminated) to buf.
+func encodeRecord(buf *bytes.Buffer, k Key, res workload.Result) error {
+	res.Workload = nil
+	b, err := json.Marshal(record{V: segVersion, Key: k, Result: res})
+	if err != nil {
+		return err
+	}
+	buf.Write(b)
+	buf.WriteByte('\n')
+	return nil
+}
+
+// decodeRecord parses one segment line.
+func decodeRecord(line []byte) (Key, workload.Result, error) {
+	var rec record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return Key{}, workload.Result{}, err
+	}
+	if rec.V != segVersion {
+		return Key{}, workload.Result{}, fmt.Errorf("resultstore: record version %d, want %d", rec.V, segVersion)
+	}
+	rec.Result.Workload = nil
+	return rec.Key, rec.Result, nil
+}
+
+// Disk is the persistent result store: a Memory index over append-only
+// JSON-lines segments. Safe for concurrent use.
+type Disk struct {
+	mem *Memory
+	dir string
+
+	mu        sync.Mutex // serializes appends, compaction and close
+	lock      *os.File   // exclusive cross-process directory lock
+	f         *os.File
+	w         *bufio.Writer
+	buf       bytes.Buffer
+	nextSeq   int
+	persisted int // records live on disk (loaded + appended)
+	closed    bool
+	writeErr  error // first append failure; surfaced by Close
+}
+
+func segName(seq int) string { return fmt.Sprintf("segment-%08d.jsonl", seq) }
+
+// rec pairs a key with its result during segment loading.
+type rec struct {
+	k   Key
+	res workload.Result
+}
+
+// loadSegments reads every segment in dir in sequence order and returns
+// the live records (later occurrences of a key win, in stable order) and
+// the highest segment sequence seen. A truncated or corrupt final line of
+// the final segment — the signature of a crash mid-append — is dropped;
+// corruption anywhere else is an error.
+func loadSegments(dir string) (recs []rec, maxSeq int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("resultstore: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		var seq int
+		if !e.IsDir() && parseSegName(e.Name(), &seq) {
+			names = append(names, e.Name())
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+	}
+	sort.Strings(names)
+	index := make(map[Key]int)
+	for ni, name := range names {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("resultstore: %w", err)
+		}
+		lines := bytes.Split(data, []byte{'\n'})
+		for li, line := range lines {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			k, res, derr := decodeRecord(line)
+			if derr != nil {
+				// A crash mid-append leaves exactly one signature: an
+				// unterminated final line of the newest segment (records
+				// end in '\n', so a complete line that fails to decode is
+				// corruption, not truncation). Tolerate only that.
+				if ni == len(names)-1 && li == len(lines)-1 {
+					break
+				}
+				return nil, 0, fmt.Errorf("resultstore: %s:%d: %w", path, li+1, derr)
+			}
+			if at, ok := index[k]; ok {
+				recs[at] = rec{k, res}
+				continue
+			}
+			index[k] = len(recs)
+			recs = append(recs, rec{k, res})
+		}
+	}
+	return recs, maxSeq, nil
+}
+
+func parseSegName(name string, seq *int) bool {
+	n, err := fmt.Sscanf(name, "segment-%08d.jsonl", seq)
+	return err == nil && n == 1
+}
+
+// Open opens (creating if needed) a disk store rooted at dir, loads every
+// persisted record as a pre-seeded cache entry, and starts a fresh
+// segment for this process's appends. A store serves one process at a
+// time: Open fails if another live process holds the directory (share
+// results across processes sequentially, or through one nvmserve
+// daemon).
+func Open(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	recs, maxSeq, err := loadSegments(dir)
+	if err != nil {
+		unlock(lock)
+		return nil, err
+	}
+	d := &Disk{mem: NewMemory(), dir: dir, lock: lock, nextSeq: maxSeq + 1, persisted: len(recs)}
+	for _, r := range recs {
+		d.mem.seed(r.k, r.res)
+	}
+	if err := d.openSegment(); err != nil {
+		unlock(lock)
+		return nil, err
+	}
+	return d, nil
+}
+
+// openSegment starts the next append segment. Caller holds mu (or has
+// exclusive access during Open).
+func (d *Disk) openSegment() error {
+	f, err := os.OpenFile(filepath.Join(d.dir, segName(d.nextSeq)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	d.nextSeq++
+	d.f = f
+	d.w = bufio.NewWriter(f)
+	return nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Acquire returns the singleflight slot for a key; records restored from
+// disk surface as already-loaded seeded entries, so previously computed
+// points are re-served as cache hits after a restart.
+func (d *Disk) Acquire(k Key) (*Entry, bool) { return d.mem.Acquire(k) }
+
+// Commit appends a freshly computed result to the active segment. Failed
+// evaluations are never persisted. Append errors are sticky: the first
+// one is kept and returned by Close, and later commits become no-ops on
+// disk (the in-memory entries still serve the process).
+func (d *Disk) Commit(k Key, res workload.Result, err error) {
+	if err != nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.writeErr != nil {
+		return
+	}
+	d.buf.Reset()
+	if encErr := encodeRecord(&d.buf, k, res); encErr != nil {
+		d.writeErr = encErr
+		return
+	}
+	if _, wErr := d.w.Write(d.buf.Bytes()); wErr != nil {
+		d.writeErr = wErr
+		return
+	}
+	if fErr := d.w.Flush(); fErr != nil {
+		d.writeErr = fErr
+		return
+	}
+	d.persisted++
+}
+
+// Len reports the number of resident cache entries.
+func (d *Disk) Len() int { return d.mem.Len() }
+
+// Persisted reports the number of records live on disk (restored at Open
+// plus appended since).
+func (d *Disk) Persisted() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.persisted
+}
+
+// Sync forces appended records to stable storage.
+func (d *Disk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("resultstore: store is closed")
+	}
+	if err := d.w.Flush(); err != nil {
+		return err
+	}
+	return d.f.Sync()
+}
+
+// Compact rewrites every live record into a single fresh segment and
+// removes the old ones. The rewrite is crash-safe: records are written to
+// a temp file, fsynced, then renamed into place before the old segments
+// are deleted — a crash at any point leaves a loadable store.
+func (d *Disk) Compact() (retErr error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("resultstore: store is closed")
+	}
+	// Quiesce the active segment so its records are on disk for reload.
+	if err := d.w.Flush(); err != nil {
+		return err
+	}
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	if err := d.f.Close(); err != nil {
+		return err
+	}
+	// From here the active segment is closed; whatever happens, leave the
+	// store with a live segment so a failed compaction does not turn
+	// every later Commit into a silent no-op against a closed file.
+	d.f = nil
+	defer func() {
+		if d.f != nil {
+			return
+		}
+		if err := d.openSegment(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	recs, _, err := loadSegments(d.dir)
+	if err != nil {
+		return err
+	}
+	tmpPath := filepath.Join(d.dir, "compact.tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, r := range recs {
+		d.buf.Reset()
+		if err := encodeRecord(&d.buf, r.k, r.res); err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := w.Write(d.buf.Bytes()); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	// Collect the segments to retire before the compacted one exists, so
+	// it can never delete itself.
+	old, err := filepath.Glob(filepath.Join(d.dir, "segment-*.jsonl"))
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	compacted := segName(d.nextSeq)
+	d.nextSeq++
+	if err := os.Rename(tmpPath, filepath.Join(d.dir, compacted)); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	syncDir(d.dir)
+	for _, p := range old {
+		os.Remove(p)
+	}
+	d.persisted = len(recs)
+	return nil // the deferred recovery opens the fresh active segment
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss;
+// best-effort on platforms where directories cannot be synced.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}
+
+// Close flushes and fsyncs the active segment and releases the store. It
+// returns the first append error, if any occurred.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var flushErr, syncErr, closeErr error
+	if d.f != nil { // nil only after a compaction whose recovery also failed
+		flushErr = d.w.Flush()
+		syncErr = d.f.Sync()
+		closeErr = d.f.Close()
+	}
+	unlock(d.lock)
+	for _, err := range []error{d.writeErr, flushErr, syncErr, closeErr} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

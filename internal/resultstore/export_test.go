@@ -1,0 +1,18 @@
+package resultstore
+
+import (
+	"bytes"
+
+	"repro/internal/workload"
+)
+
+// Test hooks for the external resultstore_test package (which needs
+// scenario/engine — importers of this package — to seed real records).
+var (
+	EncodeRecord = func(buf *bytes.Buffer, k Key, res workload.Result) error {
+		return encodeRecord(buf, k, res)
+	}
+	DecodeRecord = func(line []byte) (Key, workload.Result, error) {
+		return decodeRecord(line)
+	}
+)

@@ -1,0 +1,73 @@
+package resultstore_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/resultstore"
+	"repro/internal/scenario"
+)
+
+// FuzzRecordRoundTrip drives the segment codec with arbitrary lines: a
+// malformed record must come back as an error, never a panic, and a
+// record that decodes must survive an encode/decode round trip exactly —
+// the property the disk store's resume contract rests on. The corpus is
+// seeded with real records: every evaluation point of the beyond-dram
+// preset sweep, encoded exactly as Commit writes them.
+func FuzzRecordRoundTrip(f *testing.F) {
+	sp, err := scenario.ByName("beyond-dram")
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng := engine.New(platform.NewPurley().Socket(0), 0)
+	outs, err := sp.Run(eng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i, o := range outs {
+		k := resultstore.Key{
+			App:         o.App,
+			Fingerprint: o.Result.Workload.Fingerprint(),
+			Mode:        o.Mode,
+			Threads:     o.Threads,
+		}
+		if i == 0 {
+			// One exotic but schema-valid shape: placement + variant set.
+			k.Placement, k.Variant = 1<<63, "missOverlap=1.5"
+		}
+		buf.Reset()
+		if err := resultstore.EncodeRecord(&buf, k, o.Result); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bytes.TrimSuffix(buf.Bytes(), []byte{'\n'}))
+	}
+	f.Add([]byte(`{"v":1,"key":{},"result":{}}`))
+	f.Add([]byte(`{"v":2,"key":{},"result":{}}`))
+	f.Add([]byte(`{"v":1`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"v":1,"key":{"Threads":1e99},"result":{}}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		k, res, err := resultstore.DecodeRecord(line)
+		if err != nil {
+			return
+		}
+		var enc bytes.Buffer
+		if err := resultstore.EncodeRecord(&enc, k, res); err != nil {
+			// Real results never carry NaN/Inf, so any decoded record must
+			// re-encode; a failure means the decoder admitted a value the
+			// encoder cannot represent.
+			t.Fatalf("decoded record failed to re-encode: %v", err)
+		}
+		k2, res2, err := resultstore.DecodeRecord(bytes.TrimSuffix(enc.Bytes(), []byte{'\n'}))
+		if err != nil {
+			t.Fatalf("re-encoded record failed to decode: %v", err)
+		}
+		if k != k2 || !reflect.DeepEqual(res, res2) {
+			t.Errorf("record round trip drifted:\n key %+v vs %+v\n res %+v vs %+v", k, k2, res, res2)
+		}
+	})
+}

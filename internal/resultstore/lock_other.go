@@ -1,0 +1,13 @@
+//go:build !unix
+
+package resultstore
+
+import "os"
+
+// Advisory directory locking is unix-only; other platforms open the
+// store unlocked (still safe for any number of goroutines within one
+// process — cross-process sharing is then the operator's exclusion to
+// provide).
+func lockDir(string) (*os.File, error) { return nil, nil }
+
+func unlock(*os.File) {}

@@ -1,0 +1,321 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dwarfs"
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// solved returns a real evaluated result (descriptor stripped, as stores
+// persist them) and its cache key for the i-th registry app.
+func solved(t testing.TB, i int, mode memsys.Mode, threads int) (Key, workload.Result) {
+	t.Helper()
+	entries := dwarfs.All()
+	e := entries[i%len(entries)]
+	w := e.New()
+	sys := memsys.New(platform.NewPurley().Socket(0), mode)
+	res, err := workload.Run(w, sys, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{App: w.Name, Fingerprint: w.Fingerprint(), Mode: mode, Threads: threads}
+	res.Workload = nil
+	return k, res
+}
+
+func TestMemoryAcquireSingleflight(t *testing.T) {
+	m := NewMemory()
+	k, res := solved(t, 0, memsys.CachedNVM, 48)
+	e1, loaded := m.Acquire(k)
+	if loaded {
+		t.Fatal("first Acquire reported loaded")
+	}
+	e1.Once.Do(func() { e1.Res = res })
+	e2, loaded := m.Acquire(k)
+	if !loaded || e2 != e1 {
+		t.Fatal("second Acquire did not return the existing entry")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	other := k
+	other.Threads = 24
+	if _, loaded := m.Acquire(other); loaded {
+		t.Fatal("distinct key reported loaded")
+	}
+}
+
+func TestKeyHashSpreads(t *testing.T) {
+	k1 := Key{App: "XSBench", Fingerprint: 1, Mode: memsys.CachedNVM, Threads: 48}
+	k2 := k1
+	k2.Threads = 24
+	k3 := k1
+	k3.Variant = "x"
+	if k1.Hash() == k2.Hash() || k1.Hash() == k3.Hash() {
+		t.Error("key variations collide") // astronomically unlikely for FNV
+	}
+}
+
+func TestDiskPersistsAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pt struct {
+		k   Key
+		res workload.Result
+	}
+	var pts []pt
+	for i := 0; i < 3; i++ {
+		k, res := solved(t, i, memsys.UncachedNVM, 48)
+		pts = append(pts, pt{k, res})
+		e, loaded := d.Acquire(k)
+		if loaded {
+			t.Fatalf("point %d loaded in a fresh store", i)
+		}
+		e.Once.Do(func() { e.Res = res })
+		d.Commit(k, res, nil)
+	}
+	if d.Persisted() != 3 {
+		t.Fatalf("persisted = %d, want 3", d.Persisted())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 3 || re.Persisted() != 3 {
+		t.Fatalf("reloaded Len=%d Persisted=%d, want 3/3", re.Len(), re.Persisted())
+	}
+	for i, p := range pts {
+		e, loaded := re.Acquire(p.k)
+		if !loaded || !e.Seeded {
+			t.Fatalf("point %d not restored as a seeded hit", i)
+		}
+		if !reflect.DeepEqual(e.Res, p.res) {
+			t.Errorf("point %d round-tripped inexactly:\n got %+v\nwant %+v", i, e.Res, p.res)
+		}
+	}
+}
+
+func TestDiskFailedEvaluationsNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, res := solved(t, 0, memsys.DRAMOnly, 48)
+	d.Commit(k, res, os.ErrInvalid)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Persisted() != 0 {
+		t.Fatalf("failed evaluation persisted: %d records", re.Persisted())
+	}
+}
+
+// A crash mid-append leaves a truncated final line; Open must load
+// everything before it.
+func TestDiskToleratesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, res := solved(t, 0, memsys.CachedNVM, 24)
+	d.Commit(k, res, nil)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "segment-*.jsonl"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments written: %v", err)
+	}
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"key":{"App":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("truncated tail rejected: %v", err)
+	}
+	defer re.Close()
+	if re.Persisted() != 1 {
+		t.Fatalf("persisted = %d, want the 1 intact record", re.Persisted())
+	}
+	if _, loaded := re.Acquire(k); !loaded {
+		t.Fatal("intact record not restored")
+	}
+}
+
+// Mid-file corruption is data loss and must fail loudly, naming the file.
+func TestDiskRejectsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		k, res := solved(t, i, memsys.CachedNVM, 48)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "segment-*.jsonl"))
+	data, err := os.ReadFile(segs[len(segs)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte("not json\n"), data...)
+	if err := os.WriteFile(segs[len(segs)-1], corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "segment-") {
+		t.Fatalf("corrupt segment loaded silently (err = %v)", err)
+	}
+}
+
+func TestDiskCompact(t *testing.T) {
+	dir := t.TempDir()
+	// Three generations of appends: three segments.
+	var keys []Key
+	for gen := 0; gen < 3; gen++ {
+		d, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, res := solved(t, gen, memsys.UncachedNVM, 24)
+		keys = append(keys, k)
+		d.Commit(k, res, nil)
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "segment-*.jsonl"))
+	if len(segs) < 3 {
+		t.Fatalf("expected >= 3 segments before compaction, have %d", len(segs))
+	}
+
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// One compacted segment plus the fresh active one.
+	segs, _ = filepath.Glob(filepath.Join(dir, "segment-*.jsonl"))
+	if len(segs) != 2 {
+		t.Fatalf("segments after compaction = %d, want 2 (compacted + active)", len(segs))
+	}
+	if d.Persisted() != 3 {
+		t.Fatalf("persisted after compaction = %d, want 3", d.Persisted())
+	}
+	// The store keeps serving and accepting appends after compaction.
+	k, res := solved(t, 3, memsys.DRAMOnly, 48)
+	d.Commit(k, res, nil)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Persisted() != 4 {
+		t.Fatalf("persisted after reload = %d, want 4", re.Persisted())
+	}
+	for i, k := range keys {
+		if _, loaded := re.Acquire(k); !loaded {
+			t.Errorf("key %d lost by compaction", i)
+		}
+	}
+}
+
+// Duplicate keys across segments (two processes racing on one store, or
+// pre-compaction history) resolve to the newest record.
+func TestDiskLaterRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	k, res := solved(t, 0, memsys.CachedNVM, 48)
+
+	d1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Commit(k, res, nil)
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	newer := res
+	newer.Slowdown = res.Slowdown * 2
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Commit(k, newer, nil)
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Persisted() != 1 {
+		t.Fatalf("persisted = %d, want 1 (deduped)", re.Persisted())
+	}
+	e, loaded := re.Acquire(k)
+	if !loaded || e.Res.Slowdown != newer.Slowdown {
+		t.Fatalf("older record won: slowdown %v, want %v", e.Res.Slowdown, newer.Slowdown)
+	}
+}
+
+// One process at a time: the segments are single-writer, so a second
+// live handle on the same directory must be refused loudly rather than
+// risk interleaved appends or compaction deleting the active segment.
+func TestDiskSingleProcessLock(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("concurrent Open succeeded (err = %v), want in-use refusal", err)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close releases the store for the next process.
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close refused: %v", err)
+	}
+	d2.Close()
+}

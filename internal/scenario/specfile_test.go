@@ -264,3 +264,36 @@ func TestOutcomeJSON(t *testing.T) {
 		}
 	}
 }
+
+// A directory with several broken specs reports every failure with its
+// file name — one typo must not hide the defects in the files after it.
+func TestLoadDirReportsEveryBrokenFile(t *testing.T) {
+	dir := t.TempDir()
+	good, err := Encode(Presets()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"aa-good.json":    string(good),
+		"bb-syntax.json":  `{"name": "bb", "apps": [`,
+		"cc-unknown.json": `{"name": "cc", "apps": ["NoSuchApp"]}`,
+		"dd-axis.json":    `{"name": "dd", "threadz": [8]}`,
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = LoadDir(dir)
+	if err == nil {
+		t.Fatal("broken specs loaded silently")
+	}
+	for _, name := range []string{"bb-syntax.json", "cc-unknown.json", "dd-axis.json"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not name %s:\n%v", name, err)
+		}
+	}
+	if strings.Contains(err.Error(), "aa-good.json") {
+		t.Errorf("error names the good file:\n%v", err)
+	}
+}

@@ -1,0 +1,343 @@
+// Package session runs declarative sweeps asynchronously: a Manager
+// accepts scenario.Spec submissions, evaluates each across the engine's
+// worker pool in the background, and exposes the run as a Session that
+// can be polled (Status — per-origin cache progress from the engine's
+// accounting), streamed (Stream — completed outcomes in the spec's
+// deterministic order, emitted as they become available) and cancelled
+// (Cancel — a context propagated through the engine's batch dispatch,
+// aborting between jobs so the result store is never left with partial
+// entries).
+//
+// Sessions are process-local; durability lives one layer down. When the
+// manager's engine is backed by a disk result store
+// (resultstore.Disk), every point a session completes is persisted as it
+// is computed, and a restarted process re-serves those points as cache
+// hits — resubmitting the same spec "resumes" the sweep, paying only for
+// the points the previous run did not finish. The kill-and-restart test
+// in this package pins that contract via per-origin hit counts.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+// State is a session's lifecycle stage.
+type State string
+
+const (
+	// Running: the sweep is being evaluated.
+	Running State = "running"
+	// Done: every point evaluated successfully.
+	Done State = "done"
+	// Failed: a point failed; the error is on the status.
+	Failed State = "failed"
+	// Cancelled: the session's context fired before completion.
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s != Running }
+
+// Status is a point-in-time snapshot of a session.
+type Status struct {
+	ID          string `json:"id"`
+	Spec        string `json:"spec"`
+	Description string `json:"description,omitempty"`
+	State       State  `json:"state"`
+	// Points is the sweep size; Completed the points evaluated so far.
+	Points    int `json:"points"`
+	Completed int `json:"completed"`
+	// Hits and Misses are the engine's per-origin cache accounting for
+	// this spec name: Hits counts points re-served from the result store
+	// (including points persisted by a previous process — the resume
+	// path), Misses points actually computed. Sessions submitting the
+	// same spec name within one process share the origin, so these can
+	// exceed the session's own Points.
+	Hits   uint64 `json:"cache_hits"`
+	Misses uint64 `json:"cache_misses"`
+	Error  string `json:"error,omitempty"`
+
+	Started  time.Time  `json:"started"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// Session is one asynchronous sweep run.
+type Session struct {
+	id   string
+	spec scenario.Spec
+
+	metas []scenario.Meta
+	jobs  []engine.Job
+	eng   *engine.Engine
+
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	results   []workload.Result
+	completed []bool
+	ncomplete int
+	state     State
+	err       error
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Spec returns the submitted sweep spec.
+func (s *Session) Spec() scenario.Spec { return s.spec }
+
+// Size returns the number of evaluation points in the sweep.
+func (s *Session) Size() int { return len(s.jobs) }
+
+// Cancel aborts the session: the engine batch stops between jobs, points
+// already solving run to completion (and commit to the result store as
+// whole entries), and the session transitions to Cancelled. Cancelling a
+// terminal session is a no-op.
+func (s *Session) Cancel() { s.cancel() }
+
+// wake re-runs every waiter's predicate after a caller context fires.
+// The empty critical section is load-bearing: broadcasting while holding
+// mu guarantees the signal cannot land in the window between a waiter's
+// predicate check and its cond.Wait registration (a lost wakeup that
+// would leave a disconnected streamer blocked until the next point
+// completes).
+func (s *Session) wake() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// complete records one evaluated point; called from engine worker
+// goroutines, possibly concurrently and out of order.
+func (s *Session) complete(i int, res workload.Result) {
+	s.mu.Lock()
+	s.results[i] = res
+	s.completed[i] = true
+	s.ncomplete++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// finish transitions the session to its terminal state.
+func (s *Session) finish(err error) {
+	s.mu.Lock()
+	switch {
+	case err == nil:
+		s.state = Done
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.state, s.err = Cancelled, err
+	default:
+		s.state, s.err = Failed, err
+	}
+	s.finished = time.Now()
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Status snapshots the session, including the engine's per-origin cache
+// progress for the session's spec.
+func (s *Session) Status() Status {
+	st := s.eng.OriginStatsFor(s.spec.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Status{
+		ID:          s.id,
+		Spec:        s.spec.Name,
+		Description: s.spec.Description,
+		State:       s.state,
+		Points:      len(s.jobs),
+		Completed:   s.ncomplete,
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Started:     s.started,
+	}
+	if s.err != nil {
+		out.Error = s.err.Error()
+	}
+	if s.state.Terminal() {
+		f := s.finished
+		out.Finished = &f
+	}
+	return out
+}
+
+// Stream delivers the sweep's outcomes in the spec's deterministic order
+// (the same order a synchronous Run returns), emitting each point as soon
+// as it and all points before it are complete. It returns nil after the
+// final outcome of a successful sweep; if the session fails or is
+// cancelled it returns the session error after the last outcome that is
+// part of the completed deterministic prefix, and if ctx fires first it
+// returns ctx's error. Multiple Streams may run concurrently.
+func (s *Session) Stream(ctx context.Context, emit func(scenario.Outcome) error) error {
+	stop := context.AfterFunc(ctx, s.wake)
+	defer stop()
+	for i := range s.jobs {
+		s.mu.Lock()
+		for !s.completed[i] && !s.state.Terminal() && ctx.Err() == nil {
+			s.cond.Wait()
+		}
+		ready := s.completed[i]
+		res := s.results[i]
+		err := s.err
+		terminal := s.state.Terminal()
+		s.mu.Unlock()
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if !ready {
+			// Terminal without this point: the deterministic prefix ends
+			// here.
+			if terminal && err != nil {
+				return err
+			}
+			return fmt.Errorf("session %s: point %d missing after completion", s.id, i)
+		}
+		if eerr := emit(scenario.Outcome{Meta: s.metas[i], Result: res}); eerr != nil {
+			return eerr
+		}
+	}
+	return nil
+}
+
+// Wait blocks until the session reaches a terminal state or ctx fires,
+// returning the session error (nil for Done).
+func (s *Session) Wait(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, s.wake)
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.state.Terminal() && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if cerr := ctx.Err(); cerr != nil && !s.state.Terminal() {
+		return cerr
+	}
+	return s.err
+}
+
+// Outcomes returns the full outcome list of a successfully completed
+// session, waiting for completion first.
+func (s *Session) Outcomes(ctx context.Context) ([]scenario.Outcome, error) {
+	if err := s.Wait(ctx); err != nil {
+		return nil, err
+	}
+	out := make([]scenario.Outcome, len(s.metas))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.metas {
+		out[i] = scenario.Outcome{Meta: s.metas[i], Result: s.results[i]}
+	}
+	return out, nil
+}
+
+// Manager owns the sessions running on one engine.
+type Manager struct {
+	eng *engine.Engine
+
+	mu       sync.Mutex
+	seq      int
+	sessions map[string]*Session
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewManager builds a session manager over the engine.
+func NewManager(eng *engine.Engine) *Manager {
+	return &Manager{eng: eng, sessions: make(map[string]*Session)}
+}
+
+// Engine exposes the manager's engine.
+func (m *Manager) Engine() *engine.Engine { return m.eng }
+
+// Submit validates and expands the spec, starts evaluating it in the
+// background, and returns the session. The spec's name becomes the
+// jobs' cache-accounting origin.
+func (m *Manager) Submit(sp scenario.Spec) (*Session, error) {
+	metas, jobs, err := sp.Expand()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Session{
+		spec:      sp,
+		metas:     metas,
+		jobs:      jobs,
+		eng:       m.eng,
+		cancel:    cancel,
+		results:   make([]workload.Result, len(jobs)),
+		completed: make([]bool, len(jobs)),
+		state:     Running,
+		started:   time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("session: manager is closed")
+	}
+	m.seq++
+	s.id = fmt.Sprintf("sweep-%06d", m.seq)
+	m.sessions[s.id] = s
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		_, err := m.eng.RunBatchFunc(ctx, jobs, s.complete)
+		s.finish(err)
+	}()
+	return s, nil
+}
+
+// Get returns a session by id.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// List snapshots every session's status, oldest first.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	out := make([]Status, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.Status()
+	}
+	return out
+}
+
+// Close cancels every running session and waits for their evaluation
+// goroutines to drain. Further Submits are rejected.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.Cancel()
+	}
+	m.wg.Wait()
+}

@@ -16,6 +16,17 @@ import (
 // The encoding is canonical — map entries are folded in sorted key order
 // — so the digest is independent of construction order, process and
 // platform.
+//
+// Stability contract: the digest is persisted. Disk result stores
+// (internal/resultstore) key every stored evaluation by this
+// fingerprint, so the encoding below must stay stable across releases —
+// reordering fields, changing a width, or folding a new field in changes
+// every digest and silently turns existing stores cold. Adding a
+// Workload field therefore REQUIRES folding it in here (two workloads
+// differing only in that field must not collide) AND bumping the
+// resultstore segment version so old stores are invalidated loudly
+// rather than served stale. TestFingerprintPersistenceContract pins the
+// registry digests to catch accidental drift.
 func (w *Workload) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte

@@ -1,0 +1,39 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/dwarfs"
+)
+
+// The persistence contract: fingerprints are written into disk result
+// stores (internal/resultstore) as the cache identity of every persisted
+// evaluation, so the encoding must stay stable across releases — a
+// drifted digest silently turns every existing store cold. These pinned
+// values are the paper-input registry workloads; if this test fails you
+// have changed the fingerprint encoding (or a registry descriptor) and
+// must bump the resultstore segment version alongside it.
+func TestFingerprintPersistenceContract(t *testing.T) {
+	pinned := map[string]uint64{
+		"HACC":      0x71015e111163f750,
+		"Laghos":    0xe247e8e74af46272,
+		"ScaLAPACK": 0x400f7ac74762c7b5,
+		"XSBench":   0x90ff17ed7676f063,
+		"Hypre":     0xe32735b9bf5ff28b,
+		"SuperLU":   0x6c3220afdf6dfc40,
+		"BoxLib":    0x4b0abc6c9f1600a8,
+		"FFT":       0x280be8eff1ee9484,
+	}
+	for _, e := range dwarfs.All() {
+		w := e.New()
+		want, ok := pinned[w.Name]
+		if !ok {
+			t.Errorf("%s: new registry app — pin its fingerprint here", w.Name)
+			continue
+		}
+		if got := w.Fingerprint(); got != want {
+			t.Errorf("%s: fingerprint 0x%016x, want pinned 0x%016x (persisted stores depend on this)",
+				w.Name, got, want)
+		}
+	}
+}
