@@ -1,7 +1,10 @@
 // Command nvmadvise analyzes an application's suitability for NVM-based
-// main memory per the paper's four insights, and sweeps the
-// configuration space for the Pareto frontier of run time versus DRAM
-// consumption.
+// main memory per the paper's four insights, and resolves the Pareto
+// frontier of run time versus DRAM consumption over the dense
+// mode x concurrency x placement-budget space through the adaptive
+// planner — a seeded subset of the space is evaluated for real (all of
+// it through the evaluation engine), the rest is model-predicted, and
+// the frontier is verified with real evaluations.
 //
 // Usage:
 //
@@ -10,23 +13,36 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/scenario"
 )
 
-func main() {
-	app := flag.String("app", "all", "application name, or 'all'")
-	threads := flag.Int("threads", 48, "concurrency for the analysis")
-	flag.Parse()
+// frontierBudget is the evaluation budget for the frontier search: the
+// explorer's option space is small with a high frontier-to-point ratio,
+// so verification needs more headroom than the planner's 50% default.
+const frontierBudget = 0.7
+
+// run is the testable command body.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nvmadvise", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "all", "application name, or 'all'")
+	threads := fs.Int("threads", 48, "concurrency for the analysis")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	m := core.NewMachine()
-	sock := m.Context().Socket()
 	apps := []string{*app}
 	if strings.EqualFold(*app, "all") {
 		apps = m.Apps()
@@ -34,34 +50,43 @@ func main() {
 	for _, a := range apps {
 		w, err := m.Workload(a)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		adv, err := advisor.Analyze(w, sock, *threads)
+		adv, err := advisor.AnalyzeEngine(m.Engine(), w, *threads)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(adv.Summary)
+		fmt.Fprintln(stdout, adv.Summary)
 		for _, r := range adv.Risks {
 			mark := " "
 			if r.Susceptible {
 				mark = "!"
 			}
-			fmt.Printf("  %s phase %-18s write %9s vs threshold %9s (R/W %.1f)\n",
+			fmt.Fprintf(stdout, "  %s phase %-18s write %9s vs threshold %9s (R/W %.1f)\n",
 				mark, r.Phase, r.WriteBW, r.Threshold, r.ReadWriteRatio)
 		}
-		evals, err := explore.Sweep(w, sock, explore.DefaultOptions(w))
+		opts := explore.FullOptions(w)
+		front, plan, err := explore.Frontier(context.Background(), m.Engine(), w, opts,
+			scenario.Plan{BudgetFrac: frontierBudget})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("  Pareto frontier (time vs DRAM):")
-		for _, e := range explore.Pareto(evals) {
-			fmt.Printf("    %-22s time %-10s DRAM %s\n", e.Option, e.Time, e.DRAMUsed)
+		fmt.Fprintf(stdout, "  Pareto frontier (time vs DRAM), resolved from %d of %d real evaluations:\n",
+			plan.Evaluations, len(opts))
+		for _, e := range front {
+			fmt.Fprintf(stdout, "    %-22s time %-10s DRAM %s\n", e.Option, e.Time, e.DRAMUsed)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nvmadvise:", err)
-	os.Exit(2)
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "nvmadvise:", err)
+		os.Exit(2)
+	}
 }

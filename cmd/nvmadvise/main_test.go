@@ -1,0 +1,55 @@
+package main
+
+import (
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleApp(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "ScaLAPACK"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"ScaLAPACK:", "tier",
+		"phase",
+		"Pareto frontier (time vs DRAM), resolved from",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// The frontier search must not have evaluated the whole space.
+	m := regexp.MustCompile(`resolved from (\d+) of (\d+) real evaluations`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no evaluation accounting in:\n%s", text)
+	}
+	if m[1] == m[2] {
+		t.Errorf("frontier search evaluated the whole space (%s of %s)", m[1], m[2])
+	}
+	// ScaLAPACK declares structures, so placement options are in play.
+	if !strings.Contains(text, "write-aware") {
+		t.Errorf("no placement option on the frontier output:\n%s", text)
+	}
+}
+
+func TestRunAllApps(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "all", "-threads", "24"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// One summary line per registered app.
+	if got := strings.Count(out.String(), "tier (uncached"); got != 8 {
+		t.Errorf("%d app summaries, want 8", got)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	err := run([]string{"-app", "NoSuchApp"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "NoSuchApp") {
+		t.Errorf("unknown app should fail by name, got %v", err)
+	}
+}

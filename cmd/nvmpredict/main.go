@@ -1,59 +1,111 @@
 // Command nvmpredict trains the Section V-A IPC prediction model on one
-// configuration and evaluates it across a concurrency sweep.
+// configuration and evaluates it across a concurrency sweep, or — with
+// -adaptive — resolves the whole sweep through the adaptive planner,
+// really evaluating only a seeded subset and predicting the rest.
+//
+// Every point evaluation flows through the machine's evaluation engine,
+// so repeated points are cache hits and the training configuration is
+// shared with the sweep.
 //
 // Usage:
 //
 //	nvmpredict -app XSBench -train 36
+//	nvmpredict -app XSBench -adaptive
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/memsys"
 	"repro/internal/model"
-	"repro/internal/workload"
+	"repro/internal/planner"
+	"repro/internal/scenario"
 	"repro/internal/xrand"
 )
 
-func main() {
-	app := flag.String("app", "XSBench", "application name")
-	train := flag.Int("train", 36, "training concurrency")
-	seed := flag.Uint64("seed", 1, "noise seed")
-	flag.Parse()
+// ladder is the paper's Fig 10 concurrency sweep.
+var ladder = []int{8, 16, 24, 32, 36, 40, 48}
+
+// run is the testable command body.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nvmpredict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "XSBench", "application name")
+	train := fs.Int("train", 36, "training concurrency")
+	seed := fs.Uint64("seed", 1, "noise seed")
+	adaptive := fs.Bool("adaptive", false, "resolve the concurrency sweep through the adaptive planner (evaluate few, predict the rest)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	m := core.NewMachine()
-	w, err := m.Workload(*app)
-	if err != nil {
-		fatal(err)
+	if _, err := m.Workload(*app); err != nil {
+		return err
 	}
-	sys := memsys.New(m.Context().Socket(), memsys.CachedNVM)
-	rng := xrand.New(*seed)
+	if *adaptive {
+		return runAdaptive(m, *app, stdout)
+	}
+	return runModel(m, *app, *train, *seed, stdout)
+}
 
-	trainRes, err := workload.Run(w, sys, *train)
+// runModel is the classic Section V-A flow: train Eq. 1 at one
+// concurrency, predict IPC across the ladder, compare with the observed
+// runs — all points evaluated through the engine.
+func runModel(m *core.Machine, app string, train int, seed uint64, stdout io.Writer) error {
+	rng := xrand.New(seed)
+	trainRes, err := m.RunApp(app, core.CachedNVM, train)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	mod, err := model.Train(model.CollectSamples(trainRes, 8, 0.02, rng))
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%s: trained Eq.1 model at ht=%d (R2=%.4f, events kept: %d)\n",
-		*app, *train, mod.Reg.R2, len(mod.Kept))
-	fmt.Printf("%8s %10s %10s %10s\n", "threads", "predicted", "observed", "accuracy")
-	for _, th := range []int{8, 16, 24, 32, 36, 40, 48} {
-		res, err := workload.Run(w, sys, th)
+	fmt.Fprintf(stdout, "%s: trained Eq.1 model at ht=%d (R2=%.4f, events kept: %d)\n",
+		app, train, mod.Reg.R2, len(mod.Kept))
+	fmt.Fprintf(stdout, "%8s %10s %10s %10s\n", "threads", "predicted", "observed", "accuracy")
+	for _, th := range ladder {
+		res, err := m.RunApp(app, core.CachedNVM, th)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		p, o, a := mod.EvaluatePoint(res, 0.02, rng)
-		fmt.Printf("%8d %10.4f %10.4f %9.1f%%\n", th, p, o, 100*a)
+		fmt.Fprintf(stdout, "%8d %10.4f %10.4f %9.1f%%\n", th, p, o, 100*a)
 	}
+	st := m.Engine().Stats()
+	fmt.Fprintf(stdout, "engine: %d evaluations, %d cache hits\n", st.Misses, st.Hits)
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nvmpredict:", err)
-	os.Exit(2)
+// runAdaptive resolves the app's cached-NVM concurrency sweep through
+// the planner and renders the plan: seed evaluations, model-predicted
+// points and the per-round progress.
+func runAdaptive(m *core.Machine, app string, stdout io.Writer) error {
+	sp := scenario.Spec{
+		Name:    "predict-" + app,
+		Apps:    []string{app},
+		Modes:   []core.Mode{core.CachedNVM},
+		Threads: ladder,
+	}
+	res, err := planner.RunSpec(context.Background(), m.Engine(), sp, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, planner.Render(res))
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "nvmpredict:", err)
+		os.Exit(2)
+	}
 }

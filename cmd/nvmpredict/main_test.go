@@ -1,0 +1,70 @@
+package main
+
+import (
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestRunHappyPath(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "XSBench", "-train", "36"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"trained Eq.1 model at ht=36",
+		"threads", "predicted", "observed", "accuracy",
+		"engine:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// One row per ladder point.
+	rows := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "%") && !strings.Contains(line, "accuracy") {
+			rows++
+		}
+	}
+	if rows != len(ladder) {
+		t.Errorf("%d prediction rows, want %d", rows, len(ladder))
+	}
+	// The training point (ht=36) is shared with the sweep via the
+	// engine cache.
+	m := regexp.MustCompile(`engine: (\d+) evaluations, (\d+) cache hits`).FindStringSubmatch(text)
+	if m == nil || m[2] == "0" {
+		t.Errorf("training run not re-served from the engine cache:\n%s", text)
+	}
+}
+
+func TestRunAdaptive(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "FFT", "-adaptive"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"plan predict-FFT", "round 1 seed:", "predicted", "frontier"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("adaptive output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "evaluated (round") {
+		t.Errorf("no evaluated points in plan log:\n%s", text)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	err := run([]string{"-app", "NoSuchApp"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "NoSuchApp") {
+		t.Errorf("unknown app should fail by name, got %v", err)
+	}
+}
+
+func TestRunBadConcurrency(t *testing.T) {
+	if err := run([]string{"-train", "999"}, io.Discard, io.Discard); err == nil {
+		t.Error("out-of-range training concurrency should fail")
+	}
+}

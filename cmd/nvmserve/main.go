@@ -22,6 +22,11 @@
 //	GET    /v1/sweeps/{id}           session status (state, progress, per-origin cache hits/misses)
 //	GET    /v1/sweeps/{id}/outcomes  NDJSON outcome stream in deterministic sweep order
 //	DELETE /v1/sweeps/{id}           cancel a running sweep
+//	POST   /v1/plans                 resolve a spec through the adaptive planner (same body rules)
+//	GET    /v1/plans                 all plan sessions
+//	GET    /v1/plans/{id}            plan status (per-round evaluated vs predicted, frontier)
+//	GET    /v1/plans/{id}/points     NDJSON point stream (evaluations live, predictions at the end)
+//	DELETE /v1/plans/{id}            cancel a running plan
 //
 // Example:
 //

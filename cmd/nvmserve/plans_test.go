@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/resultstore"
+)
+
+const planSpec = `{
+  "name": "served-plan",
+  "apps": ["XSBench", "FFT"],
+  "modes": ["cached-NVM"],
+  "threads": [1, 2, 4, 8, 16, 24, 32, 40, 48],
+  "plan": {"budget_frac": 0.6}
+}
+`
+
+type planStatusDoc struct {
+	ID        string `json:"id"`
+	Spec      string `json:"spec"`
+	State     string `json:"state"`
+	Points    int    `json:"points"`
+	Budget    int    `json:"budget"`
+	Evaluated int    `json:"evaluated"`
+	Predicted int    `json:"predicted"`
+	Rounds    []struct {
+		Round     int    `json:"round"`
+		Phase     string `json:"phase"`
+		Evaluated int    `json:"evaluated"`
+	} `json:"rounds"`
+	Frontier []struct {
+		App       string `json:"app"`
+		Mode      string `json:"mode"`
+		Evaluated bool   `json:"evaluated"`
+	} `json:"frontier"`
+	FrontierResolved bool `json:"frontier_resolved"`
+}
+
+func TestSubmitPlanAndStreamPoints(t *testing.T) {
+	ts, _ := newTestServer(t, resultstore.NewMemory())
+
+	resp, err := http.Post(ts.URL+"/v1/plans", "application/json", strings.NewReader(planSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		ID        string `json:"id"`
+		Spec      string `json:"spec"`
+		Points    int    `json:"points"`
+		Status    string `json:"status_url"`
+		PointsURL string `json:"points_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || accepted.Points != 18 || accepted.Spec != "served-plan" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, accepted)
+	}
+	if !strings.HasPrefix(accepted.ID, "plan-") {
+		t.Errorf("plan id %q", accepted.ID)
+	}
+
+	// Stream the resolved points: every point exactly once, evaluated
+	// before predicted, modes by name.
+	stream, err := http.Get(ts.URL + accepted.PointsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	type rec struct {
+		App       string  `json:"app"`
+		Mode      string  `json:"mode"`
+		Threads   int     `json:"threads"`
+		TimeS     float64 `json:"time_s"`
+		Evaluated bool    `json:"evaluated"`
+		Round     int     `json:"round"`
+		Feasible  bool    `json:"feasible"`
+	}
+	var recs []rec
+	sawPredicted := false
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		var r rec
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if r.Mode != "cached-NVM" {
+			t.Errorf("mode %q not a name", r.Mode)
+		}
+		if r.TimeS <= 0 {
+			t.Errorf("%s @%d: non-positive time", r.App, r.Threads)
+		}
+		if !r.Evaluated {
+			sawPredicted = true
+		} else if sawPredicted {
+			t.Error("evaluated point after the predicted remainder")
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 18 {
+		t.Fatalf("streamed %d points, want 18", len(recs))
+	}
+	if !sawPredicted {
+		t.Error("plan evaluated everything; nothing was predicted")
+	}
+
+	// Terminal status: accounting, rounds and the verified frontier.
+	var st planStatusDoc
+	getJSON(t, ts.URL+accepted.Status, &st)
+	if st.State != "done" || st.Points != 18 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Budget == 0 {
+		t.Error("status reports a zero budget")
+	}
+	if st.Evaluated == 0 || st.Evaluated >= 18 || st.Evaluated+st.Predicted != 18 {
+		t.Errorf("accounting %d evaluated / %d predicted", st.Evaluated, st.Predicted)
+	}
+	if len(st.Rounds) < 2 || st.Rounds[0].Phase != "seed" {
+		t.Errorf("rounds %+v", st.Rounds)
+	}
+	if len(st.Frontier) == 0 || !st.FrontierResolved {
+		t.Errorf("frontier %+v resolved=%v", st.Frontier, st.FrontierResolved)
+	}
+	for _, f := range st.Frontier {
+		if !f.Evaluated {
+			t.Errorf("frontier member %s/%s not evaluated", f.App, f.Mode)
+		}
+	}
+
+	// The plan list carries it; the sweep list does not.
+	var plans []planStatusDoc
+	getJSON(t, ts.URL+"/v1/plans", &plans)
+	if len(plans) != 1 || plans[0].ID != accepted.ID {
+		t.Errorf("plan list = %+v", plans)
+	}
+	var sweeps []map[string]any
+	getJSON(t, ts.URL+"/v1/sweeps", &sweeps)
+	if len(sweeps) != 0 {
+		t.Errorf("plan leaked into the sweep list: %+v", sweeps)
+	}
+}
+
+func TestSubmitPlanPreset(t *testing.T) {
+	ts, _ := newTestServer(t, resultstore.NewMemory())
+	resp, err := http.Post(ts.URL+"/v1/plans?preset=prediction-concurrency", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var accepted struct {
+		ID     string `json:"id"`
+		Points int    `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || accepted.Points != 14 {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, accepted)
+	}
+	// Draining the point stream blocks until the plan is terminal.
+	drain, err := http.Get(ts.URL + "/v1/plans/" + accepted.ID + "/points")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, drain.Body)
+	drain.Body.Close()
+	var st planStatusDoc
+	getJSON(t, ts.URL+"/v1/plans/"+accepted.ID, &st)
+	if st.State != "done" {
+		t.Fatalf("plan state %q", st.State)
+	}
+	if st.Evaluated >= st.Points {
+		t.Errorf("preset plan evaluated all %d points", st.Points)
+	}
+}
+
+func TestPlanBadInput(t *testing.T) {
+	ts, _ := newTestServer(t, resultstore.NewMemory())
+	// Unknown preset.
+	resp, _ := http.Post(ts.URL+"/v1/plans?preset=nope", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown preset = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Bad plan block.
+	bad := strings.Replace(planSpec, `"budget_frac": 0.6`, `"seed": "psychic"`, 1)
+	resp, _ = http.Post(ts.URL+"/v1/plans", "application/json", strings.NewReader(bad))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad plan block = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Unknown plan id.
+	resp, _ = http.Get(ts.URL + "/v1/plans/plan-999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown plan = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

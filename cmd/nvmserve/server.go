@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/planner"
 	"repro/internal/resultstore"
 	"repro/internal/scenario"
 	"repro/internal/session"
@@ -36,6 +37,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.status)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancel)
 	mux.HandleFunc("GET /v1/sweeps/{id}/outcomes", s.outcomes)
+	mux.HandleFunc("POST /v1/plans", s.submitPlan)
+	mux.HandleFunc("GET /v1/plans", s.listPlans)
+	mux.HandleFunc("GET /v1/plans/{id}", s.planStatus)
+	mux.HandleFunc("DELETE /v1/plans/{id}", s.cancelPlan)
+	mux.HandleFunc("GET /v1/plans/{id}/points", s.planPoints)
 	return mux
 }
 
@@ -89,36 +95,48 @@ type submitReply struct {
 	Outcomes string `json:"outcomes_url"`
 }
 
+// readSpec resolves the request's sweep spec: the body is a scenario
+// spec file (the schema under specs/), or empty with ?preset=<name> for
+// a shipped preset. On failure it writes the error response and reports
+// false.
+func (s *server) readSpec(w http.ResponseWriter, r *http.Request) (scenario.Spec, bool) {
+	if name := r.URL.Query().Get("preset"); name != "" {
+		sp, err := scenario.ByName(name)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return scenario.Spec{}, false
+		}
+		return sp, true
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return scenario.Spec{}, false
+	}
+	if len(body) > maxSpecBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return scenario.Spec{}, false
+	}
+	if len(body) == 0 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("empty body: POST a scenario spec (see /v1/presets and specs/*.json) or use ?preset=<name>"))
+		return scenario.Spec{}, false
+	}
+	sp, err := scenario.ParseSpec(body, "request")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return scenario.Spec{}, false
+	}
+	return sp, true
+}
+
 // submit starts a sweep: the body is a scenario spec file (the schema
 // under specs/), or empty with ?preset=<name> to run a shipped preset.
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	var sp scenario.Spec
-	if name := r.URL.Query().Get("preset"); name != "" {
-		var err error
-		if sp, err = scenario.ByName(name); err != nil {
-			writeErr(w, http.StatusNotFound, err)
-			return
-		}
-	} else {
-		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if len(body) > maxSpecBytes {
-			writeErr(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
-			return
-		}
-		if len(body) == 0 {
-			writeErr(w, http.StatusBadRequest,
-				fmt.Errorf("empty body: POST a scenario spec (see /v1/presets and specs/*.json) or use ?preset=<name>"))
-			return
-		}
-		if sp, err = scenario.ParseSpec(body, "request"); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
+	sp, ok := s.readSpec(w, r)
+	if !ok {
+		return
 	}
 	sess, err := s.mgr.Submit(sp)
 	if err != nil {
@@ -186,6 +204,95 @@ func (s *server) outcomes(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil && r.Context().Err() == nil {
 		// The status line is long gone; surface the failure in-band.
+		enc.Encode(map[string]string{"error": err.Error()})
+	}
+}
+
+// submitPlanReply is the accepted-plan document.
+type submitPlanReply struct {
+	ID        string `json:"id"`
+	Spec      string `json:"spec"`
+	Points    int    `json:"points"`
+	Status    string `json:"status_url"`
+	PointsURL string `json:"points_url"`
+}
+
+// submitPlan starts an adaptive plan: the spec's optional "plan" block
+// configures the planner (seed strategy, evaluation budget,
+// disagreement threshold); without one the defaults apply. The sweep is
+// resolved from a model-predicted subset of real evaluations instead of
+// exhaustively — see /v1/plans/{id} for per-round progress.
+func (s *server) submitPlan(w http.ResponseWriter, r *http.Request) {
+	sp, ok := s.readSpec(w, r)
+	if !ok {
+		return
+	}
+	sess, err := s.mgr.SubmitPlan(sp)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitPlanReply{
+		ID:        sess.ID(),
+		Spec:      sp.Name,
+		Points:    sess.Size(),
+		Status:    "/v1/plans/" + sess.ID(),
+		PointsURL: "/v1/plans/" + sess.ID() + "/points",
+	})
+}
+
+func (s *server) listPlans(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.ListPlans())
+}
+
+func (s *server) plan(w http.ResponseWriter, r *http.Request) (*session.PlanSession, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.mgr.GetPlan(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no plan %q", id))
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *server) planStatus(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.plan(w, r); ok {
+		writeJSON(w, http.StatusOK, sess.Status())
+	}
+}
+
+func (s *server) cancelPlan(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.plan(w, r); ok {
+		sess.Cancel()
+		writeJSON(w, http.StatusOK, sess.Status())
+	}
+}
+
+// planPoints streams the plan's resolved points as NDJSON: one flat
+// record per line (see planner.PlannedPoint.MarshalJSON), real
+// evaluations as their rounds complete, then the model-predicted
+// remainder when the plan finishes — a client watches the planner trade
+// evaluation for prediction live. If the plan fails or is cancelled
+// mid-stream, the final line is an {"error": ...} object.
+func (s *server) planPoints(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.plan(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	err := sess.Stream(r.Context(), func(p planner.PlannedPoint) error {
+		if err := enc.Encode(p); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil && r.Context().Err() == nil {
 		enc.Encode(map[string]string{"error": err.Error()})
 	}
 }

@@ -9,59 +9,60 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
-func parseMode(s string) (core.Mode, error) {
-	switch strings.ToLower(s) {
-	case "dram":
-		return core.DRAMOnly, nil
-	case "cached", "cached-nvm", "memory":
-		return core.CachedNVM, nil
-	case "uncached", "uncached-nvm", "appdirect":
-		return core.UncachedNVM, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q (dram|cached|uncached)", s)
+// run is the testable command body.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nvmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "XSBench", "application name, or 'all'")
+	modeStr := fs.String("mode", "uncached", "memory configuration: dram|cached|uncached (or the paper names)")
+	threads := fs.Int("threads", 48, "concurrency (1-48)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-}
 
-func main() {
-	app := flag.String("app", "XSBench", "application name, or 'all'")
-	modeStr := flag.String("mode", "uncached", "memory configuration: dram|cached|uncached")
-	threads := flag.Int("threads", 48, "concurrency (1-48)")
-	flag.Parse()
-
-	mode, err := parseMode(*modeStr)
+	mode, err := scenario.ParseMode(*modeStr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	m := core.NewMachine()
 	apps := []string{*app}
 	if strings.EqualFold(*app, "all") {
 		apps = m.Apps()
 	}
-	fmt.Printf("%-10s %-10s %8s %12s %10s %10s %10s\n",
+	fmt.Fprintf(stdout, "%-10s %-10s %8s %12s %10s %10s %10s\n",
 		"App", "Mode", "Threads", "FoM", "Slowdown", "Read", "Write")
 	for _, a := range apps {
 		res, err := m.RunApp(a, mode, *threads)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("%-10s %-10s %8d %12.4g %9.2fx %10s %10s\n",
+		fmt.Fprintf(stdout, "%-10s %-10s %8d %12.4g %9.2fx %10s %10s\n",
 			a, mode, *threads, res.FoMValue, res.Slowdown, res.AvgRead(), res.AvgWrite())
 		for _, po := range res.Phases {
-			fmt.Printf("    phase %-16s mult %6.2fx  bound %-14s hit %5.1f%%\n",
+			fmt.Fprintf(stdout, "    phase %-16s mult %6.2fx  bound %-14s hit %5.1f%%\n",
 				po.Phase.Name, po.Epoch.Mult, po.Epoch.BoundBy, 100*po.Epoch.HitRate)
 		}
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nvmsim:", err)
-	os.Exit(2)
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "nvmsim:", err)
+		os.Exit(2)
+	}
 }

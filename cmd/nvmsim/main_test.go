@@ -1,0 +1,74 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunHappyPath(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "XSBench", "-mode", "uncached", "-threads", "48"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"App", "XSBench", "uncached-NVM", "phase", "bound"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// The mode vocabulary is scenario.ParseMode's: the historical nvmsim
+// aliases and the paper's canonical names both resolve.
+func TestRunModeAliases(t *testing.T) {
+	for _, mode := range []string{"cached", "memory", "cached-NVM", "appdirect", "DRAM"} {
+		if err := run([]string{"-app", "FFT", "-mode", mode}, io.Discard, io.Discard); err != nil {
+			t.Errorf("mode %q rejected: %v", mode, err)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "all", "-mode", "dram"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"XSBench", "Hypre", "ScaLAPACK", "FFT"} {
+		if !strings.Contains(out.String(), app) {
+			t.Errorf("all-apps output missing %s", app)
+		}
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	err := run([]string{"-app", "NoSuchApp"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "NoSuchApp") {
+		t.Errorf("unknown app should fail by name, got %v", err)
+	}
+}
+
+// A help request surfaces as flag.ErrHelp (main exits 0 on it) with the
+// usage on the error stream, not mixed into the data output.
+func TestRunHelp(t *testing.T) {
+	var out, usage strings.Builder
+	err := run([]string{"-h"}, &out, &usage)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("usage leaked into stdout: %q", out.String())
+	}
+	if !strings.Contains(usage.String(), "-mode") {
+		t.Errorf("usage text missing flags: %q", usage.String())
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	err := run([]string{"-mode", "optane"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "optane") || !strings.Contains(err.Error(), "cached-NVM") {
+		t.Errorf("unknown mode should fail listing valid names, got %v", err)
+	}
+}

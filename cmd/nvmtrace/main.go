@@ -9,57 +9,61 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
-func main() {
-	app := flag.String("app", "SuperLU", "application name")
-	modeStr := flag.String("mode", "uncached", "dram|cached|uncached")
-	threads := flag.Int("threads", 48, "concurrency")
-	samples := flag.Int("samples", 200, "trace samples")
-	noise := flag.Float64("noise", 0.04, "measurement noise fraction")
-	format := flag.String("format", "csv", "csv|ascii")
-	flag.Parse()
-
-	var mode core.Mode
-	switch *modeStr {
-	case "dram":
-		mode = core.DRAMOnly
-	case "cached":
-		mode = core.CachedNVM
-	case "uncached":
-		mode = core.UncachedNVM
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *modeStr))
+// run is the testable command body.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("nvmtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "SuperLU", "application name")
+	modeStr := fs.String("mode", "uncached", "dram|cached|uncached (or the paper names)")
+	threads := fs.Int("threads", 48, "concurrency")
+	samples := fs.Int("samples", 200, "trace samples")
+	noise := fs.Float64("noise", 0.04, "measurement noise fraction")
+	format := fs.String("format", "csv", "csv|ascii")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 
+	mode, err := scenario.ParseMode(*modeStr)
+	if err != nil {
+		return err
+	}
 	m := core.NewMachine()
 	res, err := m.RunApp(*app, mode, *threads)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	tr := res.Trace(*samples, *noise)
 	switch *format {
 	case "csv":
-		fmt.Print(tr.CSV())
+		fmt.Fprint(stdout, tr.CSV())
 	case "ascii":
-		fmt.Printf("%s on %s, %d threads (run time %s)\n", *app, mode, *threads, res.Time)
+		fmt.Fprintf(stdout, "%s on %s, %d threads (run time %s)\n", *app, mode, *threads, res.Time)
 		for _, col := range []trace.Column{trace.ColRead, trace.ColWrite, trace.ColNVMRead, trace.ColNVMWrite} {
-			fmt.Print(tr.ASCII(col, 72, 5))
+			fmt.Fprint(stdout, tr.ASCII(col, 72, 5))
 		}
 	default:
-		fatal(fmt.Errorf("unknown format %q", *format))
+		return fmt.Errorf("unknown format %q (csv|ascii)", *format)
 	}
-	var _ workload.Result = res
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nvmtrace:", err)
-	os.Exit(2)
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "nvmtrace:", err)
+		os.Exit(2)
+	}
 }

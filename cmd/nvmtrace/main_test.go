@@ -1,0 +1,61 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "SuperLU", "-mode", "uncached", "-samples", "50"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.HasPrefix(text, "time_s,") {
+		t.Errorf("CSV header missing: %q", text[:min(40, len(text))])
+	}
+	// Header plus one row per sample.
+	if lines := strings.Count(strings.TrimSpace(text), "\n") + 1; lines != 51 {
+		t.Errorf("%d CSV lines, want 51", lines)
+	}
+}
+
+func TestRunASCII(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "Hypre", "-mode", "cached", "-format", "ascii"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Hypre on cached-NVM", "48 threads"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("ascii output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	err := run([]string{"-app", "NoSuchApp"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "NoSuchApp") {
+		t.Errorf("unknown app should fail by name, got %v", err)
+	}
+}
+
+// nvmtrace historically accepted only the bare lowercase spellings; the
+// canonical parser keeps those and adds the paper names.
+func TestRunModeVocabulary(t *testing.T) {
+	if err := run([]string{"-app", "FFT", "-mode", "uncached-NVM", "-samples", "10"}, io.Discard, io.Discard); err != nil {
+		t.Errorf("canonical mode name rejected: %v", err)
+	}
+	err := run([]string{"-mode", "optane"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "optane") {
+		t.Errorf("unknown mode should fail by name, got %v", err)
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	err := run([]string{"-format", "yaml"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "yaml") {
+		t.Errorf("unknown format should fail by name, got %v", err)
+	}
+}

@@ -44,6 +44,21 @@
 // resume interrupted sweeps from the shared store (cmd/nvmbench -store
 // uses the same directory for warm-cache CLI runs).
 //
+// Sweeps also resolve adaptively: internal/planner is the paper's
+// Section V "evaluate few, predict the rest" as a subsystem. A spec's
+// optional "plan" block (scenario.Plan) selects a seed strategy, an
+// evaluation budget and a disagreement threshold; the planner evaluates
+// the seed through the engine, trains the configuration-space
+// regression (internal/model) per app x mode group, predicts the rest,
+// and spends the remaining budget where the leave-one-out ensemble
+// disagrees and on verifying the Pareto frontier with real evaluations.
+// The full-cartesian preset resolves its frontier from <= 50% real
+// evaluations (property-tested against the exhaustive control, golden-
+// pinned end to end). internal/explore routes its Pareto search through
+// the planner, internal/advisor evaluates through the engine, and the
+// nvmserve daemon serves plans at POST /v1/plans with per-round
+// progress and an NDJSON point stream (session.Manager.SubmitPlan).
+//
 // The hot paths are performance-pinned as well: internal/benchkit
 // measures a tracked benchmark set (streaming address simulation,
 // packed-tag DRAM cache, trace reconstruction, engine cache hits, the

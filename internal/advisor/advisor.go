@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/memsys"
 	"repro/internal/platform"
 	"repro/internal/units"
@@ -96,16 +97,26 @@ type Advice struct {
 }
 
 // Analyze evaluates a workload on the socket and produces the
-// recommendation.
+// recommendation. It builds a transient engine; callers holding one (a
+// shared result cache or disk store) should use AnalyzeEngine.
 func Analyze(w *workload.Workload, sock *platform.Socket, threads int) (Advice, error) {
+	return AnalyzeEngine(engine.New(sock, 0), w, threads)
+}
+
+// AnalyzeEngine produces the recommendation with both configuration
+// evaluations flowing through the engine — cached, persisted by a disk
+// result store, and shared with any sweep that already computed the
+// same points.
+func AnalyzeEngine(eng *engine.Engine, w *workload.Workload, threads int) (Advice, error) {
 	if err := w.Validate(); err != nil {
 		return Advice{}, err
 	}
-	ures, err := workload.Run(w, memsys.New(sock, memsys.UncachedNVM), threads)
+	sock := eng.Socket()
+	ures, err := eng.Run(engine.Job{Workload: w, Mode: memsys.UncachedNVM, Threads: threads, Origin: "advisor-" + w.Name})
 	if err != nil {
 		return Advice{}, err
 	}
-	cres, err := workload.Run(w, memsys.New(sock, memsys.CachedNVM), threads)
+	cres, err := eng.Run(engine.Job{Workload: w, Mode: memsys.CachedNVM, Threads: threads, Origin: "advisor-" + w.Name})
 	if err != nil {
 		return Advice{}, err
 	}

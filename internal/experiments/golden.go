@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/planner"
 	"repro/internal/scenario"
 )
 
@@ -50,6 +52,35 @@ func ScenarioArtifacts(c *Context) ([]Artifact, error) {
 		body := fmt.Sprintf("== scenario %s: %s ==\npoints: %d\n%s",
 			sp.Name, sp.Description, len(outs), scenario.Table(outs))
 		out = append(out, Artifact{Name: "scenario-" + sp.Name, Body: body})
+	}
+	return out, nil
+}
+
+// PlanPresets names the presets whose adaptive plans the golden corpus
+// pins end to end: the scale case (216 points, the planner's headline)
+// and a small concurrency sweep.
+func PlanPresets() []string {
+	return []string{"full-cartesian", "prediction-concurrency"}
+}
+
+// PlanArtifacts resolves the PlanPresets through the adaptive planner
+// (internal/planner, default plan knobs) and renders each plan: seed
+// and refinement rounds, the verified frontier and the full
+// evaluated-versus-predicted point log. Seeding, model fitting and
+// candidate selection are deterministic, so any drift is a real
+// behaviour change in the planner, the model or the solver underneath.
+func PlanArtifacts(c *Context) ([]Artifact, error) {
+	var out []Artifact
+	for _, name := range PlanPresets() {
+		sp, err := scenario.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := planner.RunSpec(context.Background(), c.Engine, sp, nil)
+		if err != nil {
+			return nil, fmt.Errorf("plan %s: %w", name, err)
+		}
+		out = append(out, Artifact{Name: "plan-" + name, Body: planner.Render(res)})
 	}
 	return out, nil
 }

@@ -81,6 +81,17 @@ func TestGoldenScenarios(t *testing.T) {
 	checkArtifacts(t, arts)
 }
 
+func TestGoldenPlans(t *testing.T) {
+	arts, err := PlanArtifacts(NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(PlanPresets()) {
+		t.Fatalf("rendered %d artifacts for %d plan presets", len(arts), len(PlanPresets()))
+	}
+	checkArtifacts(t, arts)
+}
+
 // TestGoldenNoStrays fails on orphaned golden files left behind by a
 // renamed or removed experiment or preset.
 func TestGoldenNoStrays(t *testing.T) {
@@ -90,6 +101,9 @@ func TestGoldenNoStrays(t *testing.T) {
 	}
 	for _, name := range scenario.Names() {
 		expect["scenario-"+name+".golden"] = true
+	}
+	for _, name := range PlanPresets() {
+		expect["plan-"+name+".golden"] = true
 	}
 	entries, err := os.ReadDir(goldenDir)
 	if err != nil {

@@ -1,13 +1,16 @@
 package explore
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/dwarfs"
 	"repro/internal/dwarfs/dense"
+	"repro/internal/engine"
 	"repro/internal/memsys"
 	"repro/internal/platform"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -151,6 +154,81 @@ func TestParetoNonDominated(t *testing.T) {
 		if front[i].Time < front[i-1].Time {
 			t.Error("front not sorted by time")
 		}
+	}
+}
+
+// The adaptive frontier search must agree with the exhaustive sweep's
+// Pareto front on the dense option space while really evaluating only a
+// fraction of it — the planner contract at the explorer's level.
+func TestFrontierMatchesExhaustivePareto(t *testing.T) {
+	w := dense.WorkloadPaper()
+	opts := FullOptions(w)
+	eng := engine.New(sock(), 0)
+	// The dense explorer space has a high frontier-to-point ratio (six
+	// small groups), so give verification more headroom than the 50%
+	// default budget.
+	front, res, err := Frontier(context.Background(), eng, w, opts, scenario.Plan{BudgetFrac: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations >= len(opts) {
+		t.Errorf("frontier search evaluated all %d options; want a strict subset", len(opts))
+	}
+	if !res.FrontierResolved {
+		t.Error("frontier not verified with real evaluations")
+	}
+	for _, e := range front {
+		if e.Predicted {
+			t.Errorf("frontier member %s carried by prediction", e.Option)
+		}
+	}
+	evals, err := Sweep(w, sock(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := Pareto(evals)
+	if len(exact) == 0 || len(front) == 0 {
+		t.Fatalf("empty frontier: exhaustive %d, planned %d", len(exact), len(front))
+	}
+	const tol = 0.05
+	covered := func(p Evaluation, in []Evaluation) bool {
+		for _, q := range in {
+			if q.DRAMUsed <= p.DRAMUsed && q.Time.Seconds() <= p.Time.Seconds()*(1+tol) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range exact {
+		if !covered(p, front) {
+			t.Errorf("exhaustive frontier point %s (%v, %s) not covered by planned frontier", p.Option, p.Time, p.DRAMUsed)
+		}
+	}
+	for _, p := range front {
+		if !covered(p, exact) {
+			t.Errorf("planned frontier point %s (%v, %s) is not near the exhaustive frontier", p.Option, p.Time, p.DRAMUsed)
+		}
+	}
+}
+
+// SweepEngine shares points with any other engine user: repeating the
+// sweep on the same engine recomputes nothing.
+func TestSweepEngineCaches(t *testing.T) {
+	w := dense.WorkloadPaper()
+	eng := engine.New(sock(), 0)
+	opts := DefaultOptions(w)
+	if _, err := SweepEngine(eng, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	miss := eng.Stats().Misses
+	if miss == 0 {
+		t.Fatal("first sweep computed nothing")
+	}
+	if _, err := SweepEngine(eng, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	if again := eng.Stats().Misses; again != miss {
+		t.Errorf("repeated sweep recomputed %d points", again-miss)
 	}
 }
 

@@ -1,0 +1,254 @@
+package model
+
+// The configuration-space regression behind the adaptive sweep planner
+// (internal/planner): where the Eq. 1 model of model.go predicts IPC
+// from hardware-event samples of one configuration, this one predicts
+// run *time* at unseen sweep points (concurrency levels, data sizes)
+// from a handful of evaluated seed points — the operational form of the
+// paper's "evaluate few, predict the rest" argument in Section V. The
+// regressors are derived from the workload's declared concurrency
+// behaviour (the same Amdahl + hyperthreading curve the runner uses),
+// so the model only has to learn the memory-system response the solver
+// adds on top; a leave-one-out ensemble quantifies how much the fit is
+// extrapolating, which is what the planner spends its evaluation
+// budget on.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ConfigFeatures returns the regressors for one sweep point of a
+// workload: problem size, Amdahl dilation, hyperthread oversubscription
+// and bandwidth-contention pressure. The response the planner pairs
+// them with is log run time, so the size and dilation terms enter in
+// log form too.
+func ConfigFeatures(w *workload.Workload, threads int, scale float64) []float64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	sp := w.Scaling.Speedup(threads)
+	if sp <= 0 {
+		sp = 1
+	}
+	base := w.Scaling.Speedup(w.BaseThreads)
+	if base <= 0 {
+		base = 1
+	}
+	ht := 0.0
+	if threads > workload.PhysicalCores {
+		ht = float64(threads-workload.PhysicalCores) / workload.PhysicalCores
+	}
+	return []float64{
+		math.Log(scale),
+		math.Log(base / sp),
+		ht,
+		float64(threads) / workload.MaxThreads,
+	}
+}
+
+// PointModel is a fitted log-time regression over configuration
+// features. When the seed is too small or degenerate for a regression
+// (constant features, rank deficiency), it degrades to the mean
+// predictor rather than failing — the planner's disagreement loop then
+// sees a wide ensemble spread and buys more real evaluations.
+type PointModel struct {
+	kept    []int
+	norms   []stats.Normalizer
+	reg     *stats.Regression
+	meanLog float64
+}
+
+// maxAbsCorr is the collinearity guard between kept regressors.
+const maxAbsCorr = 0.999
+
+// FitPointModel fits log(timeSec) against the feature matrix X
+// (row-major, as produced by ConfigFeatures). Constant columns are
+// dropped, the remaining ones are ranked by absolute correlation with
+// the response and added greedily while the observation count supports
+// them (n >= kept+2), skipping near-collinear columns.
+func FitPointModel(X [][]float64, timesSec []float64) (*PointModel, error) {
+	n := len(X)
+	if n == 0 || n != len(timesSec) {
+		return nil, fmt.Errorf("model: point fit needs matching non-empty X (%d) and times (%d)", n, len(timesSec))
+	}
+	y := make([]float64, n)
+	for i, t := range timesSec {
+		if t <= 0 {
+			return nil, fmt.Errorf("model: non-positive time %v at point %d", t, i)
+		}
+		y[i] = math.Log(t)
+	}
+	m := &PointModel{meanLog: stats.Mean(y)}
+
+	p := len(X[0])
+	cols := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		col := make([]float64, n)
+		for i := range X {
+			col[i] = X[i][j]
+		}
+		cols[j] = col
+	}
+	// Rank non-constant columns by |corr| with the response; ties keep
+	// the declaration order so the fit is deterministic.
+	type ranked struct {
+		j    int
+		corr float64
+	}
+	var cand []ranked
+	for j, col := range cols {
+		if stats.StdDev(col) == 0 {
+			continue
+		}
+		cand = append(cand, ranked{j, math.Abs(stats.Pearson(col, y))})
+	}
+	sort.SliceStable(cand, func(a, b int) bool { return cand[a].corr > cand[b].corr })
+	for _, c := range cand {
+		if len(m.kept) > n-2 {
+			break
+		}
+		collinear := false
+		for _, k := range m.kept {
+			if math.Abs(stats.Pearson(cols[c.j], cols[k])) > maxAbsCorr {
+				collinear = true
+				break
+			}
+		}
+		if !collinear {
+			m.kept = append(m.kept, c.j)
+		}
+	}
+	sort.Ints(m.kept)
+
+	// Fit, backing off a feature at a time on rank deficiency; an empty
+	// kept set is the mean predictor.
+	for len(m.kept) > 0 {
+		norms := make([]stats.Normalizer, len(m.kept))
+		for i, j := range m.kept {
+			norms[i] = stats.FitNormalizer(cols[j])
+		}
+		rows := make([][]float64, n)
+		for i := range X {
+			row := make([]float64, len(m.kept))
+			for k, j := range m.kept {
+				row[k] = norms[k].Apply(X[i][j])
+			}
+			rows[i] = row
+		}
+		reg, err := stats.FitOLS(rows, y)
+		if err == nil {
+			m.norms, m.reg = norms, reg
+			return m, nil
+		}
+		m.kept = m.kept[:len(m.kept)-1]
+	}
+	return m, nil
+}
+
+// Predict estimates the run time in seconds for one feature vector.
+func (m *PointModel) Predict(feat []float64) float64 {
+	if m.reg == nil {
+		return math.Exp(m.meanLog)
+	}
+	row := make([]float64, len(m.kept))
+	for k, j := range m.kept {
+		row[k] = m.norms[k].Apply(feat[j])
+	}
+	return math.Exp(m.reg.Predict(row))
+}
+
+// Features reports how many regressors survived selection (0 means the
+// mean predictor).
+func (m *PointModel) Features() int { return len(m.kept) }
+
+// PointEnsemble is the main point model plus its leave-one-out
+// variants. The spread of the variants' predictions at an unseen point
+// measures how much the fit depends on any single seed — the planner's
+// refinement signal.
+type PointEnsemble struct {
+	main *PointModel
+	loo  []*PointModel
+	// smallSpread is the fallback disagreement for ensembles of fewer
+	// than three observations, where leave-one-out variants collapse:
+	// the relative spread of the training times themselves, and full
+	// uncertainty (1) for a single observation — an under-seeded group
+	// must look uncertain, not confident, so the planner buys it more
+	// evaluations.
+	smallSpread float64
+}
+
+// FitPointEnsemble fits the main model on all observations and one
+// variant per left-out observation (below three observations the
+// variants would all collapse to near-identical means, so the ensemble
+// instead reports the training spread as its disagreement).
+func FitPointEnsemble(X [][]float64, timesSec []float64) (*PointEnsemble, error) {
+	main, err := FitPointModel(X, timesSec)
+	if err != nil {
+		return nil, err
+	}
+	e := &PointEnsemble{main: main}
+	if len(X) < 3 {
+		if len(X) < 2 {
+			e.smallSpread = 1
+		} else if mean := stats.Mean(timesSec); mean > 0 {
+			e.smallSpread = (stats.Max(timesSec) - stats.Min(timesSec)) / mean
+		}
+		return e, nil
+	}
+	for drop := range X {
+		xs := make([][]float64, 0, len(X)-1)
+		ys := make([]float64, 0, len(X)-1)
+		for i := range X {
+			if i == drop {
+				continue
+			}
+			xs = append(xs, X[i])
+			ys = append(ys, timesSec[i])
+		}
+		lm, err := FitPointModel(xs, ys)
+		if err != nil {
+			return nil, err
+		}
+		e.loo = append(e.loo, lm)
+	}
+	return e, nil
+}
+
+// Predict estimates the run time in seconds at one feature vector using
+// the main model.
+func (e *PointEnsemble) Predict(feat []float64) float64 { return e.main.Predict(feat) }
+
+// Disagreement returns the relative ensemble spread at a feature
+// vector: (max - min) / mean over the main and leave-one-out
+// predictions. Zero means every variant agrees; the planner evaluates
+// points whose disagreement exceeds its threshold for real. Ensembles
+// too small for leave-one-out report their training-time spread
+// instead (full uncertainty for a single observation).
+func (e *PointEnsemble) Disagreement(feat []float64) float64 {
+	if len(e.loo) == 0 {
+		return e.smallSpread
+	}
+	lo := e.main.Predict(feat)
+	hi, sum, n := lo, lo, 1.0
+	for _, m := range e.loo {
+		p := m.Predict(feat)
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+		sum += p
+		n++
+	}
+	mean := sum / n
+	if mean <= 0 {
+		return 0
+	}
+	return (hi - lo) / mean
+}

@@ -1,0 +1,144 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dwarfs"
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// evalTimes runs the app on the mode across a thread ladder, returning
+// the feature matrix and true times — the planner's training shape.
+func evalTimes(t *testing.T, app string, mode memsys.Mode, threads []int) ([][]float64, []float64) {
+	t.Helper()
+	e, err := dwarfs.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.New()
+	sys := memsys.New(platform.NewPurley().Socket(0), mode)
+	var X [][]float64
+	var y []float64
+	for _, th := range threads {
+		res, err := workload.Run(w, sys, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		X = append(X, ConfigFeatures(w, th, 1))
+		y = append(y, res.Time.Seconds())
+	}
+	return X, y
+}
+
+// A model trained on the endpoints and midpoint of the thread ladder
+// must interpolate the rest of the ladder to within a usable error —
+// the planner's seed-then-predict contract.
+func TestPointModelInterpolatesConcurrency(t *testing.T) {
+	ladder := []int{1, 2, 4, 8, 16, 24, 32, 40, 48}
+	for _, mode := range memsys.Modes() {
+		X, y := evalTimes(t, "XSBench", mode, ladder)
+		seed := []int{0, 4, 8} // 1, 16, 48 threads
+		var sx [][]float64
+		var sy []float64
+		for _, i := range seed {
+			sx = append(sx, X[i])
+			sy = append(sy, y[i])
+		}
+		m, err := FitPointModel(sx, sy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range X {
+			pred := m.Predict(X[i])
+			relErr := math.Abs(pred-y[i]) / y[i]
+			if relErr > 0.35 {
+				t.Errorf("%s @ %d threads: predicted %.3fs, observed %.3fs (%.0f%% off)",
+					mode, ladder[i], pred, y[i], 100*relErr)
+			}
+		}
+	}
+}
+
+// Degenerate seeds must degrade to the mean predictor, never fail.
+func TestPointModelDegradesToMean(t *testing.T) {
+	X := [][]float64{{0, 0, 0, 0.5}, {0, 0, 0, 0.5}}
+	y := []float64{2, 8}
+	m, err := FitPointModel(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Features() != 0 {
+		t.Errorf("constant features kept: %d", m.Features())
+	}
+	want := math.Exp((math.Log(2) + math.Log(8)) / 2) // geometric mean
+	if got := m.Predict(X[0]); math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean predictor = %v, want %v", got, want)
+	}
+}
+
+func TestPointModelRejectsBadInput(t *testing.T) {
+	if _, err := FitPointModel(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := FitPointModel([][]float64{{1}}, []float64{0}); err == nil {
+		t.Error("non-positive time should fail")
+	}
+	if _, err := FitPointModel([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+// Ensemble disagreement must be small where the model interpolates
+// among dense seeds and larger where a left-out seed changes the fit.
+func TestPointEnsembleDisagreement(t *testing.T) {
+	ladder := []int{1, 2, 4, 8, 16, 24, 32, 40, 48}
+	X, y := evalTimes(t, "Hypre", memsys.UncachedNVM, ladder)
+	full, err := FitPointEnsemble(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sx [][]float64
+	var sy []float64
+	for _, i := range []int{0, 4, 8} {
+		sx = append(sx, X[i])
+		sy = append(sy, y[i])
+	}
+	sparse, err := FitPointEnsemble(sx, sy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At an unseen mid-ladder point the three-seed ensemble must be
+	// less certain than the fully trained one.
+	probe := X[6] // 32 threads
+	if d0, d1 := full.Disagreement(probe), sparse.Disagreement(probe); d1 <= d0 {
+		t.Errorf("sparse ensemble disagreement %.4f not above dense %.4f", d1, d0)
+	}
+	// At a training point of the sparse seed, prediction is anchored.
+	if d := sparse.Disagreement(X[0]); d < 0 {
+		t.Errorf("negative disagreement %v", d)
+	}
+	// Under-seeded ensembles must look uncertain, not confident: below
+	// three observations the disagreement is the training spread (full
+	// uncertainty for a single point), so the planner buys such groups
+	// more evaluations instead of trusting a mean predictor.
+	tiny, err := FitPointEnsemble(sx[:2], sy[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tiny.Predict(probe); p <= 0 {
+		t.Errorf("tiny ensemble predicted %v", p)
+	}
+	if d := tiny.Disagreement(probe); d <= 0 {
+		t.Errorf("two-seed ensemble disagreement = %v, want positive", d)
+	}
+	single, err := FitPointEnsemble(sx[:1], sy[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := single.Disagreement(probe); d != 1 {
+		t.Errorf("one-seed ensemble disagreement = %v, want 1", d)
+	}
+}

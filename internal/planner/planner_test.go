@@ -1,0 +1,312 @@
+package planner
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/resultstore"
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+func sock() *platform.Socket { return platform.NewPurley().Socket(0) }
+
+func newEngine() *engine.Engine { return engine.New(sock(), 0) }
+
+// frontierTolerance documents the acceptance band between the planner's
+// frontier and the exhaustive one: every exhaustive frontier point must
+// be matched by a planner frontier point using no more DRAM and at most
+// this much more time, and vice versa.
+const frontierTolerance = 0.05
+
+// The headline property: on the full-cartesian space (216 points) the
+// planner resolves a frontier equivalent to the exhaustive explorer's
+// within the documented tolerance, while really evaluating at most half
+// the points — all of which land in the result store and re-serve as
+// cache hits on a second run.
+func TestPlannerMatchesExhaustiveFrontier(t *testing.T) {
+	sp, err := scenario.ByName("full-cartesian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.NewWithStore(sock(), 0, store)
+	res, err := RunSpec(context.Background(), eng, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.Points)
+	if n != sp.Size() {
+		t.Fatalf("planned %d points, spec has %d", n, sp.Size())
+	}
+	if res.Evaluations > n/2 {
+		t.Errorf("planner evaluated %d of %d points, want <= %d", res.Evaluations, n, n/2)
+	}
+	if !res.FrontierResolved {
+		t.Error("frontier not fully verified by real evaluations")
+	}
+	st := eng.Stats()
+	if int(st.Misses) != res.Evaluations {
+		t.Errorf("engine computed %d points, planner reports %d evaluations", st.Misses, res.Evaluations)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm second run: every evaluation re-serves from disk.
+	warm, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if got := warm.Persisted(); got != res.Evaluations {
+		t.Errorf("store persisted %d records, want %d", got, res.Evaluations)
+	}
+	eng2 := engine.NewWithStore(sock(), 0, warm)
+	res2, err := RunSpec(context.Background(), eng2, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 := eng2.Stats(); st2.Misses != 0 || int(st2.Hits) != res2.Evaluations {
+		t.Errorf("warm run stats = %+v, want all %d evaluations as hits", st2, res2.Evaluations)
+	}
+	if Render(res) != Render(res2) {
+		t.Error("planner run is not deterministic across cold and warm stores")
+	}
+
+	// The exhaustive control: the degenerate full-seed plan.
+	full := sp
+	full.Plan = &scenario.Plan{Seed: scenario.SeedFull, BudgetFrac: 1}
+	exh, err := RunSpec(context.Background(), eng2, full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exh.Evaluations != n {
+		t.Fatalf("exhaustive control evaluated %d of %d", exh.Evaluations, n)
+	}
+	matchFrontiers(t, exh.FrontierPoints(), res.FrontierPoints())
+}
+
+// matchFrontiers asserts two frontiers are equivalent within the
+// documented tolerance, both directions.
+func matchFrontiers(t *testing.T, want, got []PlannedPoint) {
+	t.Helper()
+	covered := func(p PlannedPoint, in []PlannedPoint) bool {
+		for _, q := range in {
+			if q.Meta.App == p.Meta.App && q.DRAMUsed <= p.DRAMUsed &&
+				q.Time.Seconds() <= p.Time.Seconds()*(1+frontierTolerance) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range want {
+		if !covered(p, got) {
+			t.Errorf("exhaustive frontier point %s %s @%d (%.3fs, %s) not covered by planner frontier",
+				p.Meta.App, p.Meta.Mode, p.Meta.Threads, p.Time.Seconds(), p.DRAMUsed)
+		}
+	}
+	for _, p := range got {
+		if !covered(p, want) {
+			t.Errorf("planner frontier point %s %s @%d (%.3fs, %s) not near the exhaustive frontier",
+				p.Meta.App, p.Meta.Mode, p.Meta.Threads, p.Time.Seconds(), p.DRAMUsed)
+		}
+	}
+}
+
+// PointsFromSpec derives the frontier's DRAM axis from the mode, with
+// DRAM-only feasibility against the socket capacity.
+func TestPointsFromSpec(t *testing.T) {
+	sp := scenario.Spec{
+		Name:   "feas",
+		Apps:   []string{"Hypre"},
+		Modes:  []memsys.Mode{memsys.DRAMOnly, memsys.CachedNVM, memsys.UncachedNVM},
+		Scales: []float64{1, 4},
+	}
+	pts, err := PointsFromSpec(sp, sock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	cap := sock().DRAM.Capacity
+	for _, p := range pts {
+		switch p.Meta.Mode {
+		case memsys.DRAMOnly:
+			if p.DRAMUsed != p.Job.Workload.Footprint {
+				t.Errorf("DRAM-only at scale %g uses %s, want footprint %s", p.Meta.Scale, p.DRAMUsed, p.Job.Workload.Footprint)
+			}
+			if wantFeasible := p.Job.Workload.Footprint <= cap; p.Feasible != wantFeasible {
+				t.Errorf("DRAM-only at scale %g feasible = %v", p.Meta.Scale, p.Feasible)
+			}
+		case memsys.CachedNVM:
+			if p.DRAMUsed != cap || !p.Feasible {
+				t.Errorf("cached-NVM uses %s, feasible %v", p.DRAMUsed, p.Feasible)
+			}
+		case memsys.UncachedNVM:
+			if p.DRAMUsed != 0 || !p.Feasible {
+				t.Errorf("uncached uses %s", p.DRAMUsed)
+			}
+		}
+	}
+	// The 4x Hypre footprint is the paper's beyond-DRAM case.
+	if pts[3].Meta.Scale != 4 || pts[3].Feasible {
+		t.Errorf("4x footprint on DRAM-only should be infeasible (%+v)", pts[3].Meta)
+	}
+}
+
+// The observer sees the seed round first, the predict round last, and
+// every point exactly once across rounds.
+func TestPlannerObserver(t *testing.T) {
+	sp, err := scenario.ByName("prediction-concurrency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Progress
+	res, err := RunSpec(context.Background(), newEngine(), sp, func(p Progress) {
+		events = append(events, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(res.Rounds) {
+		t.Fatalf("%d events for %d rounds", len(events), len(res.Rounds))
+	}
+	if events[0].Round.Phase != "seed" {
+		t.Errorf("first round phase %q", events[0].Round.Phase)
+	}
+	if last := events[len(events)-1].Round; last.Phase != "predict" {
+		t.Errorf("last round phase %q", last.Phase)
+	}
+	seen := map[int]int{}
+	total := 0
+	for _, ev := range events {
+		for _, p := range ev.Points {
+			seen[p.Index]++
+			total++
+		}
+	}
+	if total != len(res.Points) {
+		t.Errorf("events carried %d points, want %d exactly once", total, len(res.Points))
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			t.Errorf("point %d appeared %d times", idx, c)
+		}
+	}
+	if res.Evaluations >= len(res.Points) {
+		t.Errorf("no points were predicted: %d/%d evaluated", res.Evaluations, len(res.Points))
+	}
+}
+
+// The budget is a hard cap, enforced round-robin across groups so every
+// group still gets a seed when the budget allows one each.
+func TestPlannerBudgetCap(t *testing.T) {
+	sp, err := scenario.ByName("full-cartesian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Plan = &scenario.Plan{BudgetFrac: 0.15} // 32 of 216
+	res, err := RunSpec(context.Background(), newEngine(), sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Budget != 32 {
+		t.Fatalf("budget = %d", res.Budget)
+	}
+	if res.Evaluations > res.Budget {
+		t.Errorf("evaluated %d past the budget %d", res.Evaluations, res.Budget)
+	}
+	// 24 groups (8 apps x 3 modes): a 32-point budget seeds every group
+	// at least once.
+	groups := map[string]int{}
+	for _, p := range res.Points {
+		if p.Evaluated {
+			groups[p.Meta.App+"|"+p.Meta.Mode.String()]++
+		}
+	}
+	if len(groups) != 24 {
+		t.Errorf("budgeted seed covered %d of 24 groups", len(groups))
+	}
+}
+
+// Seed "full" with budget 1 is the exhaustive sweep; its point log
+// carries no predictions.
+func TestPlannerFullSeed(t *testing.T) {
+	sp, err := scenario.ByName("ft-divergence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Plan = &scenario.Plan{Seed: scenario.SeedFull, BudgetFrac: 1}
+	res, err := RunSpec(context.Background(), newEngine(), sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != len(res.Points) {
+		t.Errorf("full seed evaluated %d of %d", res.Evaluations, len(res.Points))
+	}
+	for _, p := range res.Points {
+		if !p.Evaluated {
+			t.Errorf("point %d not evaluated under full seed", p.Index)
+		}
+	}
+}
+
+func TestPlannerCancellation(t *testing.T) {
+	sp, err := scenario.ByName("full-cartesian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSpec(ctx, newEngine(), sp, nil); err == nil {
+		t.Error("cancelled plan should fail")
+	}
+}
+
+func TestPlannerRejectsBadInput(t *testing.T) {
+	if _, err := Run(context.Background(), newEngine(), nil, Options{}); err == nil {
+		t.Error("empty space should fail")
+	}
+	_, err := Run(context.Background(), newEngine(), []Point{{}}, Options{
+		Plan: scenario.Plan{Seed: "psychic"},
+	})
+	if err == nil {
+		t.Error("bad plan should fail before evaluation")
+	}
+}
+
+// An infeasible point may train the model but must never reach the
+// frontier.
+func TestFrontierExcludesInfeasible(t *testing.T) {
+	sp := scenario.Spec{
+		Name:   "beyond",
+		Apps:   []string{"Hypre"},
+		Modes:  []memsys.Mode{memsys.DRAMOnly, memsys.CachedNVM},
+		Scales: []float64{4},
+	}
+	res, err := RunSpec(context.Background(), newEngine(), sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.FrontierPoints() {
+		if !p.Feasible {
+			t.Errorf("infeasible point on the frontier: %+v", p.Meta)
+		}
+		if p.Meta.Mode == memsys.DRAMOnly {
+			t.Errorf("beyond-DRAM footprint kept DRAM-only on the frontier")
+		}
+	}
+	if len(res.Frontier) == 0 {
+		t.Error("empty frontier")
+	}
+	var _ units.Bytes // keep the units import honest if asserts change
+}

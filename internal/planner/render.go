@@ -1,0 +1,79 @@
+package planner
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Render formats a resolved plan as the canonical text artifact: the
+// headline accounting, the per-round progress, the verified frontier
+// and the full point log (evaluated versus predicted). The render
+// excludes run-environment facts (worker counts, cache hit rates) so
+// the golden corpus pins only planner behaviour.
+func Render(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s: %d points, %d evaluated (%.1f%%), budget %d, frontier resolved: %v\n",
+		r.Name, len(r.Points), r.Evaluations,
+		100*float64(r.Evaluations)/float64(len(r.Points)), r.Budget, r.FrontierResolved)
+	for _, rd := range r.Rounds {
+		fmt.Fprintf(&b, "round %d %-7s evaluated %3d, carried by prediction %3d\n",
+			rd.N, rd.Phase+":", rd.Evaluated, rd.Predicted)
+	}
+	b.WriteString("frontier (per app, minimizing time and DRAM):\n")
+	for _, p := range r.FrontierPoints() {
+		fmt.Fprintf(&b, "  %-12s %-14s %7d %6.2g %10.3f %10s  %s\n",
+			p.Meta.App, p.Meta.Mode, p.Meta.Threads, p.Meta.Scale,
+			p.Time.Seconds(), p.DRAMUsed, source(p))
+	}
+	b.WriteString("points:\n")
+	fmt.Fprintf(&b, "  %-12s %-14s %7s %6s %10s %10s  %s\n",
+		"App", "Mode", "Threads", "Scale", "Time(s)", "DRAM", "Source")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-12s %-14s %7d %6.2g %10.3f %10s  %s\n",
+			p.Meta.App, p.Meta.Mode, p.Meta.Threads, p.Meta.Scale,
+			p.Time.Seconds(), p.DRAMUsed, source(p))
+	}
+	return b.String()
+}
+
+// source labels how a point was resolved.
+func source(p PlannedPoint) string {
+	if p.Evaluated {
+		return fmt.Sprintf("evaluated (round %d)", p.Round)
+	}
+	if p.Time == 0 {
+		return "unresolved"
+	}
+	return "predicted"
+}
+
+// MarshalJSON renders a planned point as a flat record — the NDJSON
+// line schema of nvmserve's plan point stream, mode by name like the
+// sweep outcome schema.
+func (p PlannedPoint) MarshalJSON() ([]byte, error) {
+	rec := struct {
+		App         string  `json:"app"`
+		Mode        string  `json:"mode"`
+		Threads     int     `json:"threads"`
+		Scale       float64 `json:"scale"`
+		TimeSeconds float64 `json:"time_s"`
+		Evaluated   bool    `json:"evaluated"`
+		Round       int     `json:"round,omitempty"`
+		PredictedS  float64 `json:"predicted_s,omitempty"`
+		DRAMBytes   int64   `json:"dram_bytes"`
+		Feasible    bool    `json:"feasible"`
+	}{
+		App:         p.Meta.App,
+		Mode:        p.Meta.Mode.String(),
+		Threads:     p.Meta.Threads,
+		Scale:       p.Meta.Scale,
+		TimeSeconds: p.Time.Seconds(),
+		Evaluated:   p.Evaluated,
+		Round:       p.Round,
+		PredictedS:  p.Predicted.Seconds(),
+		DRAMBytes:   int64(p.DRAMUsed),
+		Feasible:    p.Feasible,
+	}
+	return json.Marshal(rec)
+}

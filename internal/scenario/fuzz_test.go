@@ -38,3 +38,55 @@ func FuzzLoadSpec(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPlanSpec drives the "plan" block through the decoder: a spec with
+// a malformed plan must error, never panic, and a plan that decodes
+// must validate, default to sane knobs and survive re-encoding
+// byte-identically.
+func FuzzPlanSpec(f *testing.F) {
+	for _, sp := range Presets() {
+		sp.Plan = &Plan{}
+		b, err := Encode(sp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"name": "x", "plan": {"seed": "edges", "budget_frac": 0.5, "threshold": 0.05, "objective": "time", "max_rounds": 8}}`))
+	f.Add([]byte(`{"name": "x", "plan": {"seed": "stride"}}`))
+	f.Add([]byte(`{"name": "x", "plan": {"seed": "full", "budget_frac": 1}}`))
+	f.Add([]byte(`{"name": "x", "plan": {"budget_frac": 2}}`))
+	f.Add([]byte(`{"name": "x", "plan": {"threshold": -0.1}}`))
+	f.Add([]byte(`{"name": "x", "plan": {"max_rounds": 1e99}}`))
+	f.Add([]byte(`{"name": "x", "plan": null}`))
+	f.Add([]byte(`{"name": "x", "plan": {"sedd": "typo"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data, "fuzz.json")
+		if err != nil {
+			return
+		}
+		if sp.Plan != nil {
+			if err := sp.Plan.Validate(); err != nil {
+				t.Errorf("ParseSpec accepted an invalid plan: %v", err)
+			}
+			d := sp.Plan.Defaults()
+			if d.Seed == "" || d.BudgetFrac <= 0 || d.BudgetFrac > 1 ||
+				d.Threshold < 0 || d.Objective == "" || d.MaxRounds < 1 {
+				t.Errorf("defaults left a zero knob: %+v", d)
+			}
+		}
+		b, err := Encode(sp)
+		if err != nil {
+			t.Fatalf("parsed spec failed to re-encode: %v", err)
+		}
+		back, err := ParseSpec(b, "reencoded.json")
+		if err != nil {
+			t.Fatalf("re-encoded spec failed to parse: %v", err)
+		}
+		if (back.Plan == nil) != (sp.Plan == nil) {
+			t.Error("plan presence did not round-trip")
+		} else if sp.Plan != nil && *back.Plan != *sp.Plan {
+			t.Errorf("plan drifted through the codec: %+v != %+v", back.Plan, sp.Plan)
+		}
+	})
+}

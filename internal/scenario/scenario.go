@@ -104,6 +104,11 @@ type Spec struct {
 	// modelling the same code on a proportionally larger (or smaller)
 	// problem — the axis behind the capacity-pressure sweeps.
 	Scales []float64
+	// Plan, when non-nil, configures the adaptive sweep planner
+	// (internal/planner): the sweep is resolved from a seeded,
+	// model-predicted subset of real evaluations instead of
+	// exhaustively. Nil means the classic exhaustive sweep.
+	Plan *Plan
 }
 
 // Meta labels one expanded evaluation point.
@@ -221,6 +226,11 @@ func (s Spec) Validate() error {
 	for _, sc := range s.scales() {
 		if sc <= 0 {
 			return fmt.Errorf("scenario %s: non-positive scale %v", s.Name, sc)
+		}
+	}
+	if s.Plan != nil {
+		if err := s.Plan.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 	}
 	if s.Size() == 0 {

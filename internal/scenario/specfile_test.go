@@ -106,6 +106,19 @@ func TestParseMode(t *testing.T) {
 			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
 		}
 	}
+	// The CLI shorthands (historically private to nvmsim/nvmtrace, now
+	// canonical here so the vocabulary cannot drift between surfaces).
+	aliases := map[string]memsys.Mode{
+		"dram": memsys.DRAMOnly, "DRAM": memsys.DRAMOnly,
+		"cached": memsys.CachedNVM, "Memory": memsys.CachedNVM, "cached-nvm": memsys.CachedNVM,
+		"uncached": memsys.UncachedNVM, "APPDIRECT": memsys.UncachedNVM, "uncached-NVM": memsys.UncachedNVM,
+	}
+	for name, want := range aliases {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
 	_, err := ParseMode("optane")
 	if err == nil || !strings.Contains(err.Error(), "cached-NVM") {
 		t.Errorf("unknown mode error should list valid names, got %v", err)
@@ -114,8 +127,75 @@ func TestParseMode(t *testing.T) {
 	// plan), so ParseMode must neither accept nor advertise it.
 	if _, err := ParseMode("write-aware"); err == nil {
 		t.Error("ParseMode should reject Placed")
-	} else if !strings.Contains(err.Error(), "(have DRAM, cached-NVM, uncached-NVM)") {
+	} else if !strings.Contains(err.Error(), "have DRAM, cached-NVM, uncached-NVM") ||
+		strings.Contains(err.Error(), "write-aware (") {
 		t.Errorf("unknown-mode error should advertise exactly the paper modes: %v", err)
+	}
+}
+
+// The optional "plan" block configures the adaptive planner and must
+// round-trip with the same strictness as the rest of the schema.
+func TestSpecPlanBlockRoundTrip(t *testing.T) {
+	src := `{
+  "name": "planned",
+  "apps": ["XSBench"],
+  "threads": [8, 24, 48],
+  "plan": {"seed": "stride", "budget_frac": 0.4, "threshold": 0.1, "objective": "time", "max_rounds": 3}
+}`
+	sp, err := ParseSpec([]byte(src), "plan.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{Seed: SeedStride, BudgetFrac: 0.4, Threshold: 0.1, Objective: ObjectiveTime, MaxRounds: 3}
+	if sp.Plan == nil || *sp.Plan != *want {
+		t.Fatalf("plan = %+v, want %+v", sp.Plan, want)
+	}
+	b, err := Encode(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(b, "reencoded.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Plan == nil || *back.Plan != *sp.Plan {
+		t.Errorf("plan did not survive re-encoding: %+v", back.Plan)
+	}
+
+	// Unknown fields inside the block fail loudly, like everywhere else.
+	if _, err := ParseSpec([]byte(`{"name": "x", "plan": {"sedd": "edges"}}`), "typo.json"); err == nil ||
+		!strings.Contains(err.Error(), "sedd") {
+		t.Errorf("typoed plan field should be rejected by name, got %v", err)
+	}
+	// Bad knob values are caught by Validate.
+	for _, bad := range []string{
+		`{"name": "x", "plan": {"seed": "psychic"}}`,
+		`{"name": "x", "plan": {"budget_frac": 1.5}}`,
+		`{"name": "x", "plan": {"threshold": -1}}`,
+		`{"name": "x", "plan": {"objective": "vibes"}}`,
+		`{"name": "x", "plan": {"max_rounds": -2}}`,
+	} {
+		if _, err := ParseSpec([]byte(bad), "bad.json"); err == nil {
+			t.Errorf("invalid plan %s should fail validation", bad)
+		}
+	}
+	// An empty block is valid: every knob defaults.
+	sp, err = ParseSpec([]byte(`{"name": "x", "plan": {}}`), "empty.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sp.Plan.Defaults()
+	if d.Seed != SeedEdges || d.BudgetFrac != 0.5 || d.Threshold != 0.05 ||
+		d.Objective != ObjectiveTime || d.MaxRounds != 8 {
+		t.Errorf("defaults = %+v", d)
+	}
+	// A full seed without an explicit budget means the exhaustive
+	// control — the budget must default to the whole space, not 50%.
+	if d := (Plan{Seed: SeedFull}).Defaults(); d.BudgetFrac != 1 {
+		t.Errorf("full-seed default budget = %v, want 1", d.BudgetFrac)
+	}
+	if d := (Plan{Seed: SeedFull, BudgetFrac: 0.3}).Defaults(); d.BudgetFrac != 0.3 {
+		t.Errorf("explicit budget overridden: %v", d.BudgetFrac)
 	}
 }
 

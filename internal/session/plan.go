@@ -1,0 +1,278 @@
+package session
+
+// Plan sessions: the asynchronous form of the adaptive sweep planner
+// (internal/planner), mirroring what Session is for exhaustive sweeps.
+// A PlanSession exposes per-round progress — how many points have been
+// evaluated for real versus carried by the model's prediction — a
+// streamable log of resolved points, and cancellation; the planner's
+// engine batches run on the manager's engine, so evaluated points share
+// the result store with every sweep session and persist across
+// restarts exactly like theirs.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/planner"
+	"repro/internal/scenario"
+)
+
+// PlanStatus is a point-in-time snapshot of a plan session.
+type PlanStatus struct {
+	ID          string `json:"id"`
+	Spec        string `json:"spec"`
+	Description string `json:"description,omitempty"`
+	State       State  `json:"state"`
+	// Points is the size of the configuration space; Budget the maximum
+	// real evaluations the plan allows.
+	Points int `json:"points"`
+	Budget int `json:"budget"`
+	// Evaluated counts real evaluations so far; Predicted the points
+	// resolved by the model (final only when the state is terminal).
+	Evaluated int `json:"evaluated"`
+	Predicted int `json:"predicted"`
+	// Rounds is the per-iteration progress log.
+	Rounds []planner.Round `json:"rounds,omitempty"`
+	// Frontier carries the resolved Pareto frontier once the plan is
+	// done; FrontierResolved reports whether every member was verified
+	// with a real evaluation.
+	Frontier         []planner.PlannedPoint `json:"frontier,omitempty"`
+	FrontierResolved bool                   `json:"frontier_resolved,omitempty"`
+	Error            string                 `json:"error,omitempty"`
+
+	Started  time.Time  `json:"started"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// PlanSession is one asynchronous planner run.
+type PlanSession struct {
+	id     string
+	spec   scenario.Spec
+	points int
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	budget    int
+	rounds    []planner.Round
+	resolved  []planner.PlannedPoint
+	evaluated int
+	state     State
+	err       error
+	result    *planner.Result
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the session's identifier.
+func (s *PlanSession) ID() string { return s.id }
+
+// Spec returns the submitted spec.
+func (s *PlanSession) Spec() scenario.Spec { return s.spec }
+
+// Size returns the configuration-space size.
+func (s *PlanSession) Size() int { return s.points }
+
+// Cancel aborts the plan between engine jobs; already-solving points
+// run to completion and commit to the result store as whole entries.
+func (s *PlanSession) Cancel() { s.cancel() }
+
+// wake re-checks every waiter's predicate after a caller context fires
+// (see Session.wake for why the empty critical section matters).
+func (s *PlanSession) wake() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// observe is the planner's progress hook: it records the round and
+// appends the points the round resolved to the stream log.
+func (s *PlanSession) observe(p planner.Progress) {
+	s.mu.Lock()
+	s.rounds = append(s.rounds, p.Round)
+	s.resolved = append(s.resolved, p.Points...)
+	s.evaluated = p.EvaluatedTotal
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// finish transitions the session to its terminal state.
+func (s *PlanSession) finish(res *planner.Result, err error) {
+	s.mu.Lock()
+	switch {
+	case err == nil:
+		s.state, s.result = Done, res
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.state, s.err = Cancelled, err
+	default:
+		s.state, s.err = Failed, err
+	}
+	s.finished = time.Now()
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Status snapshots the session.
+func (s *PlanSession) Status() PlanStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := PlanStatus{
+		ID:          s.id,
+		Spec:        s.spec.Name,
+		Description: s.spec.Description,
+		State:       s.state,
+		Points:      s.points,
+		Budget:      s.budget,
+		Evaluated:   s.evaluated,
+		Predicted:   s.points - s.evaluated,
+		Rounds:      append([]planner.Round(nil), s.rounds...),
+		Started:     s.started,
+	}
+	if s.result != nil {
+		out.Budget = s.result.Budget
+		out.Frontier = s.result.FrontierPoints()
+		out.FrontierResolved = s.result.FrontierResolved
+	}
+	if s.err != nil {
+		out.Error = s.err.Error()
+	}
+	if s.state.Terminal() {
+		f := s.finished
+		out.Finished = &f
+	}
+	return out
+}
+
+// Stream delivers the plan's resolved points in resolution order: real
+// evaluations as their round completes, then the model-predicted
+// remainder when the plan finishes. It returns nil after the final
+// point of a successful plan; a failed or cancelled plan's error after
+// the points resolved before the failure; and ctx's error if it fires
+// first. Multiple Streams may run concurrently.
+func (s *PlanSession) Stream(ctx context.Context, emit func(planner.PlannedPoint) error) error {
+	stop := context.AfterFunc(ctx, s.wake)
+	defer stop()
+	for next := 0; ; {
+		s.mu.Lock()
+		for next >= len(s.resolved) && !s.state.Terminal() && ctx.Err() == nil {
+			s.cond.Wait()
+		}
+		batch := append([]planner.PlannedPoint(nil), s.resolved[next:]...)
+		terminal := s.state.Terminal()
+		err := s.err
+		s.mu.Unlock()
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		for _, p := range batch {
+			if eerr := emit(p); eerr != nil {
+				return eerr
+			}
+		}
+		next += len(batch)
+		if terminal && len(batch) == 0 {
+			return err
+		}
+	}
+}
+
+// Wait blocks until the plan reaches a terminal state or ctx fires,
+// returning the plan error (nil for Done).
+func (s *PlanSession) Wait(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, s.wake)
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.state.Terminal() && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if cerr := ctx.Err(); cerr != nil && !s.state.Terminal() {
+		return cerr
+	}
+	return s.err
+}
+
+// Result returns the resolved plan of a successfully completed session,
+// waiting for completion first.
+func (s *PlanSession) Result(ctx context.Context) (*planner.Result, error) {
+	if err := s.Wait(ctx); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.result, nil
+}
+
+// SubmitPlan validates and expands the spec, starts resolving it
+// through the adaptive planner in the background, and returns the plan
+// session. The spec's "plan" block configures the planner (absent means
+// defaults); the spec's name becomes the jobs' cache-accounting origin,
+// exactly as with Submit.
+func (m *Manager) SubmitPlan(sp scenario.Spec) (*PlanSession, error) {
+	points, err := planner.PointsFromSpec(sp, m.eng.Socket())
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &PlanSession{
+		spec:    sp,
+		points:  len(points),
+		cancel:  cancel,
+		state:   Running,
+		started: time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	opts := planner.Options{Name: sp.Name, Observer: s.observe}
+	if sp.Plan != nil {
+		opts.Plan = *sp.Plan
+	}
+	// Known at submit time, so a status poll mid-run already reports the
+	// budget the planner is operating under.
+	s.budget = planner.BudgetFor(points, opts.Plan)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("session: manager is closed")
+	}
+	m.seq++
+	s.id = fmt.Sprintf("plan-%06d", m.seq)
+	m.plans[s.id] = s
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		res, err := planner.Run(ctx, m.eng, points, opts)
+		s.finish(res, err)
+	}()
+	return s, nil
+}
+
+// GetPlan returns a plan session by id.
+func (m *Manager) GetPlan(id string) (*PlanSession, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.plans[id]
+	return s, ok
+}
+
+// ListPlans snapshots every plan session's status, oldest first.
+func (m *Manager) ListPlans() []PlanStatus {
+	m.mu.Lock()
+	sessions := make([]*PlanSession, 0, len(m.plans))
+	for _, s := range m.plans {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	out := make([]PlanStatus, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.Status()
+	}
+	return out
+}

@@ -8,6 +8,11 @@
 // aborting between jobs so the result store is never left with partial
 // entries).
 //
+// Plans run the same way (see plan.go): Manager.SubmitPlan resolves a
+// spec through the adaptive planner (internal/planner) instead of
+// exhaustively, with per-round evaluated-versus-predicted progress and
+// a streamable point log.
+//
 // Sessions are process-local; durability lives one layer down. When the
 // manager's engine is backed by a disk result store
 // (resultstore.Disk), every point a session completes is persisted as it
@@ -242,20 +247,26 @@ func (s *Session) Outcomes(ctx context.Context) ([]scenario.Outcome, error) {
 	return out, nil
 }
 
-// Manager owns the sessions running on one engine.
+// Manager owns the sessions (exhaustive sweeps and adaptive plans)
+// running on one engine.
 type Manager struct {
 	eng *engine.Engine
 
 	mu       sync.Mutex
 	seq      int
 	sessions map[string]*Session
+	plans    map[string]*PlanSession
 	wg       sync.WaitGroup
 	closed   bool
 }
 
 // NewManager builds a session manager over the engine.
 func NewManager(eng *engine.Engine) *Manager {
-	return &Manager{eng: eng, sessions: make(map[string]*Session)}
+	return &Manager{
+		eng:      eng,
+		sessions: make(map[string]*Session),
+		plans:    make(map[string]*PlanSession),
+	}
 }
 
 // Engine exposes the manager's engine.
@@ -326,8 +337,9 @@ func (m *Manager) List() []Status {
 	return out
 }
 
-// Close cancels every running session and waits for their evaluation
-// goroutines to drain. Further Submits are rejected.
+// Close cancels every running session — sweeps and plans — and waits
+// for their evaluation goroutines to drain. Further Submits are
+// rejected.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	m.closed = true
@@ -335,8 +347,15 @@ func (m *Manager) Close() {
 	for _, s := range m.sessions {
 		sessions = append(sessions, s)
 	}
+	plans := make([]*PlanSession, 0, len(m.plans))
+	for _, s := range m.plans {
+		plans = append(plans, s)
+	}
 	m.mu.Unlock()
 	for _, s := range sessions {
+		s.Cancel()
+	}
+	for _, s := range plans {
 		s.Cancel()
 	}
 	m.wg.Wait()
