@@ -182,6 +182,20 @@ func BenchmarkTraceBuild(b *testing.B) { benchkit.TraceBuild(b) }
 // baseline.
 func BenchmarkEngineCacheHit(b *testing.B) { benchkit.EngineCacheHit(b) }
 
+// BenchmarkStoreOpen reopens a compacted 4096-point binary result store
+// — the daemon-restart path, index-only thanks to the v2 segment
+// format. Tracked by the benchkit baseline.
+func BenchmarkStoreOpen(b *testing.B) { benchkit.StoreOpen(b) }
+
+// BenchmarkStoreAppend commits a 512-point batch to a fresh disk store
+// and closes it. Tracked by the benchkit baseline.
+func BenchmarkStoreAppend(b *testing.B) { benchkit.StoreAppend(b) }
+
+// BenchmarkPointsStreamed renders the beyond-dram sweep through the
+// zero-allocation NDJSON streaming encoder. Tracked by the benchkit
+// baseline.
+func BenchmarkPointsStreamed(b *testing.B) { benchkit.PointsStreamed(b) }
+
 // BenchmarkMicroDeviceMatrix regenerates the Section II device
 // capability matrix (extension id "micro").
 func BenchmarkMicroDeviceMatrix(b *testing.B) { benchExperiment(b, "micro") }

@@ -295,3 +295,73 @@ func TestStoreWarmRunServesHits(t *testing.T) {
 		t.Errorf("warm run output differs from cold run:\n--- cold ---\n%s--- warm ---\n%s", out1.String(), out2.String())
 	}
 }
+
+// The store inspection and compaction flags: stats reflect the on-disk
+// composition before and after -store-compact migrates JSON-lines
+// appends into a v2 binary columnar segment.
+func TestStoreStatsAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	d, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		k, res := resultstore.SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var before strings.Builder
+	if err := runStoreStats(dir, &before); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"0 v2 (binary columnar) + 1 v1 (JSON-lines)",
+		"24 persisted (0 v2 + 24 v1)",
+		"-store-compact", // the hint appears while v1 points remain
+	} {
+		if !strings.Contains(before.String(), want) {
+			t.Errorf("pre-compaction stats missing %q:\n%s", want, before.String())
+		}
+	}
+
+	var cout strings.Builder
+	if err := runStoreCompact(dir, &cout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cout.String(), "24 points in 1 v2 segment") {
+		t.Errorf("compact report = %q", cout.String())
+	}
+
+	var after strings.Builder
+	if err := runStoreStats(dir, &after); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"1 v2 (binary columnar) + 0 v1 (JSON-lines)",
+		"24 persisted (24 v2 + 0 v1)",
+	} {
+		if !strings.Contains(after.String(), want) {
+			t.Errorf("post-compaction stats missing %q:\n%s", want, after.String())
+		}
+	}
+	if strings.Contains(after.String(), "-store-compact") {
+		t.Errorf("hint should disappear once no v1 points remain:\n%s", after.String())
+	}
+
+	// The estimate tracks the composition: v1 parse cost gone, index
+	// read in its place.
+	bst, err := resultstore.Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := estOpenSeconds(bst); est <= 0 {
+		t.Errorf("post-compaction open estimate = %v, want > 0", est)
+	}
+
+	if err := runStoreStats(filepath.Join(dir, "missing"), io.Discard); err == nil {
+		t.Error("stats on a missing directory should fail")
+	}
+}

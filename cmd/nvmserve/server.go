@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/ndjson"
 	"repro/internal/planner"
 	"repro/internal/resultstore"
 	"repro/internal/scenario"
@@ -68,6 +69,7 @@ func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	if s.disk != nil {
 		doc["store_dir"] = s.disk.Dir()
 		doc["store_records"] = s.disk.Persisted()
+		doc["store"] = s.disk.Stats()
 	}
 	writeJSON(w, http.StatusOK, doc)
 }
@@ -192,9 +194,9 @@ func (s *server) outcomes(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	var enc ndjson.Encoder
 	err := sess.Stream(r.Context(), func(o scenario.Outcome) error {
-		if err := enc.Encode(o); err != nil {
+		if _, err := w.Write(enc.Outcome(o)); err != nil {
 			return err
 		}
 		if flusher != nil {
@@ -204,7 +206,7 @@ func (s *server) outcomes(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil && r.Context().Err() == nil {
 		// The status line is long gone; surface the failure in-band.
-		enc.Encode(map[string]string{"error": err.Error()})
+		w.Write(enc.Error(err))
 	}
 }
 
@@ -282,9 +284,9 @@ func (s *server) planPoints(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	var enc ndjson.Encoder
 	err := sess.Stream(r.Context(), func(p planner.PlannedPoint) error {
-		if err := enc.Encode(p); err != nil {
+		if _, err := w.Write(enc.PlannedPoint(p)); err != nil {
 			return err
 		}
 		if flusher != nil {
@@ -293,6 +295,6 @@ func (s *server) planPoints(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil && r.Context().Err() == nil {
-		enc.Encode(map[string]string{"error": err.Error()})
+		w.Write(enc.Error(err))
 	}
 }

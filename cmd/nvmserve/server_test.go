@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -61,6 +62,66 @@ func TestHealthz(t *testing.T) {
 	}
 	if doc["store_dir"] != dir {
 		t.Errorf("healthz store_dir = %v, want %s", doc["store_dir"], dir)
+	}
+	if _, ok := doc["store"]; !ok {
+		t.Errorf("healthz missing store accounting: %v", doc)
+	}
+}
+
+// The health report's store block tracks the on-disk composition: fresh
+// evaluations land in a JSON-lines segment, compaction moves them into a
+// binary columnar segment with a block index.
+func TestHealthzStoreAccounting(t *testing.T) {
+	dir := t.TempDir()
+	d, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	ts, mgr := newTestServer(t, d)
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps?preset=beyond-dram", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitReply
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sess, _ := mgr.Get(sub.ID)
+	if err := sess.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		Records int `json:"store_records"`
+		Store   resultstore.Stats
+	}
+	getJSON(t, ts.URL+"/healthz", &doc)
+	if doc.Store.SegmentsV1 != 1 || doc.Store.SegmentsV2 != 0 {
+		t.Errorf("pre-compaction segments = v1:%d v2:%d, want 1/0",
+			doc.Store.SegmentsV1, doc.Store.SegmentsV2)
+	}
+	if doc.Store.Records != 16 || doc.Store.RecordsV1 != 16 {
+		t.Errorf("pre-compaction records = %+v, want 16 v1 records", doc.Store)
+	}
+	if doc.Store.Bytes <= 0 || doc.Store.BytesV1 != doc.Store.Bytes {
+		t.Errorf("pre-compaction bytes = %+v, want all bytes in v1", doc.Store)
+	}
+
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/healthz", &doc)
+	if doc.Store.SegmentsV2 != 1 || doc.Store.RecordsV2 != 16 || doc.Store.RecordsV1 != 0 {
+		t.Errorf("post-compaction store = %+v, want 16 records in one v2 segment", doc.Store)
+	}
+	if doc.Store.IndexBytes <= 0 || doc.Store.Blocks < 1 {
+		t.Errorf("post-compaction store = %+v, want a populated block index", doc.Store)
+	}
+	if doc.Records != 16 {
+		t.Errorf("store_records = %d, want 16", doc.Records)
 	}
 }
 

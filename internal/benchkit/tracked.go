@@ -5,7 +5,9 @@
 package benchkit
 
 import (
+	"os"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/addrsim"
@@ -15,6 +17,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/memdev"
 	"repro/internal/memsys"
+	"repro/internal/ndjson"
+	"repro/internal/resultstore"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -39,6 +43,12 @@ func Tracked() []Bench {
 		{Name: "BenchmarkAddressCache", AllocSlack: 0, TimeSlack: 0.50, F: AddressCache},
 		{Name: "BenchmarkTraceBuild", AllocSlack: 0, F: TraceBuild},
 		{Name: "BenchmarkEngineCacheHit", AllocSlack: 0, TimeSlack: 0.50, F: EngineCacheHit},
+		// The store benches hit the filesystem, whose cost the ALU
+		// calibration spin cannot normalize across hosts; their alloc
+		// budgets carry the real gate.
+		{Name: "BenchmarkStoreOpen", AllocSlack: 32, TimeSlack: 0.50, F: StoreOpen},
+		{Name: "BenchmarkStoreAppend", AllocSlack: 64, TimeSlack: 0.50, F: StoreAppend},
+		{Name: "BenchmarkPointsStreamed", AllocSlack: 0, TimeSlack: 0.25, F: PointsStreamed},
 	}
 }
 
@@ -107,6 +117,139 @@ func TraceBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = trace.Build(timeline, 2000, 0.05, 42)
+	}
+}
+
+// storeOpenFixtureSize is the compacted store the open bench reopens;
+// large enough that an eager (v1) open would dominate, small enough to
+// build once in well under a second.
+const storeOpenFixtureSize = 4096
+
+var (
+	storeOpenOnce sync.Once
+	storeOpenDir  string
+	storeOpenErr  error
+)
+
+// storeOpenFixture builds the compacted v2 store once per process.
+func storeOpenFixture() (string, error) {
+	storeOpenOnce.Do(func() {
+		storeOpenDir, storeOpenErr = os.MkdirTemp("", "benchkit-store")
+		if storeOpenErr != nil {
+			return
+		}
+		var d *resultstore.Disk
+		d, storeOpenErr = resultstore.Open(storeOpenDir)
+		if storeOpenErr != nil {
+			return
+		}
+		for i := 0; i < storeOpenFixtureSize; i++ {
+			k, res := resultstore.SyntheticRecord(i)
+			d.Commit(k, res, nil)
+		}
+		if storeOpenErr = d.Compact(); storeOpenErr == nil {
+			storeOpenErr = d.Close()
+		} else {
+			d.Close()
+		}
+	})
+	return storeOpenDir, storeOpenErr
+}
+
+// StoreOpen measures reopening a compacted 4096-point store — the
+// daemon-restart path. A v2 open reads only the block index, so the cost
+// must stay flat in point count instead of scaling with it like the
+// JSON-lines parse did. Closing an untouched store leaves no residue, so
+// every iteration sees the identical directory.
+func StoreOpen(b *testing.B) {
+	dir, err := storeOpenFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := resultstore.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Persisted() != storeOpenFixtureSize {
+			b.Fatalf("opened %d records, want %d", d.Persisted(), storeOpenFixtureSize)
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// storeAppendBatch is one op's worth of commits — enough that the
+// per-record append cost dominates the fixed open/close cost.
+const storeAppendBatch = 512
+
+// StoreAppend measures the persist hot path: open a fresh store, commit
+// a batch of evaluated points, close. Each iteration works in its own
+// directory, removed off the clock, so disk usage stays bounded.
+func StoreAppend(b *testing.B) {
+	root := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp(root, "op")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		d, err := resultstore.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < storeAppendBatch; j++ {
+			k, res := resultstore.SyntheticRecord(j)
+			d.Commit(k, res, nil)
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		os.RemoveAll(dir)
+		b.StartTimer()
+	}
+}
+
+var (
+	streamOutsOnce sync.Once
+	streamOuts     []scenario.Outcome
+	streamOutsErr  error
+	streamSink     int
+)
+
+// PointsStreamed measures the NDJSON streaming encoder over the 16-point
+// beyond-dram sweep — the bytes nvmserve writes per outcomes request.
+// Steady state allocates nothing per point (the zero-alloc contract the
+// ndjson tests pin), so the tracked allocs/op budget is zero.
+func PointsStreamed(b *testing.B) {
+	streamOutsOnce.Do(func() {
+		var sp scenario.Spec
+		if sp, streamOutsErr = scenario.ByName("beyond-dram"); streamOutsErr != nil {
+			return
+		}
+		ctx := experiments.NewContext()
+		streamOuts, streamOutsErr = ctx.RunScenario(sp)
+	})
+	if streamOutsErr != nil {
+		b.Fatal(streamOutsErr)
+	}
+	var enc ndjson.Encoder
+	for _, o := range streamOuts {
+		streamSink += len(enc.Outcome(o)) // warm the encoder's buffer
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range streamOuts {
+			streamSink += len(enc.Outcome(o))
+		}
 	}
 }
 

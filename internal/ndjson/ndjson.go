@@ -1,0 +1,197 @@
+// Package ndjson is the zero-allocation streaming encoder behind
+// nvmserve's outcome and plan-point NDJSON endpoints. An Encoder renders
+// one newline-terminated JSON line per evaluation point into a buffer it
+// reuses across calls: after the buffer warms up, encoding a point
+// performs no allocation at all (pinned by an AllocsPerRun test), where
+// the encoding/json path allocated per point — the difference between
+// streaming a handful of outcomes and re-serving a million-point store.
+//
+// The emitted bytes are pinned to be exactly what encoding/json produces
+// for the same value (scenario.Outcome's and planner.PlannedPoint's
+// MarshalJSON schemas, including omitempty behavior, float formatting
+// and string escaping), so switching an endpoint to this encoder is
+// invisible to consumers; a property test compares the two encoders
+// byte-for-byte over real sweep records and adversarial values.
+package ndjson
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/planner"
+	"repro/internal/scenario"
+)
+
+// Encoder renders NDJSON lines into a reused buffer. The zero value is
+// ready to use. Each call returns a slice into the encoder's internal
+// buffer, valid until the next call — write it out (or copy it) before
+// encoding the next point. Not safe for concurrent use; give each
+// stream its own Encoder.
+type Encoder struct {
+	buf []byte
+}
+
+// Outcome renders one sweep outcome line, byte-identical to
+// scenario.Outcome's MarshalJSON plus a trailing newline.
+func (e *Encoder) Outcome(o scenario.Outcome) []byte {
+	b := e.buf[:0]
+	b = append(b, `{"app":`...)
+	b = appendString(b, o.App)
+	b = append(b, `,"mode":`...)
+	b = appendString(b, o.Mode.String())
+	b = append(b, `,"threads":`...)
+	b = strconv.AppendInt(b, int64(o.Threads), 10)
+	b = append(b, `,"scale":`...)
+	b = appendFloat(b, o.Scale)
+	b = append(b, `,"time_s":`...)
+	b = appendFloat(b, o.Result.Time.Seconds())
+	b = append(b, `,"fom":`...)
+	b = appendFloat(b, o.Result.FoMValue)
+	if o.Result.Workload != nil && o.Result.Workload.FoM.Unit != "" {
+		b = append(b, `,"fom_unit":`...)
+		b = appendString(b, o.Result.Workload.FoM.Unit)
+	}
+	b = append(b, `,"slowdown":`...)
+	b = appendFloat(b, o.Result.Slowdown)
+	b = append(b, `,"dram_read_gbps":`...)
+	b = appendFloat(b, o.Result.AvgDRAMRead.GBpsValue())
+	b = append(b, `,"dram_write_gbps":`...)
+	b = appendFloat(b, o.Result.AvgDRAMWrite.GBpsValue())
+	b = append(b, `,"nvm_read_gbps":`...)
+	b = appendFloat(b, o.Result.AvgNVMRead.GBpsValue())
+	b = append(b, `,"nvm_write_gbps":`...)
+	b = appendFloat(b, o.Result.AvgNVMWrite.GBpsValue())
+	b = append(b, '}', '\n')
+	e.buf = b
+	return b
+}
+
+// PlannedPoint renders one plan-point line, byte-identical to
+// planner.PlannedPoint's MarshalJSON plus a trailing newline.
+func (e *Encoder) PlannedPoint(p planner.PlannedPoint) []byte {
+	b := e.buf[:0]
+	b = append(b, `{"app":`...)
+	b = appendString(b, p.Meta.App)
+	b = append(b, `,"mode":`...)
+	b = appendString(b, p.Meta.Mode.String())
+	b = append(b, `,"threads":`...)
+	b = strconv.AppendInt(b, int64(p.Meta.Threads), 10)
+	b = append(b, `,"scale":`...)
+	b = appendFloat(b, p.Meta.Scale)
+	b = append(b, `,"time_s":`...)
+	b = appendFloat(b, p.Time.Seconds())
+	b = append(b, `,"evaluated":`...)
+	b = appendBool(b, p.Evaluated)
+	if p.Round != 0 {
+		b = append(b, `,"round":`...)
+		b = strconv.AppendInt(b, int64(p.Round), 10)
+	}
+	if s := p.Predicted.Seconds(); s != 0 {
+		b = append(b, `,"predicted_s":`...)
+		b = appendFloat(b, s)
+	}
+	b = append(b, `,"dram_bytes":`...)
+	b = strconv.AppendInt(b, int64(p.DRAMUsed), 10)
+	b = append(b, `,"feasible":`...)
+	b = appendBool(b, p.Feasible)
+	b = append(b, '}', '\n')
+	e.buf = b
+	return b
+}
+
+// Error renders the in-band error line the streaming endpoints emit on
+// failure: {"error":"..."} plus a newline, matching what
+// json.Encoder.Encode(map[string]string{"error": ...}) produced.
+func (e *Encoder) Error(err error) []byte {
+	b := e.buf[:0]
+	b = append(b, `{"error":`...)
+	b = appendString(b, err.Error())
+	b = append(b, '}', '\n')
+	e.buf = b
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+// appendFloat matches encoding/json's float64 encoding: shortest
+// round-trip decimal, fixed notation except for magnitudes below 1e-6 or
+// at least 1e21, which use exponent notation with the "e-0X" → "e-X"
+// cleanup. Non-finite values (which encoding/json rejects and the model
+// never produces) render as null rather than corrupting the stream.
+func appendFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendString matches encoding/json's string encoding with its default
+// HTML-safe escaping: control characters, quote and backslash escape,
+// '<', '>', '&' and U+2028/U+2029 escape as \uXXXX, and invalid UTF-8
+// becomes U+FFFD.
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

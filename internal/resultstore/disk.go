@@ -5,34 +5,49 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/workload"
 )
 
-// The on-disk format: a store directory holds append-only JSON-lines
-// segment files named segment-NNNNNNNN.jsonl. Each line is one record —
-// the cache Key plus the solved workload.Result with the Workload
-// descriptor pointer stripped (descriptors are reattached from the job at
-// hit time; see Entry.Seeded). Records are content-addressed: the Key is
-// derived from workload.Fingerprint, so identical evaluation points
-// written by any process land on the same identity and later occurrences
-// win on load.
+// The on-disk format: a store directory holds segment files in two
+// formats. Live appends go to append-only JSON-lines segments named
+// segment-NNNNNNNN.jsonl (format v1): each line is one record — the
+// cache Key plus the solved workload.Result with the Workload descriptor
+// pointer stripped (descriptors are reattached from the job at hit time;
+// see Entry.Seeded). Compact rewrites every live record into a single
+// binary columnar segment named segment-NNNNNNNN.seg (format v2; see
+// segment2.go), which Open maps back in by reading only its trailer and
+// block index — blocks decode lazily on the first Acquire that lands in
+// their fingerprint range, so a compacted multi-million-point store
+// opens in milliseconds.
+//
+// Records are content-addressed: the Key is derived from
+// workload.Fingerprint, so identical evaluation points written by any
+// process land on the same identity and later occurrences win on load.
+// Segment sequence numbers order the formats: a v2 segment is always
+// older than any v1 segment alongside it (appends after a compaction get
+// fresh, higher sequences), so v1 records override v2 records on load,
+// and any segment numbered below the newest v2 segment is a leftover of
+// an interrupted compaction cleanup that Open finishes deleting.
 //
 // Durability: appends go through a buffered writer flushed to the OS per
-// record; fsync happens on Sync, Compact and Close. A crash can therefore
-// lose at most the records of the current OS write-back window and can
-// leave a truncated final line, which Open tolerates (the tail record is
-// dropped, everything before it loads). Every Open starts a fresh
-// segment, never appending to an old (possibly truncated) one; Compact
-// rewrites all live records into a single new segment via a temp file +
-// rename, so a crash mid-compact leaves the old segments intact.
+// record; fsync happens on Sync, Compact and Close. A crash can
+// therefore lose at most the records of the current OS write-back window
+// and can leave a truncated final line, which Open tolerates (the tail
+// record is dropped, everything before it loads). Every Open starts a
+// fresh v1 segment, never appending to an old (possibly truncated) one;
+// Close removes it again if nothing was appended. Compact writes the v2
+// segment via a temp file + fsync + rename, so a crash at any point
+// leaves a loadable store; torn v2 frames are caught by per-frame CRC32C.
 
-// segVersion is the record format version; bump when the record schema
-// changes incompatibly.
+// segVersion is the JSON-lines record format version; bump when the
+// record schema changes incompatibly.
 const segVersion = 1
 
 // record is one persisted evaluation. Key and Result marshal by their
@@ -68,8 +83,9 @@ func decodeRecord(line []byte) (Key, workload.Result, error) {
 	return rec.Key, rec.Result, nil
 }
 
-// Disk is the persistent result store: a Memory index over append-only
-// JSON-lines segments. Safe for concurrent use.
+// Disk is the persistent result store: a Memory index over on-disk
+// segments (JSON-lines v1 for appends, binary columnar v2 from
+// compaction). Safe for concurrent use.
 type Disk struct {
 	mem *Memory
 	dir string
@@ -77,15 +93,48 @@ type Disk struct {
 	mu        sync.Mutex // serializes appends, compaction and close
 	lock      *os.File   // exclusive cross-process directory lock
 	f         *os.File
+	fpath     string
 	w         *bufio.Writer
 	buf       bytes.Buffer
 	nextSeq   int
 	persisted int // records live on disk (loaded + appended)
+	appended  int // records appended to the active segment
 	closed    bool
 	writeErr  error // first append failure; surfaced by Close
+
+	seg2     atomic.Pointer[seg2] // newest v2 segment, lazily decoded; nil if none
+	faultMu  sync.Mutex           // serializes lazy block faults
+	faultErr error                // first lazy-decode failure; surfaced by Close
 }
 
-func segName(seq int) string { return fmt.Sprintf("segment-%08d.jsonl", seq) }
+func segName(seq int) string  { return fmt.Sprintf("segment-%08d.jsonl", seq) }
+func seg2Name(seq int) string { return fmt.Sprintf("segment-%08d.seg", seq) }
+
+// parseSegName reports whether name is exactly a segment file name —
+// "segment-" + 8 digits + ".jsonl" (v1) or ".seg" (v2) — returning the
+// sequence number and format version. Anything else, including the
+// near-misses a prefix match would accept ("segment-00000001.jsonl.bak",
+// nine digits, a signed number), is rejected.
+func parseSegName(name string) (seq, ver int, ok bool) {
+	const prefix = "segment-"
+	const digits = 8
+	if len(name) < len(prefix)+digits || name[:len(prefix)] != prefix {
+		return 0, 0, false
+	}
+	for _, c := range []byte(name[len(prefix) : len(prefix)+digits]) {
+		if c < '0' || c > '9' {
+			return 0, 0, false
+		}
+		seq = seq*10 + int(c-'0')
+	}
+	switch name[len(prefix)+digits:] {
+	case ".jsonl":
+		return seq, 1, true
+	case ".seg":
+		return seq, 2, true
+	}
+	return 0, 0, false
+}
 
 // rec pairs a key with its result during segment loading.
 type rec struct {
@@ -93,33 +142,68 @@ type rec struct {
 	res workload.Result
 }
 
-// loadSegments reads every segment in dir in sequence order and returns
-// the live records (later occurrences of a key win, in stable order) and
-// the highest segment sequence seen. A truncated or corrupt final line of
-// the final segment — the signature of a crash mid-append — is dropped;
-// corruption anywhere else is an error.
-func loadSegments(dir string) (recs []rec, maxSeq int, err error) {
+// segInfo is one segment file found in a store directory.
+type segInfo struct {
+	name string
+	seq  int
+	ver  int
+}
+
+// scanDir lists the segment files in dir, ordered by sequence number.
+func scanDir(dir string) ([]segInfo, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, 0, fmt.Errorf("resultstore: %w", err)
+		return nil, fmt.Errorf("resultstore: %w", err)
 	}
-	var names []string
+	var infos []segInfo
 	for _, e := range entries {
-		var seq int
-		if !e.IsDir() && parseSegName(e.Name(), &seq) {
-			names = append(names, e.Name())
-			if seq > maxSeq {
-				maxSeq = seq
-			}
+		if e.IsDir() {
+			continue
+		}
+		if seq, ver, ok := parseSegName(e.Name()); ok {
+			infos = append(infos, segInfo{name: e.Name(), seq: seq, ver: ver})
 		}
 	}
-	sort.Strings(names)
+	sort.Slice(infos, func(i, j int) bool { return infos[i].seq < infos[j].seq })
+	return infos, nil
+}
+
+// splitLive separates a directory scan into the newest v2 segment (nil
+// if none), the v1 segments that postdate it, and the stale leftovers of
+// an interrupted compaction cleanup (anything numbered below the newest
+// v2 segment).
+func splitLive(infos []segInfo) (v2 *segInfo, v1 []segInfo, stale []segInfo) {
+	v2seq := -1
+	for i := range infos {
+		if infos[i].ver == 2 && infos[i].seq > v2seq {
+			v2 = &infos[i]
+			v2seq = infos[i].seq
+		}
+	}
+	for i := range infos {
+		si := infos[i]
+		switch {
+		case si.seq < v2seq:
+			stale = append(stale, si)
+		case si.ver == 1:
+			v1 = append(v1, si)
+		}
+	}
+	return v2, v1, stale
+}
+
+// loadV1Segments reads the given v1 segments in sequence order and
+// returns the live records (later occurrences of a key win, in stable
+// order). A truncated or corrupt final line of the final segment — the
+// signature of a crash mid-append — is dropped; corruption anywhere else
+// is an error.
+func loadV1Segments(dir string, infos []segInfo) (recs []rec, err error) {
 	index := make(map[Key]int)
-	for ni, name := range names {
-		path := filepath.Join(dir, name)
+	for ni, si := range infos {
+		path := filepath.Join(dir, si.name)
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return nil, 0, fmt.Errorf("resultstore: %w", err)
+			return nil, fmt.Errorf("resultstore: %w", err)
 		}
 		lines := bytes.Split(data, []byte{'\n'})
 		for li, line := range lines {
@@ -132,10 +216,10 @@ func loadSegments(dir string) (recs []rec, maxSeq int, err error) {
 				// unterminated final line of the newest segment (records
 				// end in '\n', so a complete line that fails to decode is
 				// corruption, not truncation). Tolerate only that.
-				if ni == len(names)-1 && li == len(lines)-1 {
+				if ni == len(infos)-1 && li == len(lines)-1 {
 					break
 				}
-				return nil, 0, fmt.Errorf("resultstore: %s:%d: %w", path, li+1, derr)
+				return nil, fmt.Errorf("resultstore: %s:%d: %w", path, li+1, derr)
 			}
 			if at, ok := index[k]; ok {
 				recs[at] = rec{k, res}
@@ -145,16 +229,37 @@ func loadSegments(dir string) (recs []rec, maxSeq int, err error) {
 			recs = append(recs, rec{k, res})
 		}
 	}
-	return recs, maxSeq, nil
+	return recs, nil
 }
 
-func parseSegName(name string, seq *int) bool {
-	n, err := fmt.Sscanf(name, "segment-%08d.jsonl", seq)
-	return err == nil && n == 1
+// mergeRecs overlays newer records on older ones, later wins, preserving
+// first-appearance order.
+func mergeRecs(older, newer []rec) []rec {
+	index := make(map[Key]int, len(older)+len(newer))
+	merged := make([]rec, 0, len(older)+len(newer))
+	for _, r := range older {
+		if at, ok := index[r.k]; ok {
+			merged[at] = r
+			continue
+		}
+		index[r.k] = len(merged)
+		merged = append(merged, r)
+	}
+	for _, r := range newer {
+		if at, ok := index[r.k]; ok {
+			merged[at] = r
+			continue
+		}
+		index[r.k] = len(merged)
+		merged = append(merged, r)
+	}
+	return merged
 }
 
-// Open opens (creating if needed) a disk store rooted at dir, loads every
-// persisted record as a pre-seeded cache entry, and starts a fresh
+// Open opens (creating if needed) a disk store rooted at dir, maps every
+// persisted record in as a pre-seeded cache entry — v1 JSON-lines
+// segments load eagerly, a compacted v2 segment loads only its block
+// index, with blocks decoded on first use — and starts a fresh v1
 // segment for this process's appends. A store serves one process at a
 // time: Open fails if another live process holds the directory (share
 // results across processes sequentially, or through one nvmserve
@@ -167,16 +272,57 @@ func Open(dir string) (*Disk, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs, maxSeq, err := loadSegments(dir)
+	infos, err := scanDir(dir)
 	if err != nil {
 		unlock(lock)
 		return nil, err
 	}
-	d := &Disk{mem: NewMemory(), dir: dir, lock: lock, nextSeq: maxSeq + 1, persisted: len(recs)}
-	for _, r := range recs {
+	v2Info, v1Infos, stale := splitLive(infos)
+	// Finish an interrupted compaction cleanup: everything below the
+	// newest v2 segment was already rewritten into it.
+	for _, si := range stale {
+		os.Remove(filepath.Join(dir, si.name))
+	}
+	maxSeq := 0
+	for _, si := range infos {
+		if si.seq > maxSeq {
+			maxSeq = si.seq
+		}
+	}
+
+	var s2 *seg2
+	var v2recs []rec
+	if v2Info != nil {
+		s2, v2recs, err = openSeg2(filepath.Join(dir, v2Info.name))
+		if err != nil {
+			unlock(lock)
+			return nil, err
+		}
+	}
+	v1recs, err := loadV1Segments(dir, v1Infos)
+	if err != nil {
+		s2.close()
+		unlock(lock)
+		return nil, err
+	}
+
+	d := &Disk{mem: NewMemory(), dir: dir, lock: lock, nextSeq: maxSeq + 1}
+	// Seed newest first: seed keeps the existing entry, so v1 records
+	// (which postdate the v2 segment) win over v2 ones — both here for a
+	// recovered segment and later when a lazy block faults in.
+	for _, r := range v1recs {
 		d.mem.seed(r.k, r.res)
 	}
+	for _, r := range v2recs {
+		d.mem.seed(r.k, r.res)
+	}
+	d.persisted = len(v1recs) + len(v2recs)
+	if s2 != nil {
+		d.persisted = len(v1recs) + s2.count
+		d.seg2.Store(s2)
+	}
 	if err := d.openSegment(); err != nil {
+		s2.close()
 		unlock(lock)
 		return nil, err
 	}
@@ -186,14 +332,16 @@ func Open(dir string) (*Disk, error) {
 // openSegment starts the next append segment. Caller holds mu (or has
 // exclusive access during Open).
 func (d *Disk) openSegment() error {
-	f, err := os.OpenFile(filepath.Join(d.dir, segName(d.nextSeq)),
-		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := filepath.Join(d.dir, segName(d.nextSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	d.nextSeq++
 	d.f = f
+	d.fpath = path
 	d.w = bufio.NewWriter(f)
+	d.appended = 0
 	return nil
 }
 
@@ -202,8 +350,51 @@ func (d *Disk) Dir() string { return d.dir }
 
 // Acquire returns the singleflight slot for a key; records restored from
 // disk surface as already-loaded seeded entries, so previously computed
-// points are re-served as cache hits after a restart.
-func (d *Disk) Acquire(k Key) (*Entry, bool) { return d.mem.Acquire(k) }
+// points are re-served as cache hits after a restart. A record still
+// inside an undecoded v2 block is faulted in first — the resident hit
+// path stays allocation-free, and keys outside every block's
+// fingerprint range skip the fault machinery entirely.
+func (d *Disk) Acquire(k Key) (*Entry, bool) {
+	if e := d.mem.lookup(k); e != nil {
+		return e, true
+	}
+	if s := d.seg2.Load(); s != nil && s.inRange(k.Fingerprint) {
+		d.fault(s, k.Fingerprint)
+	}
+	return d.mem.Acquire(k)
+}
+
+// fault decodes every not-yet-loaded v2 block whose fingerprint range
+// covers fp and seeds its records (records already resident — v1
+// overrides, or process-computed entries — win). A block that fails its
+// CRC or decode is skipped permanently: its keys become cache misses and
+// are recomputed, and the first such error is surfaced by Close.
+func (d *Disk) fault(s *seg2, fp uint64) {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	if d.seg2.Load() != s {
+		return // compacted away while we waited for the lock
+	}
+	i := sort.Search(len(s.blocks), func(i int) bool { return s.blocks[i].maxFp >= fp })
+	for ; i < len(s.blocks) && s.blocks[i].minFp <= fp; i++ {
+		b := &s.blocks[i]
+		if b.loaded {
+			continue
+		}
+		recs, err := s.readBlock(i)
+		if err != nil {
+			if d.faultErr == nil {
+				d.faultErr = err
+			}
+		} else {
+			for _, r := range recs {
+				d.mem.seed(r.k, r.res)
+			}
+		}
+		b.loaded = true
+		s.loaded++
+	}
+}
 
 // Commit appends a freshly computed result to the active segment. Failed
 // evaluations are never persisted. Append errors are sticky: the first
@@ -232,9 +423,13 @@ func (d *Disk) Commit(k Key, res workload.Result, err error) {
 		return
 	}
 	d.persisted++
+	d.appended++
 }
 
-// Len reports the number of resident cache entries.
+// Len reports the number of resident cache entries. Records inside
+// not-yet-faulted v2 blocks are on disk but not resident, so after
+// opening a compacted store Len starts near zero and grows as blocks
+// fault in; Persisted counts them all.
 func (d *Disk) Len() int { return d.mem.Len() }
 
 // Persisted reports the number of records live on disk (restored at Open
@@ -258,10 +453,13 @@ func (d *Disk) Sync() error {
 	return d.f.Sync()
 }
 
-// Compact rewrites every live record into a single fresh segment and
-// removes the old ones. The rewrite is crash-safe: records are written to
-// a temp file, fsynced, then renamed into place before the old segments
-// are deleted — a crash at any point leaves a loadable store.
+// Compact rewrites every live record — v1 JSON-lines appends and the
+// previous v2 segment alike — into a single fresh v2 binary columnar
+// segment and removes the old files; this is also the v1→v2 migration
+// path. The rewrite is crash-safe: the segment is written to a temp
+// file, fsynced, then renamed into place before the old segments are
+// deleted — a crash at any point leaves a loadable store, and Open
+// finishes the cleanup of a crash between rename and delete.
 func (d *Disk) Compact() (retErr error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -290,7 +488,7 @@ func (d *Disk) Compact() (retErr error) {
 			retErr = err
 		}
 	}()
-	recs, _, err := loadSegments(d.dir)
+	recs, err := d.loadAllLocked()
 	if err != nil {
 		return err
 	}
@@ -299,21 +497,9 @@ func (d *Disk) Compact() (retErr error) {
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	w := bufio.NewWriter(tmp)
-	for _, r := range recs {
-		d.buf.Reset()
-		if err := encodeRecord(&d.buf, r.k, r.res); err != nil {
-			tmp.Close()
-			return err
-		}
-		if _, err := w.Write(d.buf.Bytes()); err != nil {
-			tmp.Close()
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
+	if err := writeSeg2(tmp, recs); err != nil {
 		tmp.Close()
-		return err
+		return fmt.Errorf("resultstore: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -324,21 +510,67 @@ func (d *Disk) Compact() (retErr error) {
 	}
 	// Collect the segments to retire before the compacted one exists, so
 	// it can never delete itself.
-	old, err := filepath.Glob(filepath.Join(d.dir, "segment-*.jsonl"))
+	old, err := scanDir(d.dir)
 	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
+		return err
 	}
-	compacted := segName(d.nextSeq)
+	compacted := seg2Name(d.nextSeq)
 	d.nextSeq++
 	if err := os.Rename(tmpPath, filepath.Join(d.dir, compacted)); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	syncDir(d.dir)
-	for _, p := range old {
-		os.Remove(p)
+	// Retire the lazy reader before its file disappears; records it held
+	// are seeded below, so nothing depends on it any more.
+	d.faultMu.Lock()
+	if s := d.seg2.Swap(nil); s != nil {
+		s.close()
+	}
+	d.faultMu.Unlock()
+	for _, si := range old {
+		os.Remove(filepath.Join(d.dir, si.name))
+	}
+	// Keep every record resident: blocks of the old segment that never
+	// faulted in have no disk reader any more (the new segment is read
+	// lazily only by the next process).
+	for _, r := range recs {
+		d.mem.seed(r.k, r.res)
 	}
 	d.persisted = len(recs)
 	return nil // the deferred recovery opens the fresh active segment
+}
+
+// loadAllLocked fully materializes every live record in the store
+// directory: the newest v2 segment (all blocks decoded) overlaid by the
+// v1 segments that postdate it. Caller holds mu.
+func (d *Disk) loadAllLocked() ([]rec, error) {
+	infos, err := scanDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	v2Info, v1Infos, _ := splitLive(infos)
+	var v2recs []rec
+	if v2Info != nil {
+		path := filepath.Join(d.dir, v2Info.name)
+		if s := d.seg2.Load(); s != nil && s.path == path {
+			v2recs, err = s.readAll()
+		} else {
+			var s *seg2
+			s, v2recs, err = openSeg2(path)
+			if err == nil && s != nil {
+				v2recs, err = s.readAll()
+				s.close()
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	v1recs, err := loadV1Segments(d.dir, v1Infos)
+	if err != nil {
+		return nil, err
+	}
+	return mergeRecs(v2recs, v1recs), nil
 }
 
 // syncDir fsyncs a directory so a just-renamed file survives power loss;
@@ -350,8 +582,112 @@ func syncDir(dir string) {
 	}
 }
 
-// Close flushes and fsyncs the active segment and releases the store. It
-// returns the first append error, if any occurred.
+// Stats describes a store directory's on-disk composition.
+type Stats struct {
+	Dir          string `json:"dir"`
+	SegmentsV1   int    `json:"segments_v1"` // JSON-lines segments
+	SegmentsV2   int    `json:"segments_v2"` // binary columnar segments
+	Records      int    `json:"records"`     // persisted points (live)
+	RecordsV1    int    `json:"records_v1"`
+	RecordsV2    int    `json:"records_v2"`
+	Bytes        int64  `json:"bytes"`         // total segment bytes on disk
+	BytesV1      int64  `json:"bytes_v1"`      // bytes Open must fully parse
+	IndexBytes   int64  `json:"index_bytes"`   // v2 index bytes Open reads
+	Blocks       int    `json:"blocks"`        // v2 blocks
+	BlocksLoaded int    `json:"blocks_loaded"` // lazily decoded so far (live stores)
+}
+
+// Stat inspects a store directory read-only, without taking the store
+// lock — it is safe to run against a directory a live daemon is serving,
+// and reports a best-effort snapshot (files may churn underneath it).
+// v1 record counts are exact complete-line counts; v2 counts come from
+// the segment index.
+func Stat(dir string) (Stats, error) {
+	infos, err := scanDir(dir)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Dir: dir}
+	v2Info, v1Infos, _ := splitLive(infos)
+	for _, si := range infos {
+		fi, err := os.Stat(filepath.Join(dir, si.name))
+		if err != nil {
+			continue // deleted underneath us
+		}
+		st.Bytes += fi.Size()
+		if si.ver == 1 {
+			st.SegmentsV1++
+		} else {
+			st.SegmentsV2++
+		}
+	}
+	for _, si := range v1Infos {
+		path := filepath.Join(dir, si.name)
+		n, size, err := countLines(path)
+		if err != nil {
+			continue
+		}
+		st.RecordsV1 += n
+		st.BytesV1 += size
+	}
+	if v2Info != nil {
+		s, recovered, err := openSeg2(filepath.Join(dir, v2Info.name))
+		if err == nil {
+			if s != nil {
+				st.RecordsV2 = s.count
+				st.IndexBytes = s.indexBytes
+				st.Blocks = len(s.blocks)
+				s.close()
+			} else {
+				st.RecordsV2 = len(recovered)
+			}
+		}
+	}
+	st.Records = st.RecordsV1 + st.RecordsV2
+	return st, nil
+}
+
+// countLines counts '\n'-terminated lines (an unterminated tail is a
+// torn append, not a record) and returns the file size.
+func countLines(path string) (n int, size int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	buf := make([]byte, 1<<20)
+	for {
+		m, rerr := f.Read(buf)
+		n += bytes.Count(buf[:m], []byte{'\n'})
+		size += int64(m)
+		if rerr == io.EOF {
+			return n, size, nil
+		}
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+	}
+}
+
+// Stats reports the live store's on-disk composition, including lazy
+// block-decode progress.
+func (d *Disk) Stats() Stats {
+	st, _ := Stat(d.dir)
+	d.mu.Lock()
+	st.Records = d.persisted
+	d.mu.Unlock()
+	d.faultMu.Lock()
+	if s := d.seg2.Load(); s != nil {
+		st.BlocksLoaded = s.loaded
+	}
+	d.faultMu.Unlock()
+	return st
+}
+
+// Close flushes and fsyncs the active segment and releases the store; an
+// active segment nothing was appended to is removed so idle open/close
+// cycles do not accumulate empty files. It returns the first append or
+// lazy-decode error, if any occurred.
 func (d *Disk) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -364,9 +700,15 @@ func (d *Disk) Close() error {
 		flushErr = d.w.Flush()
 		syncErr = d.f.Sync()
 		closeErr = d.f.Close()
+		if d.appended == 0 && flushErr == nil && closeErr == nil {
+			os.Remove(d.fpath)
+		}
+	}
+	if s := d.seg2.Swap(nil); s != nil {
+		s.close()
 	}
 	unlock(d.lock)
-	for _, err := range []error{d.writeErr, flushErr, syncErr, closeErr} {
+	for _, err := range []error{d.writeErr, d.faultErr, flushErr, syncErr, closeErr} {
 		if err != nil {
 			return err
 		}

@@ -16,3 +16,59 @@ var (
 		return decodeRecord(line)
 	}
 )
+
+// TestRec mirrors the internal rec type for block-codec tests.
+type TestRec struct {
+	Key Key
+	Res workload.Result
+}
+
+func toRecs(in []TestRec) []rec {
+	out := make([]rec, len(in))
+	for i, r := range in {
+		out[i] = rec{k: r.Key, res: r.Res}
+	}
+	return out
+}
+
+func fromRecs(in []rec) []TestRec {
+	out := make([]TestRec, len(in))
+	for i, r := range in {
+		out[i] = TestRec{Key: r.k, Res: r.res}
+	}
+	return out
+}
+
+// EncodeBlockForTest encodes records as one v2 columnar block payload.
+func EncodeBlockForTest(recs []TestRec) []byte { return encodeBlock(toRecs(recs)) }
+
+// DecodeBlockForTest decodes a v2 columnar block payload.
+func DecodeBlockForTest(payload []byte) ([]TestRec, error) {
+	recs, err := decodeBlock(payload)
+	if err != nil {
+		return nil, err
+	}
+	return fromRecs(recs), nil
+}
+
+// AppendFrameForTest wraps a payload as a CRC32C-checked v2 frame.
+func AppendFrameForTest(dst []byte, kind byte, payload []byte) []byte {
+	return appendFrame(dst, kind, payload)
+}
+
+// ParseFrameForTest parses and CRC-verifies the frame at data[0].
+func ParseFrameForTest(data []byte) (kind byte, payload []byte, frameLen int, err error) {
+	return parseFrame(data)
+}
+
+// FrameBlockKind is the block frame kind byte.
+const FrameBlockKind = seg2FrameBlock
+
+// SetBlockSizeForTest overrides the v2 records-per-block target so small
+// record sets produce multi-block segments; the returned func restores
+// the default.
+func SetBlockSizeForTest(n int) (restore func()) {
+	old := seg2BlockSize
+	seg2BlockSize = n
+	return func() { seg2BlockSize = old }
+}

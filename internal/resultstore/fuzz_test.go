@@ -3,6 +3,7 @@ package resultstore_test
 import (
 	"bytes"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/engine"
@@ -70,4 +71,97 @@ func FuzzRecordRoundTrip(f *testing.F) {
 			t.Errorf("record round trip drifted:\n key %+v vs %+v\n res %+v vs %+v", k, k2, res, res2)
 		}
 	})
+}
+
+// FuzzSegmentV2RoundTrip drives the v2 binary block codec with arbitrary
+// frame bytes. The frame layer's CRC32C must reject every corruption —
+// a frame that fails its checksum returns an error, never a mis-decoded
+// payload — and any block payload that does decode must survive an
+// encode/decode round trip exactly. The corpus is seeded with real
+// frames: the beyond-dram preset sweep's records encoded exactly as
+// Compact writes them, plus synthetic edge shapes.
+func FuzzSegmentV2RoundTrip(f *testing.F) {
+	sp, err := scenario.ByName("beyond-dram")
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng := engine.New(platform.NewPurley().Socket(0), 0)
+	outs, err := sp.Run(eng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var recs []resultstore.TestRec
+	for i, o := range outs {
+		k := resultstore.Key{
+			App:         o.App,
+			Fingerprint: o.Result.Workload.Fingerprint(),
+			Mode:        o.Mode,
+			Threads:     o.Threads,
+		}
+		if i == 0 {
+			k.Placement, k.Variant = 1<<63, "missOverlap=1.5"
+		}
+		res := o.Result
+		res.Workload = nil
+		recs = append(recs, resultstore.TestRec{Key: k, Res: res})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		return recs[i].Key.Fingerprint < recs[j].Key.Fingerprint
+	})
+	f.Add(resultstore.AppendFrameForTest(nil, resultstore.FrameBlockKind,
+		resultstore.EncodeBlockForTest(recs)))
+	f.Add(resultstore.AppendFrameForTest(nil, resultstore.FrameBlockKind,
+		resultstore.EncodeBlockForTest(recs[:1])))
+	f.Add(resultstore.AppendFrameForTest(nil, resultstore.FrameBlockKind,
+		resultstore.EncodeBlockForTest(nil)))
+	f.Add([]byte{resultstore.FrameBlockKind, 0, 0, 0})                            // short header
+	f.Add([]byte{resultstore.FrameBlockKind, 4, 0, 0, 0, 1, 2, 3, 4, 0, 0, 0, 0}) // bad CRC
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		kind, payload, _, err := resultstore.ParseFrameForTest(frame)
+		if err != nil || kind != resultstore.FrameBlockKind {
+			return // corrupt or foreign frames are rejected, never decoded
+		}
+		recs, err := resultstore.DecodeBlockForTest(payload)
+		if err != nil {
+			return // structurally invalid payload, rejected cleanly
+		}
+		// A payload that decodes must round-trip exactly through the
+		// columnar encoder (the blocks Compact writes are sorted, so
+		// re-sort before comparing re-encoded output).
+		re := resultstore.EncodeBlockForTest(recs)
+		recs2, err := resultstore.DecodeBlockForTest(re)
+		if err != nil {
+			t.Fatalf("re-encoded block failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(recs, recs2) {
+			t.Fatalf("block round trip drifted:\n first  %+v\n second %+v", recs, recs2)
+		}
+	})
+}
+
+// TestFrameCRCRejectsBitFlips deterministically pins the CRC property
+// the fuzz target probes: flipping any single byte of a framed block is
+// detected.
+func TestFrameCRCRejectsBitFlips(t *testing.T) {
+	var recs []resultstore.TestRec
+	for i := 0; i < 5; i++ {
+		k, res := resultstore.SyntheticRecord(i)
+		recs = append(recs, resultstore.TestRec{Key: k, Res: res})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		return recs[i].Key.Fingerprint < recs[j].Key.Fingerprint
+	})
+	frame := resultstore.AppendFrameForTest(nil, resultstore.FrameBlockKind,
+		resultstore.EncodeBlockForTest(recs))
+	if _, _, _, err := resultstore.ParseFrameForTest(frame); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	for i := 5; i < len(frame); i++ { // every payload and CRC byte
+		corrupt := append([]byte(nil), frame...)
+		corrupt[i] ^= 0x01
+		if _, _, _, err := resultstore.ParseFrameForTest(corrupt); err == nil {
+			t.Fatalf("bit flip at byte %d not detected by CRC", i)
+		}
+	}
 }

@@ -12,11 +12,19 @@
 //     typed map lookup — no allocation — which keeps the engine's
 //     cache-hit Run at 0 allocs/op.
 //   - Disk: a crash-tolerant content-addressed store layered on Memory.
-//     Results append to JSON-lines segment files as they are computed and
-//     are re-loaded as pre-seeded entries on Open, so a restarted process
-//     re-serves every previously computed point as a cache hit (the
-//     mechanism behind resumable sweep sessions and nvmbench's -store
-//     warm cache).
+//     Results append to JSON-lines (v1) segment files as they are
+//     computed and are re-loaded as pre-seeded entries on Open, so a
+//     restarted process re-serves every previously computed point as a
+//     cache hit (the mechanism behind resumable sweep sessions and
+//     nvmbench's -store warm cache). Compact migrates the accumulated
+//     appends into a single binary columnar (v2) segment — sorted,
+//     dictionary/varint-encoded blocks framed with CRC32C checksums plus
+//     a block index (see segment2.go for the format) — which Open reads
+//     index-only: records stay on disk and fault in lazily per block on
+//     first Acquire, so reopening a million-point store costs
+//     milliseconds instead of a full JSON parse. Fresh results keep
+//     appending as v1 alongside the v2 segment; the next Compact folds
+//     them in.
 //
 // The singleflight protocol: Acquire returns the Entry for a key,
 // creating it if this is the key's first submission (loaded reports
@@ -175,6 +183,17 @@ func (s *Memory) Len() int {
 
 // Close is a no-op.
 func (s *Memory) Close() error { return nil }
+
+// lookup returns the existing entry for a key, or nil, without creating
+// one — the read-only probe Disk uses to decide whether a lazy v2 block
+// fault is needed before committing to entry creation. Allocation-free.
+func (s *Memory) lookup(k Key) *Entry {
+	sh := &s.shards[k.Hash()&(shardCount-1)]
+	sh.mu.RLock()
+	e := sh.m[k]
+	sh.mu.RUnlock()
+	return e
+}
 
 // seed installs a pre-completed entry for a key — the path persistent
 // stores use to restore results at Open. Existing entries win: a key

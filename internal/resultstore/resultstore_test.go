@@ -227,10 +227,14 @@ func TestDiskCompact(t *testing.T) {
 	if err := d.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	// One compacted segment plus the fresh active one.
+	// One compacted v2 segment plus the fresh active v1 one.
+	v2segs, _ := filepath.Glob(filepath.Join(dir, "segment-*.seg"))
+	if len(v2segs) != 1 {
+		t.Fatalf("v2 segments after compaction = %d, want 1", len(v2segs))
+	}
 	segs, _ = filepath.Glob(filepath.Join(dir, "segment-*.jsonl"))
-	if len(segs) != 2 {
-		t.Fatalf("segments after compaction = %d, want 2 (compacted + active)", len(segs))
+	if len(segs) != 1 {
+		t.Fatalf("v1 segments after compaction = %d, want 1 (the active one)", len(segs))
 	}
 	if d.Persisted() != 3 {
 		t.Fatalf("persisted after compaction = %d, want 3", d.Persisted())

@@ -1,0 +1,858 @@
+package resultstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/memdev"
+	"repro/internal/memsys"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// The v2 segment format: a compact binary columnar layout for compacted
+// stores, built so a multi-million-point store opens in milliseconds.
+//
+// File layout (all integers little-endian):
+//
+//	[8-byte magic "RSTORE2\n"]
+//	block frame *      one per block of up to seg2BlockSize records
+//	index frame        one, after the last block
+//	[16-byte trailer]  index frame offset + CRC32C(offset) + magic "RS2I"
+//
+// Every frame is [kind u8][payloadLen u32][payload][crc u32] where crc is
+// CRC32C (Castagnoli) over the payload — the binary counterpart of the
+// v1 loader's truncated-line tolerance: a torn or corrupt frame is
+// detected by checksum, never mis-decoded.
+//
+// A block's payload is columnar: records are globally sorted by
+// fingerprint (full cache-key order for ties), fingerprints are stored
+// as one raw u64 plus uvarint deltas, low-cardinality strings (app,
+// variant, phase name, bound-by resource) are dictionary-coded, small
+// integers are varint-packed, and float64 quantities are raw IEEE bits
+// so every record round-trips bit-identically. The per-phase quantities
+// (times, achieved traffic, solver diagnostics) are flattened into
+// phase-major columns behind a per-record phase-count column.
+//
+// The index frame holds one entry per block — frame offset, payload
+// length, record count, min/max fingerprint — so Open reads the trailer
+// plus the index and nothing else; blocks decode lazily on the first
+// Acquire whose fingerprint lands in their range. If the trailer or
+// index is unreadable (a torn file that escaped the temp+rename
+// discipline), Open falls back to a sequential frame scan that loads
+// every intact block eagerly and drops the torn tail.
+//
+// v2 segments are written only by Compact (temp file + fsync + rename);
+// live appends stay on the v1 JSON-lines format, whose per-record
+// flush/torn-tail semantics fit incremental durability.
+
+const (
+	seg2FileMagic    = "RSTORE2\n"
+	seg2TrailerMagic = "RS2I"
+	seg2TrailerLen   = 16
+
+	seg2FrameBlock = 1
+	seg2FrameIndex = 2
+
+	// seg2FrameMax bounds a frame payload; a length beyond it is
+	// corruption, not a real frame.
+	seg2FrameMax = 1 << 30
+)
+
+// seg2BlockSize is the records-per-block target; a var so tests can
+// force multi-block segments from small record sets.
+var seg2BlockSize = 1024
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// keyLess is the canonical record order inside a v2 segment: fingerprint
+// first (the index axis), then the remaining key fields for a total
+// deterministic order.
+func keyLess(a, b Key) bool {
+	if a.Fingerprint != b.Fingerprint {
+		return a.Fingerprint < b.Fingerprint
+	}
+	if a.App != b.App {
+		return a.App < b.App
+	}
+	if a.Mode != b.Mode {
+		return a.Mode < b.Mode
+	}
+	if a.Threads != b.Threads {
+		return a.Threads < b.Threads
+	}
+	if a.Placement != b.Placement {
+		return a.Placement < b.Placement
+	}
+	return a.Variant < b.Variant
+}
+
+// --- column writer ---
+
+// s2writer accumulates one block payload.
+type s2writer struct {
+	b []byte
+}
+
+func (w *s2writer) uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+func (w *s2writer) varint(v int64)   { w.b = binary.AppendVarint(w.b, v) }
+func (w *s2writer) u64(v uint64)     { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *s2writer) f64(v float64)    { w.u64(math.Float64bits(v)) }
+func (w *s2writer) str(s string)     { w.uvarint(uint64(len(s))); w.b = append(w.b, s...) }
+
+// dict is an order-of-first-use string dictionary for low-cardinality
+// columns (apps, variants, phase names, bound-by resources).
+type dict struct {
+	idx  map[string]int
+	strs []string
+}
+
+func (d *dict) code(s string) uint64 {
+	if d.idx == nil {
+		d.idx = make(map[string]int)
+	}
+	i, ok := d.idx[s]
+	if !ok {
+		i = len(d.strs)
+		d.idx[s] = i
+		d.strs = append(d.strs, s)
+	}
+	return uint64(i)
+}
+
+func (w *s2writer) dict(d *dict) {
+	w.uvarint(uint64(len(d.strs)))
+	for _, s := range d.strs {
+		w.str(s)
+	}
+}
+
+// encodeBlock renders one sorted record run as a columnar payload.
+func encodeBlock(recs []rec) []byte {
+	w := &s2writer{b: make([]byte, 0, 64*len(recs))}
+	n := len(recs)
+	w.uvarint(uint64(n))
+	if n == 0 {
+		return w.b
+	}
+
+	// Key columns. Fingerprints are sorted, so deltas pack small.
+	w.u64(recs[0].k.Fingerprint)
+	for i := 1; i < n; i++ {
+		w.uvarint(recs[i].k.Fingerprint - recs[i-1].k.Fingerprint)
+	}
+	var apps, variants dict
+	appCodes := make([]uint64, n)
+	varCodes := make([]uint64, n)
+	for i, r := range recs {
+		appCodes[i] = apps.code(r.k.App)
+		varCodes[i] = variants.code(r.k.Variant)
+	}
+	w.dict(&apps)
+	for _, c := range appCodes {
+		w.uvarint(c)
+	}
+	for _, r := range recs {
+		w.uvarint(uint64(r.k.Mode))
+	}
+	for _, r := range recs {
+		w.uvarint(uint64(r.k.Threads))
+	}
+	for _, r := range recs {
+		w.uvarint(r.k.Placement)
+	}
+	w.dict(&variants)
+	for _, c := range varCodes {
+		w.uvarint(c)
+	}
+
+	// Result headline columns. Mode/Threads are persisted independently
+	// of the key's so a record round-trips even if they ever diverge.
+	for _, r := range recs {
+		w.uvarint(uint64(r.res.Mode))
+	}
+	for _, r := range recs {
+		w.uvarint(uint64(r.res.Threads))
+	}
+	for _, r := range recs {
+		w.f64(float64(r.res.Time))
+	}
+	for _, r := range recs {
+		w.f64(r.res.FoMValue)
+	}
+	for _, r := range recs {
+		w.f64(r.res.Slowdown)
+	}
+	for _, r := range recs {
+		w.f64(float64(r.res.AvgDRAMRead))
+	}
+	for _, r := range recs {
+		w.f64(float64(r.res.AvgDRAMWrite))
+	}
+	for _, r := range recs {
+		w.f64(float64(r.res.AvgNVMRead))
+	}
+	for _, r := range recs {
+		w.f64(float64(r.res.AvgNVMWrite))
+	}
+
+	// Phase columns, flattened phase-major behind a per-record count.
+	for _, r := range recs {
+		w.uvarint(uint64(len(r.res.Phases)))
+	}
+	var phases []workload.PhaseOutcome
+	for _, r := range recs {
+		phases = append(phases, r.res.Phases...)
+	}
+	var names, bounds dict
+	nameCodes := make([]uint64, len(phases))
+	boundCodes := make([]uint64, len(phases))
+	for i, p := range phases {
+		nameCodes[i] = names.code(p.Phase.Name)
+		boundCodes[i] = bounds.code(string(p.Epoch.BoundBy))
+	}
+	w.dict(&names)
+	for _, c := range nameCodes {
+		w.uvarint(c)
+	}
+	for _, p := range phases {
+		w.f64(p.Phase.Share)
+	}
+	for _, p := range phases {
+		w.f64(float64(p.Phase.ReadBW))
+	}
+	for _, p := range phases {
+		w.f64(float64(p.Phase.WriteBW))
+	}
+	for _, p := range phases {
+		w.uvarint(uint64(len(p.Phase.ReadMix)))
+	}
+	for _, p := range phases {
+		for _, c := range p.Phase.ReadMix {
+			w.varint(int64(c.Pattern))
+			w.f64(c.Weight)
+		}
+	}
+	for _, p := range phases {
+		w.varint(int64(p.Phase.WritePattern))
+	}
+	for _, p := range phases {
+		w.varint(int64(p.Phase.WorkingSet))
+	}
+	for _, p := range phases {
+		w.f64(p.Phase.LatencyBound)
+	}
+	for _, p := range phases {
+		w.f64(p.Phase.AliasFactor)
+	}
+	for _, p := range phases {
+		w.varint(int64(p.Phase.Iterations))
+	}
+	for _, p := range phases {
+		w.f64(p.Epoch.Mult)
+	}
+	w.dict(&bounds)
+	for _, c := range boundCodes {
+		w.uvarint(c)
+	}
+	for _, p := range phases {
+		w.f64(p.Epoch.HitRate)
+	}
+	for _, p := range phases {
+		w.f64(float64(p.Epoch.DRAMRead))
+	}
+	for _, p := range phases {
+		w.f64(float64(p.Epoch.DRAMWrite))
+	}
+	for _, p := range phases {
+		w.f64(float64(p.Epoch.NVMRead))
+	}
+	for _, p := range phases {
+		w.f64(float64(p.Epoch.NVMWrite))
+	}
+	for _, p := range phases {
+		w.f64(p.Epoch.BWMult)
+	}
+	for _, p := range phases {
+		w.f64(p.Epoch.LatMult)
+	}
+	for _, p := range phases {
+		w.f64(float64(p.Time))
+	}
+	return w.b
+}
+
+// --- column reader ---
+
+// s2reader decodes a block payload with sticky error tracking so the
+// fuzzed decode path can never panic on malformed input.
+type s2reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *s2reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("resultstore: v2 block: truncated or invalid %s at offset %d", what, r.off)
+	}
+}
+
+func (r *s2reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *s2reader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *s2reader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *s2reader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *s2reader) str(what string) string {
+	n := r.uvarint(what)
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// count validates a declared element count against the bytes that
+// remain, so a hostile count cannot drive a giant allocation.
+func (r *s2reader) count(what string, perElem int) int {
+	v := r.uvarint(what)
+	if r.err != nil {
+		return 0
+	}
+	if perElem < 1 {
+		perElem = 1
+	}
+	if v > uint64((len(r.b)-r.off)/perElem+1) {
+		r.fail(what + " count")
+		return 0
+	}
+	return int(v)
+}
+
+func (r *s2reader) dict(what string) []string {
+	n := r.count(what+" dict", 1)
+	if r.err != nil {
+		return nil
+	}
+	strs := make([]string, n)
+	for i := range strs {
+		strs[i] = r.str(what)
+	}
+	return strs
+}
+
+func (r *s2reader) coded(what string, d []string) string {
+	c := r.uvarint(what)
+	if r.err != nil {
+		return ""
+	}
+	if c >= uint64(len(d)) {
+		r.fail(what + " dict code")
+		return ""
+	}
+	return d[c]
+}
+
+// decodeBlock parses one columnar block payload back into records.
+func decodeBlock(payload []byte) ([]rec, error) {
+	r := &s2reader{b: payload}
+	n := r.count("records", 8)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n == 0 {
+		if r.off != len(r.b) {
+			return nil, fmt.Errorf("resultstore: v2 block: %d trailing bytes", len(r.b)-r.off)
+		}
+		return nil, nil
+	}
+	recs := make([]rec, n)
+
+	fp := r.u64("fingerprint")
+	recs[0].k.Fingerprint = fp
+	for i := 1; i < n; i++ {
+		fp += r.uvarint("fingerprint delta")
+		recs[i].k.Fingerprint = fp
+	}
+	apps := r.dict("app")
+	for i := range recs {
+		recs[i].k.App = r.coded("app", apps)
+	}
+	for i := range recs {
+		recs[i].k.Mode = memsys.Mode(r.uvarint("key mode"))
+	}
+	for i := range recs {
+		recs[i].k.Threads = int(r.uvarint("key threads"))
+	}
+	for i := range recs {
+		recs[i].k.Placement = r.uvarint("placement")
+	}
+	variants := r.dict("variant")
+	for i := range recs {
+		recs[i].k.Variant = r.coded("variant", variants)
+	}
+
+	for i := range recs {
+		recs[i].res.Mode = memsys.Mode(r.uvarint("result mode"))
+	}
+	for i := range recs {
+		recs[i].res.Threads = int(r.uvarint("result threads"))
+	}
+	for i := range recs {
+		recs[i].res.Time = units.Duration(r.f64("time"))
+	}
+	for i := range recs {
+		recs[i].res.FoMValue = r.f64("fom")
+	}
+	for i := range recs {
+		recs[i].res.Slowdown = r.f64("slowdown")
+	}
+	for i := range recs {
+		recs[i].res.AvgDRAMRead = units.Bandwidth(r.f64("avg dram read"))
+	}
+	for i := range recs {
+		recs[i].res.AvgDRAMWrite = units.Bandwidth(r.f64("avg dram write"))
+	}
+	for i := range recs {
+		recs[i].res.AvgNVMRead = units.Bandwidth(r.f64("avg nvm read"))
+	}
+	for i := range recs {
+		recs[i].res.AvgNVMWrite = units.Bandwidth(r.f64("avg nvm write"))
+	}
+
+	counts := make([]int, n)
+	total := 0
+	for i := range counts {
+		counts[i] = r.count("phase", 8)
+		total += counts[i]
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if total > len(r.b)-r.off+1 {
+		return nil, fmt.Errorf("resultstore: v2 block: phase total %d exceeds payload", total)
+	}
+	phases := make([]workload.PhaseOutcome, total)
+	names := r.dict("phase name")
+	for i := range phases {
+		phases[i].Phase.Name = r.coded("phase name", names)
+	}
+	for i := range phases {
+		phases[i].Phase.Share = r.f64("share")
+	}
+	for i := range phases {
+		phases[i].Phase.ReadBW = units.Bandwidth(r.f64("read bw"))
+	}
+	for i := range phases {
+		phases[i].Phase.WriteBW = units.Bandwidth(r.f64("write bw"))
+	}
+	mixLens := make([]int, total)
+	for i := range mixLens {
+		mixLens[i] = r.count("mix", 9)
+	}
+	for i := range phases {
+		if mixLens[i] == 0 {
+			continue
+		}
+		mix := make(memsys.PatternMix, mixLens[i])
+		for j := range mix {
+			mix[j].Pattern = memdev.Pattern(r.varint("mix pattern"))
+			mix[j].Weight = r.f64("mix weight")
+		}
+		phases[i].Phase.ReadMix = mix
+	}
+	for i := range phases {
+		phases[i].Phase.WritePattern = memdev.Pattern(r.varint("write pattern"))
+	}
+	for i := range phases {
+		phases[i].Phase.WorkingSet = units.Bytes(r.varint("working set"))
+	}
+	for i := range phases {
+		phases[i].Phase.LatencyBound = r.f64("latency bound")
+	}
+	for i := range phases {
+		phases[i].Phase.AliasFactor = r.f64("alias factor")
+	}
+	for i := range phases {
+		phases[i].Phase.Iterations = int(r.varint("iterations"))
+	}
+	for i := range phases {
+		phases[i].Epoch.Mult = r.f64("mult")
+	}
+	bounds := r.dict("bound-by")
+	for i := range phases {
+		phases[i].Epoch.BoundBy = memsys.Resource(r.coded("bound-by", bounds))
+	}
+	for i := range phases {
+		phases[i].Epoch.HitRate = r.f64("hit rate")
+	}
+	for i := range phases {
+		phases[i].Epoch.DRAMRead = units.Bandwidth(r.f64("epoch dram read"))
+	}
+	for i := range phases {
+		phases[i].Epoch.DRAMWrite = units.Bandwidth(r.f64("epoch dram write"))
+	}
+	for i := range phases {
+		phases[i].Epoch.NVMRead = units.Bandwidth(r.f64("epoch nvm read"))
+	}
+	for i := range phases {
+		phases[i].Epoch.NVMWrite = units.Bandwidth(r.f64("epoch nvm write"))
+	}
+	for i := range phases {
+		phases[i].Epoch.BWMult = r.f64("bw mult")
+	}
+	for i := range phases {
+		phases[i].Epoch.LatMult = r.f64("lat mult")
+	}
+	for i := range phases {
+		phases[i].Time = units.Duration(r.f64("phase time"))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("resultstore: v2 block: %d trailing bytes", len(r.b)-r.off)
+	}
+	at := 0
+	for i := range recs {
+		if counts[i] > 0 {
+			recs[i].res.Phases = phases[at : at+counts[i] : at+counts[i]]
+		}
+		at += counts[i]
+	}
+	return recs, nil
+}
+
+// --- frames ---
+
+// appendFrame wraps a payload as [kind][len][payload][crc32c].
+func appendFrame(dst []byte, kind byte, payload []byte) []byte {
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+}
+
+// parseFrame reads the frame starting at data[0], returning its kind,
+// CRC-verified payload and total length.
+func parseFrame(data []byte) (kind byte, payload []byte, frameLen int, err error) {
+	if len(data) < 9 {
+		return 0, nil, 0, fmt.Errorf("resultstore: v2 frame: short header")
+	}
+	kind = data[0]
+	n := binary.LittleEndian.Uint32(data[1:5])
+	if n > seg2FrameMax || int(n) > len(data)-9 {
+		return 0, nil, 0, fmt.Errorf("resultstore: v2 frame: payload length %d exceeds file", n)
+	}
+	payload = data[5 : 5+n]
+	crc := binary.LittleEndian.Uint32(data[5+n:])
+	if crc32.Checksum(payload, crcTable) != crc {
+		return 0, nil, 0, fmt.Errorf("resultstore: v2 frame: CRC mismatch")
+	}
+	return kind, payload, int(n) + 9, nil
+}
+
+// blockMeta is one index entry: where a block's frame lives and which
+// fingerprint range it covers.
+type blockMeta struct {
+	off    int64 // frame start offset in the file
+	length int   // frame payload length
+	count  int
+	minFp  uint64
+	maxFp  uint64
+	loaded bool
+}
+
+func encodeIndex(metas []blockMeta) []byte {
+	w := &s2writer{}
+	w.uvarint(uint64(len(metas)))
+	for _, m := range metas {
+		w.uvarint(uint64(m.off))
+		w.uvarint(uint64(m.length))
+		w.uvarint(uint64(m.count))
+		w.u64(m.minFp)
+		w.u64(m.maxFp)
+	}
+	return w.b
+}
+
+func decodeIndex(payload []byte) ([]blockMeta, error) {
+	r := &s2reader{b: payload}
+	n := r.count("index", 19)
+	metas := make([]blockMeta, n)
+	for i := range metas {
+		metas[i].off = int64(r.uvarint("block offset"))
+		metas[i].length = int(r.uvarint("block length"))
+		metas[i].count = int(r.uvarint("block count"))
+		metas[i].minFp = r.u64("block min fp")
+		metas[i].maxFp = r.u64("block max fp")
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("resultstore: v2 index: %d trailing bytes", len(r.b)-r.off)
+	}
+	return metas, nil
+}
+
+// writeSeg2 renders a full v2 segment (sorted blocks, index, trailer)
+// into w. Records are sorted in place.
+func writeSeg2(w io.Writer, recs []rec) error {
+	sort.Slice(recs, func(i, j int) bool { return keyLess(recs[i].k, recs[j].k) })
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, seg2FileMagic...)
+	off := int64(len(buf))
+	var metas []blockMeta
+	written := int64(0)
+	flush := func() error {
+		n, err := w.Write(buf)
+		written += int64(n)
+		buf = buf[:0]
+		return err
+	}
+	for at := 0; at < len(recs); at += seg2BlockSize {
+		end := min(at+seg2BlockSize, len(recs))
+		chunk := recs[at:end]
+		payload := encodeBlock(chunk)
+		metas = append(metas, blockMeta{
+			off:    off,
+			length: len(payload),
+			count:  len(chunk),
+			minFp:  chunk[0].k.Fingerprint,
+			maxFp:  chunk[len(chunk)-1].k.Fingerprint,
+		})
+		buf = appendFrame(buf, seg2FrameBlock, payload)
+		off += int64(9 + len(payload))
+		if len(buf) >= 1<<20 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	indexOff := off
+	buf = appendFrame(buf, seg2FrameIndex, encodeIndex(metas))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(indexOff))
+	buf = binary.LittleEndian.AppendUint32(buf,
+		crc32.Checksum(buf[len(buf)-8:], crcTable))
+	buf = append(buf, seg2TrailerMagic...)
+	return flush()
+}
+
+// seg2 is an open v2 segment: the block index plus an open read handle;
+// block payloads decode lazily through faultRange.
+type seg2 struct {
+	path   string
+	f      *os.File
+	blocks []blockMeta
+	count  int // total records across blocks
+
+	indexBytes int64
+	loaded     int // blocks decoded so far
+}
+
+func (s *seg2) close() {
+	if s != nil && s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// openSeg2 opens a v2 segment. The fast path reads the 16-byte trailer
+// and the index frame only. If the trailer or index is damaged, the
+// fallback scans frames from the start, eagerly decoding every intact
+// block and dropping the torn tail; the records are then returned for
+// immediate seeding and the handle is nil.
+func openSeg2(path string) (*seg2, []rec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("resultstore: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("resultstore: %w", err)
+	}
+	size := fi.Size()
+	if size < int64(len(seg2FileMagic)) {
+		f.Close()
+		return nil, nil, fmt.Errorf("resultstore: %s: not a v2 segment (short file)", path)
+	}
+	magic := make([]byte, len(seg2FileMagic))
+	if _, err := f.ReadAt(magic, 0); err != nil || string(magic) != seg2FileMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("resultstore: %s: not a v2 segment (bad magic)", path)
+	}
+
+	if metas, indexBytes, ok := readSeg2Index(f, size); ok {
+		s := &seg2{path: path, f: f, blocks: metas, indexBytes: indexBytes}
+		for _, m := range metas {
+			s.count += m.count
+		}
+		return s, nil, nil
+	}
+
+	// Trailer or index unreadable: sequential recovery scan.
+	recs, err := scanSeg2(f, size)
+	f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("resultstore: %s: %w", path, err)
+	}
+	return nil, recs, nil
+}
+
+// readSeg2Index reads the trailer and index frame; ok is false when
+// either is damaged and the caller should fall back to a scan.
+func readSeg2Index(f *os.File, size int64) (metas []blockMeta, indexBytes int64, ok bool) {
+	if size < int64(len(seg2FileMagic))+seg2TrailerLen {
+		return nil, 0, false
+	}
+	tr := make([]byte, seg2TrailerLen)
+	if _, err := f.ReadAt(tr, size-seg2TrailerLen); err != nil {
+		return nil, 0, false
+	}
+	if string(tr[12:16]) != seg2TrailerMagic ||
+		crc32.Checksum(tr[0:8], crcTable) != binary.LittleEndian.Uint32(tr[8:12]) {
+		return nil, 0, false
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(tr[0:8]))
+	if indexOff < int64(len(seg2FileMagic)) || indexOff >= size-seg2TrailerLen {
+		return nil, 0, false
+	}
+	frame := make([]byte, size-seg2TrailerLen-indexOff)
+	if _, err := f.ReadAt(frame, indexOff); err != nil {
+		return nil, 0, false
+	}
+	kind, payload, _, err := parseFrame(frame)
+	if err != nil || kind != seg2FrameIndex {
+		return nil, 0, false
+	}
+	metas, err = decodeIndex(payload)
+	if err != nil {
+		return nil, 0, false
+	}
+	return metas, int64(len(frame)), true
+}
+
+// scanSeg2 walks the frames of a damaged segment from the top, decoding
+// every intact block; the first unreadable frame ends the scan (the
+// torn-tail rule).
+func scanSeg2(f *os.File, size int64) ([]rec, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	at := len(seg2FileMagic)
+	var recs []rec
+	for at < len(data) {
+		kind, payload, frameLen, err := parseFrame(data[at:])
+		if err != nil {
+			break // torn tail
+		}
+		if kind == seg2FrameIndex {
+			break // blocks precede the index; nothing left to recover
+		}
+		if kind != seg2FrameBlock {
+			break
+		}
+		blockRecs, err := decodeBlock(payload)
+		if err != nil {
+			break
+		}
+		recs = append(recs, blockRecs...)
+		at += frameLen
+	}
+	return recs, nil
+}
+
+// readBlock decodes block i from disk, verifying its frame CRC.
+func (s *seg2) readBlock(i int) ([]rec, error) {
+	m := s.blocks[i]
+	frame := make([]byte, 9+m.length)
+	if _, err := s.f.ReadAt(frame, m.off); err != nil {
+		return nil, fmt.Errorf("resultstore: %s: block %d: %w", s.path, i, err)
+	}
+	kind, payload, _, err := parseFrame(frame)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %s: block %d: %w", s.path, i, err)
+	}
+	if kind != seg2FrameBlock {
+		return nil, fmt.Errorf("resultstore: %s: block %d: frame kind %d", s.path, i, kind)
+	}
+	recs, err := decodeBlock(payload)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %s: block %d: %w", s.path, i, err)
+	}
+	if len(recs) != m.count {
+		return nil, fmt.Errorf("resultstore: %s: block %d: %d records, index says %d",
+			s.path, i, len(recs), m.count)
+	}
+	return recs, nil
+}
+
+// inRange reports whether fp falls inside some block's fingerprint
+// range. It reads only the immutable index fields, so it is safe to call
+// without the fault lock; the loaded-aware scan happens under it.
+func (s *seg2) inRange(fp uint64) bool {
+	i := sort.Search(len(s.blocks), func(i int) bool { return s.blocks[i].maxFp >= fp })
+	return i < len(s.blocks) && s.blocks[i].minFp <= fp
+}
+
+// readAll decodes every block (for Compact and recovery paths).
+func (s *seg2) readAll() ([]rec, error) {
+	var recs []rec
+	for i := range s.blocks {
+		blockRecs, err := s.readBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, blockRecs...)
+	}
+	return recs, nil
+}

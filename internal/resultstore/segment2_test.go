@@ -1,0 +1,587 @@
+package resultstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+func TestParseSegName(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  int
+		ver  int
+		ok   bool
+	}{
+		{"segment-00000001.jsonl", 1, 1, true},
+		{"segment-00000042.jsonl", 42, 1, true},
+		{"segment-00000001.seg", 1, 2, true},
+		{"segment-99999999.seg", 99999999, 2, true},
+		// Near misses a Sscanf prefix match used to accept.
+		{"segment-00000001.jsonl.bak", 0, 0, false},
+		{"segment-00000001.jsonl~", 0, 0, false},
+		{"segment-00000001.jsonlx", 0, 0, false},
+		{"segment-00000001.segx", 0, 0, false},
+		{"segment-00000001.seg.tmp", 0, 0, false},
+		// Wrong digit counts, signs, or stray characters.
+		{"segment-0000001.jsonl", 0, 0, false},
+		{"segment-000000001.jsonl", 0, 0, false},
+		{"segment-+0000001.jsonl", 0, 0, false},
+		{"segment--0000001.jsonl", 0, 0, false},
+		{"segment-0000000a.jsonl", 0, 0, false},
+		{"segment-00000001.json", 0, 0, false},
+		{"segment-00000001", 0, 0, false},
+		{"segment-.jsonl", 0, 0, false},
+		{"Segment-00000001.jsonl", 0, 0, false},
+		{"xsegment-00000001.jsonl", 0, 0, false},
+		{"compact.tmp", 0, 0, false},
+		{"LOCK", 0, 0, false},
+		{"", 0, 0, false},
+	}
+	for _, c := range cases {
+		seq, ver, ok := parseSegName(c.name)
+		if ok != c.ok || seq != c.seq || ver != c.ver {
+			t.Errorf("parseSegName(%q) = (%d, %d, %v), want (%d, %d, %v)",
+				c.name, seq, ver, ok, c.seq, c.ver, c.ok)
+		}
+	}
+}
+
+// Stray near-miss files in a store directory must not load as segments.
+func TestDiskIgnoresNearMissFiles(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, res := solved(t, 0, memsys.CachedNVM, 48)
+	d.Commit(k, res, nil)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A backup copy with garbage content: a prefix match would load it
+	// and fail; an exact match skips it.
+	if err := os.WriteFile(filepath.Join(dir, "segment-00000001.jsonl.bak"),
+		[]byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("stray near-miss file broke Open: %v", err)
+	}
+	defer re.Close()
+	if re.Persisted() != 1 {
+		t.Fatalf("Persisted = %d, want 1", re.Persisted())
+	}
+}
+
+func TestBlockCodecRoundTrip(t *testing.T) {
+	var recs []rec
+	for i := 0; i < 3; i++ {
+		k, res := solved(t, i, memsys.Mode(i%4), 12+i)
+		recs = append(recs, rec{k, res})
+	}
+	for i := 0; i < 40; i++ {
+		k, res := SyntheticRecord(i)
+		recs = append(recs, rec{k, res})
+	}
+	// Edge shapes: extreme key fields, no phases.
+	k, res := SyntheticRecord(1000)
+	k.Placement = 1<<63 + 12345
+	k.Variant = "missOverlap=1.5"
+	recs = append(recs, rec{k, res})
+	k2 := k
+	k2.Variant = ""
+	recs = append(recs, rec{k2, workload.Result{}})
+
+	payload := encodeBlock(recs)
+	got, err := decodeBlock(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].k != recs[i].k {
+			t.Errorf("record %d key = %+v, want %+v", i, got[i].k, recs[i].k)
+		}
+		if !reflect.DeepEqual(got[i].res, recs[i].res) {
+			t.Errorf("record %d result differs:\n got %+v\nwant %+v", i, got[i].res, recs[i].res)
+		}
+	}
+
+	// Empty block.
+	empty, err := decodeBlock(encodeBlock(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty block round trip = (%v, %v)", empty, err)
+	}
+}
+
+// The v1→v2 migration property: Compact on a JSON-lines store yields a
+// v2 store in which every record round-trips bit-identically
+// (workload.Result equality), and the migrated store re-serves every
+// key as a seeded cache hit after reopening.
+func TestCompactMigratesV1ToV2(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[Key]workload.Result)
+	for i := 0; i < 4; i++ {
+		for _, mode := range []memsys.Mode{memsys.DRAMOnly, memsys.CachedNVM, memsys.UncachedNVM} {
+			k, res := solved(t, i, mode, 12+i)
+			want[k] = res
+			d.Commit(k, res, nil)
+		}
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Compacted records stay resident and identical in the live store.
+	for k, res := range want {
+		e, loaded := d.Acquire(k)
+		if !loaded {
+			t.Fatalf("key %+v lost by compaction", k)
+		}
+		if !reflect.DeepEqual(e.Res, res) {
+			t.Fatalf("live record %+v changed by compaction:\n got %+v\nwant %+v", k, e.Res, res)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// On disk: exactly one v2 segment, no v1 segments (the empty active
+	// one is removed on Close).
+	v2segs, _ := filepath.Glob(filepath.Join(dir, "segment-*.seg"))
+	v1segs, _ := filepath.Glob(filepath.Join(dir, "segment-*.jsonl"))
+	if len(v2segs) != 1 || len(v1segs) != 0 {
+		t.Fatalf("after migration: %d v2 + %d v1 segments, want 1 + 0", len(v2segs), len(v1segs))
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Persisted() != len(want) {
+		t.Fatalf("Persisted = %d, want %d", re.Persisted(), len(want))
+	}
+	for k, res := range want {
+		e, loaded := re.Acquire(k)
+		if !loaded {
+			t.Fatalf("key %+v not re-served after migration", k)
+		}
+		if !e.Seeded {
+			t.Fatalf("key %+v entry not seeded", k)
+		}
+		if !reflect.DeepEqual(e.Res, res) {
+			t.Fatalf("record %+v did not survive migration bit-identically:\n got %+v\nwant %+v", k, e.Res, res)
+		}
+	}
+}
+
+// Opening a compacted store reads only the index; blocks decode on the
+// first Acquire that lands in their fingerprint range.
+func TestV2LazyBlockFault(t *testing.T) {
+	defer SetBlockSizeForTest(8)()
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	keys := make([]Key, n)
+	for i := 0; i < n; i++ {
+		k, res := SyntheticRecord(i)
+		keys[i] = k
+		d.Commit(k, res, nil)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Persisted() != n {
+		t.Fatalf("Persisted = %d, want %d", re.Persisted(), n)
+	}
+	if got := re.Len(); got != 0 {
+		t.Fatalf("resident entries after lazy open = %d, want 0", got)
+	}
+	if _, loaded := re.Acquire(keys[0]); !loaded {
+		t.Fatal("first key not served from lazy block")
+	}
+	if got := re.Len(); got == 0 || got >= n {
+		t.Fatalf("resident entries after one fault = %d, want in (0, %d)", got, n)
+	}
+	for i, k := range keys {
+		e, loaded := re.Acquire(k)
+		if !loaded || !e.Seeded {
+			t.Fatalf("key %d not served as seeded hit (loaded=%v)", i, loaded)
+		}
+		_, res := SyntheticRecord(i)
+		if !reflect.DeepEqual(e.Res, res) {
+			t.Fatalf("key %d result differs after lazy decode", i)
+		}
+	}
+	if got := re.Len(); got != n {
+		t.Fatalf("resident entries after full fault = %d, want %d", got, n)
+	}
+}
+
+// A damaged trailer or index falls back to a sequential frame scan that
+// recovers every intact block — the v2 counterpart of the JSON loader's
+// truncated-line tolerance.
+func TestV2TrailerFallbackRecovers(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	for i := 0; i < n; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "segment-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("v2 segments = %d, want 1", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear off the trailer and half the index frame.
+	if err := os.WriteFile(segs[0], data[:len(data)-seg2TrailerLen-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn v2 segment broke Open: %v", err)
+	}
+	defer re.Close()
+	if re.Persisted() != n {
+		t.Fatalf("Persisted after fallback = %d, want %d", re.Persisted(), n)
+	}
+	// Fallback loads eagerly: everything is resident.
+	if got := re.Len(); got != n {
+		t.Fatalf("resident entries after fallback = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		k, res := SyntheticRecord(i)
+		e, loaded := re.Acquire(k)
+		if !loaded || !reflect.DeepEqual(e.Res, res) {
+			t.Fatalf("key %d not recovered intact (loaded=%v)", i, loaded)
+		}
+	}
+}
+
+// A corrupt block is rejected by its CRC: its keys become cache misses
+// (recomputed, never mis-decoded) and the error surfaces at Close.
+func TestV2CorruptBlockIsRejected(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	for i := 0; i < n; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "segment-*.seg"))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the first block's payload (frame header is 9
+	// bytes after the 8-byte file magic).
+	data[len(seg2FileMagic)+9+4] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open should defer block validation: %v", err)
+	}
+	k, _ := SyntheticRecord(0)
+	if _, loaded := re.Acquire(k); loaded {
+		t.Fatal("key from corrupt block served as a hit")
+	}
+	err = re.Close()
+	if err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("Close error = %v, want CRC mismatch", err)
+	}
+}
+
+// An interrupted compaction cleanup (v2 segment renamed into place, old
+// segments not yet deleted) is finished by Open, and newer v1 appends
+// override the v2 segment's records.
+func TestInterruptedCompactionCleanup(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir) // seq 1: will become a stale leftover
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, res0 := SyntheticRecord(0)
+	k1, res1 := SyntheticRecord(1)
+	d.Commit(k0, res0, nil)
+	d.Commit(k1, res1, nil)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write the compacted v2 segment at seq 2, leaving the v1
+	// leftover in place (as if the cleanup crashed), plus a newer v1
+	// segment at seq 3 overriding k0.
+	var recs []rec
+	recs = append(recs, rec{k0, res0}, rec{k1, res1})
+	f, err := os.Create(filepath.Join(dir, seg2Name(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSeg2(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	override := res0
+	override.Slowdown = 99.5
+	var buf bytes.Buffer
+	if err := encodeRecord(&buf, k0, override); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(3)), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Error("stale pre-compaction segment not cleaned up by Open")
+	}
+	if re.Persisted() != 3 { // 2 in v2 + 1 override in v1
+		t.Errorf("Persisted = %d, want 3", re.Persisted())
+	}
+	e, loaded := re.Acquire(k0)
+	if !loaded || e.Res.Slowdown != 99.5 {
+		t.Errorf("newer v1 record did not win over v2 (loaded=%v, slowdown=%v)",
+			loaded, e.Res.Slowdown)
+	}
+	if e, loaded := re.Acquire(k1); !loaded || !reflect.DeepEqual(e.Res, res1) {
+		t.Errorf("v2-only record not served intact")
+	}
+}
+
+// Compacting twice (v2 → v2) keeps every record and the single-segment
+// layout.
+func TestDoubleCompact(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	k, res := SyntheticRecord(n)
+	d.Commit(k, res, nil)
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Persisted() != n+1 {
+		t.Fatalf("Persisted = %d, want %d", d.Persisted(), n+1)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i <= n; i++ {
+		k, res := SyntheticRecord(i)
+		e, loaded := re.Acquire(k)
+		if !loaded || !reflect.DeepEqual(e.Res, res) {
+			t.Fatalf("key %d lost or changed across double compaction", i)
+		}
+	}
+}
+
+func TestCloseRemovesEmptyActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		d, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "segment-*"))
+	if len(segs) != 0 {
+		t.Fatalf("idle open/close cycles left %d segment files: %v", len(segs), segs)
+	}
+}
+
+func TestStatReportsComposition(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const compacted = 12
+	for i := 0; i < compacted; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	k, res := SyntheticRecord(compacted)
+	d.Commit(k, res, nil)
+
+	// Stat works read-only against the directory of a live store.
+	st, err := Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsV1 != 1 || st.SegmentsV2 != 1 {
+		t.Errorf("segments = %d v1 + %d v2, want 1 + 1", st.SegmentsV1, st.SegmentsV2)
+	}
+	if st.Records != compacted+1 || st.RecordsV2 != compacted || st.RecordsV1 != 1 {
+		t.Errorf("records = %d (v1 %d, v2 %d), want %d (1, %d)",
+			st.Records, st.RecordsV1, st.RecordsV2, compacted+1, compacted)
+	}
+	if st.IndexBytes <= 0 || st.Blocks <= 0 {
+		t.Errorf("index accounting empty: index_bytes=%d blocks=%d", st.IndexBytes, st.Blocks)
+	}
+	if st.Bytes <= st.BytesV1 {
+		t.Errorf("total bytes %d should exceed v1 bytes %d", st.Bytes, st.BytesV1)
+	}
+
+	// The live store's view agrees and adds fault progress.
+	live := d.Stats()
+	if live.Records != compacted+1 {
+		t.Errorf("live Records = %d, want %d", live.Records, compacted+1)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The headline acceptance criterion: a compacted v2 store opens at
+// least 20× faster than the equivalent JSON-lines store. The default
+// population keeps the test quick; set RESULTSTORE_SPEEDUP_POINTS=1000000
+// to reproduce the 1M-point measurement from the README.
+func TestV2OpenSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("store population is not short-mode material")
+	}
+	n := 20000
+	if s := os.Getenv("RESULTSTORE_SPEEDUP_POINTS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad RESULTSTORE_SPEEDUP_POINTS %q", s)
+		}
+		n = v
+	}
+
+	recs := make([]rec, n)
+	for i := range recs {
+		recs[i].k, recs[i].res = SyntheticRecord(i)
+	}
+
+	// Equivalent stores: one v1 JSON-lines segment vs one v2 segment.
+	v1dir, v2dir := t.TempDir(), t.TempDir()
+	var buf bytes.Buffer
+	var lines bytes.Buffer
+	for _, r := range recs {
+		buf.Reset()
+		if err := encodeRecord(&buf, r.k, r.res); err != nil {
+			t.Fatal(err)
+		}
+		lines.Write(buf.Bytes())
+	}
+	if err := os.WriteFile(filepath.Join(v1dir, segName(1)), lines.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(v2dir, seg2Name(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSeg2(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	open := func(dir string) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			d, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			if d.Persisted() != n {
+				t.Fatalf("%s: Persisted = %d, want %d", dir, d.Persisted(), n)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if elapsed < best {
+				best = elapsed
+			}
+		}
+		return best
+	}
+	v2t := open(v2dir)
+	v1t := open(v1dir)
+	ratio := float64(v1t) / float64(v2t)
+	t.Logf("open %d points: v1 %v, v2 %v (%.0f× faster)", n, v1t, v2t, ratio)
+	if ratio < 20 {
+		t.Errorf("v2 open only %.1f× faster than v1, want >= 20×", ratio)
+	}
+}

@@ -1,0 +1,100 @@
+package resultstore
+
+import (
+	"fmt"
+
+	"repro/internal/memdev"
+	"repro/internal/memsys"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// SyntheticRecord returns record i of a deterministic synthetic store
+// population: distinct fingerprint-spread keys and fully populated
+// results with the shape of real sweep points (two phases, mixed access
+// patterns). It backs the store benchmarks in internal/benchkit and the
+// large-store capacity tests, where evaluating real workloads per record
+// would dominate the measurement.
+func SyntheticRecord(i int) (Key, workload.Result) {
+	fp := splitmix64(uint64(i))
+	apps := [...]string{"BoxLib", "SNAP", "HPCG", "XSBench"}
+	k := Key{
+		App:         apps[i%len(apps)],
+		Fingerprint: fp,
+		Mode:        memsys.Mode(i % 4),
+		Threads:     1 + i%28,
+	}
+	f := float64(i)
+	res := workload.Result{
+		Mode:         k.Mode,
+		Threads:      k.Threads,
+		Time:         units.Duration(1.0 + f*1e-3),
+		FoMValue:     1e6 / (1.0 + f),
+		Slowdown:     1.0 + f*1e-4,
+		AvgDRAMRead:  units.GBps(30 + f*1e-2),
+		AvgDRAMWrite: units.GBps(10 + f*1e-2),
+		AvgNVMRead:   units.GBps(5 + f*1e-3),
+		AvgNVMWrite:  units.GBps(2 + f*1e-3),
+		Phases: []workload.PhaseOutcome{
+			{
+				Phase: memsys.Phase{
+					Name:    fmt.Sprintf("phase-%d", i%7),
+					Share:   0.6,
+					ReadBW:  units.GBps(25 + f*1e-2),
+					WriteBW: units.GBps(8 + f*1e-2),
+					ReadMix: memsys.PatternMix{
+						{Pattern: memdev.Sequential, Weight: 0.7},
+						{Pattern: memdev.Random, Weight: 0.3},
+					},
+					WritePattern: memdev.Sequential,
+					WorkingSet:   units.GB(4) + units.Bytes(i),
+					LatencyBound: 0.2,
+					Iterations:   1 + i%5,
+				},
+				Epoch: memsys.EpochResult{
+					Mult:     1.0 + f*1e-5,
+					BoundBy:  memsys.BoundDRAMRead,
+					HitRate:  0.9,
+					DRAMRead: units.GBps(25),
+					BWMult:   1.1,
+					LatMult:  1.0,
+				},
+				Time: units.Duration(0.6 + f*1e-3),
+			},
+			{
+				Phase: memsys.Phase{
+					Name:    "tail",
+					Share:   0.4,
+					ReadBW:  units.GBps(12),
+					WriteBW: units.GBps(4),
+					ReadMix: memsys.PatternMix{
+						{Pattern: memdev.Strided, Weight: 1.0},
+					},
+					WritePattern: memdev.Random,
+					WorkingSet:   units.GB(1),
+					AliasFactor:  1.5,
+					Iterations:   1,
+				},
+				Epoch: memsys.EpochResult{
+					Mult:    1.2,
+					BoundBy: memsys.BoundNVMRead,
+					HitRate: 0.5,
+					NVMRead: units.GBps(5),
+					BWMult:  1.3,
+					LatMult: 1.1,
+				},
+				Time: units.Duration(0.4 + f*1e-3),
+			},
+		},
+	}
+	return k, res
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer that
+// spreads sequential indices across the fingerprint space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

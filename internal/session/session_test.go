@@ -271,6 +271,69 @@ func TestKillAndRestartResumesFromStore(t *testing.T) {
 	}
 }
 
+// The migration acceptance contract: after Compact rewrites the store
+// into a v2 binary columnar segment, a restarted process re-serves every
+// prior point as a cache hit — the records fault in lazily from the
+// compacted blocks — with outcomes identical to the original run.
+func TestCompactedStoreResumesAllHits(t *testing.T) {
+	dir := t.TempDir()
+	sp := smallSpec("sess-compact")
+
+	// Process 1: full sweep onto the store, then migrate to v2.
+	disk1, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := NewManager(engine.NewWithStore(sock(), 2, disk1))
+	s1, err := m1.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs1, err := s1.Outcomes(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+	if err := disk1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process 2: the reopened store holds only the v2 segment; nothing
+	// is resident until points fault in.
+	disk2, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk2.Close()
+	if disk2.Persisted() != s1.Size() {
+		t.Fatalf("compacted store persisted %d records, want %d", disk2.Persisted(), s1.Size())
+	}
+	if disk2.Len() != 0 {
+		t.Fatalf("compacted store has %d resident entries at open, want lazy 0", disk2.Len())
+	}
+	eng2 := engine.NewWithStore(sock(), 4, disk2)
+	m2 := NewManager(eng2)
+	defer m2.Close()
+	s2, err := m2.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs2, err := s2.Outcomes(context.Background())
+	if err != nil {
+		t.Fatalf("sweep over compacted store failed: %v", err)
+	}
+	st := eng2.OriginStatsFor(sp.Name)
+	if st.Hits != uint64(s2.Size()) || st.Misses != 0 {
+		t.Errorf("compacted resume stats = %+v, want %d hits + 0 misses", st, s2.Size())
+	}
+	if !reflect.DeepEqual(outs2, outs1) {
+		t.Error("outcomes over the compacted store differ from the original run")
+	}
+}
+
 // Concurrent sessions over one shared store, polled and streamed while
 // running — the -race exercise for the session/store/OriginStats paths.
 func TestConcurrentSessionsSharedStore(t *testing.T) {
