@@ -196,6 +196,12 @@ func BenchmarkStoreAppend(b *testing.B) { benchkit.StoreAppend(b) }
 // baseline.
 func BenchmarkPointsStreamed(b *testing.B) { benchkit.PointsStreamed(b) }
 
+// BenchmarkTrafficBursty replays the bursty two-class traffic preset at
+// full speed through an in-process manager and reports the
+// critical-class p99 admission-to-first-point latency
+// (p99_first_point_ns). Tracked by the benchkit baseline.
+func BenchmarkTrafficBursty(b *testing.B) { benchkit.TrafficBursty(b) }
+
 // BenchmarkMicroDeviceMatrix regenerates the Section II device
 // capability matrix (extension id "micro").
 func BenchmarkMicroDeviceMatrix(b *testing.B) { benchExperiment(b, "micro") }

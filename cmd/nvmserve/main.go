@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	nvmserve [-addr :8080] [-store results/] [-workers 8]
+//	nvmserve [-addr :8080] [-store results/] [-workers 8] [-retain 1024]
 //
 // With -store, evaluated points persist to a disk result store shared
 // with nvmbench: a restarted daemon (or a warm nvmbench -store run)
@@ -57,6 +57,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	storeDir := flag.String("store", "", "back the engine with a disk result store at this directory (sweeps persist and resume across restarts)")
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+	retain := flag.Int("retain", session.DefaultRetain, "retention cap: total sessions kept in memory; the oldest terminal sessions beyond it are evicted (their points stay in the result store); 0 keeps everything")
 	flag.Parse()
 
 	var store resultstore.Store = resultstore.NewMemory()
@@ -72,6 +73,7 @@ func main() {
 
 	eng := engine.NewWithStore(platform.NewPurley().Socket(0), *workers, store)
 	mgr := session.NewManager(eng)
+	mgr.SetRetain(*retain)
 	srv := &http.Server{Addr: *addr, Handler: (&server{mgr: mgr, disk: disk}).handler()}
 
 	done := make(chan error, 1)

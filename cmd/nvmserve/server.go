@@ -61,9 +61,14 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	// Counters, not listings: List builds a full Status snapshot per
+	// session (engine origin-stats lookups included), which made the
+	// health probe O(sessions) under sustained traffic.
+	sweeps, plans := s.mgr.Count()
 	doc := map[string]any{
 		"status":   "ok",
-		"sessions": len(s.mgr.List()),
+		"sessions": sweeps,
+		"plans":    plans,
 		"workers":  s.mgr.Engine().Workers(),
 	}
 	if s.disk != nil {
@@ -80,7 +85,8 @@ func (s *server) presets(w http.ResponseWriter, r *http.Request) {
 		Description string `json:"description"`
 		Points      int    `json:"points"`
 	}
-	var out []preset
+	// Non-nil so an empty catalogue encodes as [] rather than null.
+	out := make([]preset, 0, len(scenario.Presets()))
 	for _, sp := range scenario.Presets() {
 		out = append(out, preset{Name: sp.Name, Description: sp.Description, Points: sp.Size()})
 	}
@@ -99,17 +105,11 @@ type submitReply struct {
 
 // readSpec resolves the request's sweep spec: the body is a scenario
 // spec file (the schema under specs/), or empty with ?preset=<name> for
-// a shipped preset. On failure it writes the error response and reports
-// false.
+// a shipped preset. A request carrying both is ambiguous and rejected —
+// silently preferring one source over the other would run a different
+// sweep than the caller thinks they submitted. On failure it writes the
+// error response and reports false.
 func (s *server) readSpec(w http.ResponseWriter, r *http.Request) (scenario.Spec, bool) {
-	if name := r.URL.Query().Get("preset"); name != "" {
-		sp, err := scenario.ByName(name)
-		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
-			return scenario.Spec{}, false
-		}
-		return sp, true
-	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -119,6 +119,19 @@ func (s *server) readSpec(w http.ResponseWriter, r *http.Request) (scenario.Spec
 		writeErr(w, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
 		return scenario.Spec{}, false
+	}
+	if name := r.URL.Query().Get("preset"); name != "" {
+		if len(body) != 0 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("ambiguous submission: both ?preset=%q and a %d-byte spec body were provided; send exactly one", name, len(body)))
+			return scenario.Spec{}, false
+		}
+		sp, err := scenario.ByName(name)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return scenario.Spec{}, false
+		}
+		return sp, true
 	}
 	if len(body) == 0 {
 		writeErr(w, http.StatusBadRequest,

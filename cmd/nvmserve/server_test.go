@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -297,5 +298,155 @@ func TestCancelSweep(t *testing.T) {
 			t.Fatal("session never terminated after cancel")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// A fresh daemon's collection endpoints must render empty JSON arrays,
+// never null — clients iterating the listings (jq, range over a decoded
+// slice) break on a null document.
+func TestFreshDaemonListsAreArrays(t *testing.T) {
+	ts, _ := newTestServer(t, resultstore.NewMemory())
+	for _, path := range []string{"/v1/sweeps", "/v1/plans", "/v1/presets"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		trimmed := strings.TrimSpace(string(body))
+		if resp.StatusCode != http.StatusOK || !strings.HasPrefix(trimmed, "[") {
+			t.Errorf("GET %s = %d %q, want a JSON array", path, resp.StatusCode, trimmed)
+		}
+		if strings.HasPrefix(trimmed, "null") {
+			t.Errorf("GET %s rendered null instead of []", path)
+		}
+	}
+}
+
+// The health probe reports session counters without walking the session
+// maps; the counters must track submissions.
+func TestHealthzSessionCounters(t *testing.T) {
+	ts, mgr := newTestServer(t, resultstore.NewMemory())
+	var doc struct {
+		Sessions *int `json:"sessions"`
+		Plans    *int `json:"plans"`
+	}
+	getJSON(t, ts.URL+"/healthz", &doc)
+	if doc.Sessions == nil || doc.Plans == nil || *doc.Sessions != 0 || *doc.Plans != 0 {
+		t.Fatalf("fresh healthz counters = %+v, want 0/0", doc)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps?preset=contention", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	getJSON(t, ts.URL+"/healthz", &doc)
+	if *doc.Sessions != 1 || *doc.Plans != 0 {
+		t.Errorf("healthz after one sweep = %d sessions, %d plans", *doc.Sessions, *doc.Plans)
+	}
+	sweeps, plans := mgr.Count()
+	if sweeps != 1 || plans != 0 {
+		t.Errorf("Count = (%d,%d) disagrees with healthz", sweeps, plans)
+	}
+}
+
+// The preset/body submission matrix, for both sweep and plan submission:
+// exactly one spec source is accepted; a request carrying both is
+// ambiguous and must 400 with a message naming each source rather than
+// silently preferring one.
+func TestSubmitPresetBodyMatrix(t *testing.T) {
+	ts, _ := newTestServer(t, resultstore.NewMemory())
+	body := `{"name": "matrix", "apps": ["XSBench"], "modes": ["cached-NVM"], "threads": [24]}`
+	cases := []struct {
+		name   string
+		query  string
+		body   string
+		want   int
+		errHas []string // substrings required in the error document
+	}{
+		{"preset only", "?preset=contention", "", http.StatusAccepted, nil},
+		{"body only", "", body, http.StatusAccepted, nil},
+		{"both", "?preset=contention", body, http.StatusBadRequest,
+			[]string{"ambiguous", "contention", "body"}},
+		{"neither", "", "", http.StatusBadRequest, []string{"empty body"}},
+		{"unknown preset", "?preset=nope", "", http.StatusNotFound, nil},
+	}
+	for _, route := range []string{"/v1/sweeps", "/v1/plans"} {
+		for _, tc := range cases {
+			resp, err := http.Post(ts.URL+route+tc.query, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.want {
+				t.Errorf("%s %s: status %d, want %d (%s)", route, tc.name, resp.StatusCode, tc.want, raw)
+				continue
+			}
+			if tc.want >= 400 {
+				var doc map[string]string
+				if err := json.Unmarshal(raw, &doc); err != nil || doc["error"] == "" {
+					t.Errorf("%s %s: malformed error document %q", route, tc.name, raw)
+					continue
+				}
+				for _, sub := range tc.errHas {
+					if !strings.Contains(doc["error"], sub) {
+						t.Errorf("%s %s: error %q does not name %q", route, tc.name, doc["error"], sub)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Retention over HTTP: with a small cap, churning sweeps through the
+// daemon evicts the oldest terminal sessions, whose ids then 404 cleanly
+// instead of accumulating forever.
+func TestRetentionEvictsOverHTTP(t *testing.T) {
+	ts, mgr := newTestServer(t, resultstore.NewMemory())
+	mgr.SetRetain(2)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(ts.URL+"/v1/sweeps?preset=contention", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub submitReply
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ids = append(ids, sub.ID)
+		sess, ok := mgr.Get(sub.ID)
+		if !ok {
+			t.Fatalf("submitted session %s not retrievable", sub.ID)
+		}
+		if err := sess.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow the post-finish eviction pass to land.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		sweeps, plans := mgr.Count()
+		if sweeps+plans <= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retention cap not enforced over HTTP: %d sessions", sweeps+plans)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/sweeps/"+ids[0], nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted session GET = %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/sweeps/"+ids[len(ids)-1], nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("retained session GET = %d, want 200", resp.StatusCode)
 	}
 }

@@ -59,10 +59,25 @@
 // nvmserve daemon serves plans at POST /v1/plans with per-round
 // progress and an NDJSON point stream (session.Manager.SubmitPlan).
 //
+// The serving path is exercised under load, not just per request:
+// internal/traffic declares traffic as data — a strict-JSON spec
+// (traffic/*.json, pinned like the scenario presets) of clients with
+// SLO classes (critical/batch/background), deterministic seeded arrival
+// processes (poisson, gamma, on/off bursty) shaped by ramp/steady/
+// spike/drain phases, each submitting a preset or inline scenario as a
+// sweep or a plan. A closed-loop driver (traffic.Replay) replays the
+// spec against an in-process session.Manager or a remote nvmserve URL
+// and reports per-class admission-to-first-point and admission-to-done
+// latency percentiles, achieved vs offered rate, and cache hit rates;
+// cmd/nvmload is the CLI. The daemon itself stays bounded under that
+// load: session retention is capped (nvmserve -retain), evicting the
+// oldest terminal sessions while their points persist in the store.
+//
 // The hot paths are performance-pinned as well: internal/benchkit
 // measures a tracked benchmark set (streaming address simulation,
 // packed-tag DRAM cache, trace reconstruction, engine cache hits, the
-// full-cartesian sweep) and gates it against the committed BENCH_0.json
+// full-cartesian sweep, the bursty traffic replay with its p99
+// first-point latency extra) and gates it against the committed BENCH_0.json
 // baseline — any allocs/op regression or >10% calibration-normalized
 // time/op regression fails (cmd/nvmbench -bench-gate; see the README's
 // Performance section for budgets and workflow).

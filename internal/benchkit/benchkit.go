@@ -47,6 +47,11 @@ type Record struct {
 	// calibration spin normalizes them poorly across microarchitectures;
 	// they declare extra slack rather than flake.
 	TimeSlack float64 `json:"time_slack,omitempty"`
+	// Extras carries the benchmark's b.ReportMetric values (per-record
+	// median across runs, like ns/op). Latency-shaped extras (ns units)
+	// are host-dependent, so the gate compares them
+	// calibration-normalized like time/op, under the same TimeSlack.
+	Extras map[string]float64 `json:"extras,omitempty"`
 }
 
 // Suite is one run of the tracked benchmarks on one machine.
@@ -125,14 +130,24 @@ func MeasureCount(benches []Bench, count int) Suite {
 	ns := make([]float64, count)
 	for _, be := range benches {
 		rec := Record{Name: be.Name, AllocSlack: be.AllocSlack, TimeSlack: be.TimeSlack}
+		extras := map[string][]float64{}
 		for i := range ns {
 			r := testing.Benchmark(be.F)
 			ns[i] = float64(r.T.Nanoseconds()) / float64(r.N)
 			rec.Iterations = r.N
 			rec.BytesPerOp = max(rec.BytesPerOp, r.AllocedBytesPerOp())
 			rec.AllocsPerOp = max(rec.AllocsPerOp, r.AllocsPerOp())
+			for k, v := range r.Extra {
+				extras[k] = append(extras[k], v)
+			}
 		}
 		rec.NsPerOp = median(ns)
+		if len(extras) > 0 {
+			rec.Extras = make(map[string]float64, len(extras))
+			for k, vs := range extras {
+				rec.Extras[k] = median(vs)
+			}
+		}
 		s.Records = append(s.Records, rec)
 	}
 	return s
@@ -185,7 +200,7 @@ func (b Baseline) Write(path string) error {
 // Regression is one gate failure.
 type Regression struct {
 	Name string
-	Kind string // "time/op", "allocs/op", "missing"
+	Kind string // "time/op", "allocs/op", "extra:<metric>", "missing"
 	Base float64
 	Cur  float64
 	// Ratio is cur/base (calibration-normalized for time/op).
@@ -199,7 +214,8 @@ func (r Regression) String() string {
 	case "allocs/op":
 		return fmt.Sprintf("%s: allocs/op %v -> %v", r.Name, int64(r.Base), int64(r.Cur))
 	default:
-		return fmt.Sprintf("%s: normalized time/op ratio %.3f (%.0f ns -> %.0f ns)", r.Name, r.Ratio, r.Base, r.Cur)
+		// time/op and extra:<metric> are both calibration-normalized.
+		return fmt.Sprintf("%s: normalized %s ratio %.3f (%.0f -> %.0f)", r.Name, r.Kind, r.Ratio, r.Base, r.Cur)
 	}
 }
 
@@ -233,6 +249,25 @@ func Gate(base, cur Suite, timeTol float64) []Regression {
 					Name: b.Name, Kind: "time/op",
 					Base: b.NsPerOp, Cur: c.NsPerOp, Ratio: ratio,
 				})
+			}
+		}
+		// Extras (latency percentiles and the like) travel like time/op:
+		// host-dependent nanoseconds, gated calibration-normalized under
+		// the record's TimeSlack.
+		for k, bv := range b.Extras {
+			cv, ok := c.Extras[k]
+			if !ok {
+				regs = append(regs, Regression{Name: b.Name + "/" + k, Kind: "missing"})
+				continue
+			}
+			if base.CalibrationNs > 0 && cur.CalibrationNs > 0 && bv > 0 {
+				ratio := (cv / cur.CalibrationNs) / (bv / base.CalibrationNs)
+				if ratio > 1+timeTol+b.TimeSlack {
+					regs = append(regs, Regression{
+						Name: b.Name, Kind: "extra:" + k,
+						Base: bv, Cur: cv, Ratio: ratio,
+					})
+				}
 			}
 		}
 	}

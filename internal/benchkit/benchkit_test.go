@@ -2,6 +2,7 @@ package benchkit
 
 import (
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -117,7 +118,7 @@ func TestBaselineRoundTrip(t *testing.T) {
 	if back.Note != "test" || back.Before == nil || len(back.Suite.Records) != 2 {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
-	if back.Suite.Records[0] != doc.Suite.Records[0] {
+	if !reflect.DeepEqual(back.Suite.Records[0], doc.Suite.Records[0]) {
 		t.Fatalf("record changed: %+v vs %+v", back.Suite.Records[0], doc.Suite.Records[0])
 	}
 }
@@ -184,5 +185,61 @@ func TestTrackedWellFormed(t *testing.T) {
 			t.Errorf("duplicate tracked bench %s", b.Name)
 		}
 		seen[b.Name] = true
+	}
+}
+
+// Extras gate like time/op: calibration-normalized, under the record's
+// TimeSlack, and a vanished extra is flagged missing.
+func TestGateExtras(t *testing.T) {
+	base := Suite{
+		CalibrationNs: 1000,
+		Records: []Record{{
+			Name: "BenchmarkLoad", NsPerOp: 500,
+			Extras: map[string]float64{"p99_first_point_ns": 2e6},
+		}},
+	}
+	ok := Suite{
+		CalibrationNs: 1000,
+		Records: []Record{{
+			Name: "BenchmarkLoad", NsPerOp: 500,
+			Extras: map[string]float64{"p99_first_point_ns": 2.1e6},
+		}},
+	}
+	if regs := Gate(base, ok, 0.10); len(regs) != 0 {
+		t.Fatalf("5%% extra drift within tolerance flagged: %v", regs)
+	}
+	slow := Suite{
+		CalibrationNs: 1000,
+		Records: []Record{{
+			Name: "BenchmarkLoad", NsPerOp: 500,
+			Extras: map[string]float64{"p99_first_point_ns": 3e6},
+		}},
+	}
+	regs := Gate(base, slow, 0.10)
+	if len(regs) != 1 || regs[0].Kind != "extra:p99_first_point_ns" {
+		t.Fatalf("50%% extra regression not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "p99_first_point_ns") {
+		t.Errorf("regression text %q does not name the metric", regs[0])
+	}
+	// A faster calibration spin on the current host excuses a
+	// proportionally slower raw number.
+	fast := Suite{
+		CalibrationNs: 2000,
+		Records: []Record{{
+			Name: "BenchmarkLoad", NsPerOp: 1000,
+			Extras: map[string]float64{"p99_first_point_ns": 4e6},
+		}},
+	}
+	if regs := Gate(base, fast, 0.10); len(regs) != 0 {
+		t.Fatalf("normalized extra flagged: %v", regs)
+	}
+	gone := Suite{
+		CalibrationNs: 1000,
+		Records:       []Record{{Name: "BenchmarkLoad", NsPerOp: 500}},
+	}
+	regs = Gate(base, gone, 0.10)
+	if len(regs) != 1 || regs[0].Kind != "missing" || regs[0].Name != "BenchmarkLoad/p99_first_point_ns" {
+		t.Fatalf("dropped extra not flagged missing: %v", regs)
 	}
 }

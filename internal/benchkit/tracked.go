@@ -5,6 +5,7 @@
 package benchkit
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"sync"
@@ -18,9 +19,12 @@ import (
 	"repro/internal/memdev"
 	"repro/internal/memsys"
 	"repro/internal/ndjson"
+	"repro/internal/platform"
 	"repro/internal/resultstore"
 	"repro/internal/scenario"
+	"repro/internal/session"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 	"repro/internal/units"
 )
 
@@ -49,6 +53,16 @@ func Tracked() []Bench {
 		{Name: "BenchmarkStoreOpen", AllocSlack: 32, TimeSlack: 0.50, F: StoreOpen},
 		{Name: "BenchmarkStoreAppend", AllocSlack: 64, TimeSlack: 0.50, F: StoreAppend},
 		{Name: "BenchmarkPointsStreamed", AllocSlack: 0, TimeSlack: 0.25, F: PointsStreamed},
+		// A full closed-loop traffic replay: hundreds of concurrent
+		// sessions whose goroutine scheduling moves both wall time and
+		// allocation count, and whose gated extra (the critical-class p99
+		// admission-to-first-point latency) is a tail statistic of a
+		// queueing system — core-count differences shift it in ways the
+		// single-threaded calibration spin cannot normalize. Both gates
+		// carry generous slack: the metric is pinned to catch
+		// order-of-magnitude serving regressions (stream stalls, lost
+		// wakeups, poll-loop delays), not percent-level drift.
+		{Name: "BenchmarkTrafficBursty", AllocSlack: 1 << 14, TimeSlack: 1.50, F: TrafficBursty},
 	}
 }
 
@@ -251,6 +265,43 @@ func PointsStreamed(b *testing.B) {
 			streamSink += len(enc.Outcome(o))
 		}
 	}
+}
+
+// TrafficBursty replays the canonical bursty two-class traffic preset at
+// full speed against a fresh in-process manager each iteration — the
+// nvmload serving path end to end: arrival generation, concurrent
+// submission, outcome streaming, per-class latency accounting. Beyond
+// time and allocs it reports the critical class's p99
+// admission-to-first-point latency (median across iterations) as the
+// tracked extra "p99_first_point_ns" — the number the paper's serving
+// story turns on, pinned so a scheduling or streaming regression that
+// leaves mean throughput intact still fails the gate.
+func TrafficBursty(b *testing.B) {
+	sp, err := traffic.ByName("bursty-two-class")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var p99s []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr := session.NewManager(engine.New(platform.NewPurley().Socket(0), runtime.GOMAXPROCS(0)))
+		rep, err := traffic.Replay(context.Background(), traffic.NewManagerTarget(mgr), sp,
+			traffic.Options{FullSpeed: true, MaxInFlight: 16})
+		mgr.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatalf("replay not clean: %+v", rep.Total)
+		}
+		for _, c := range rep.Classes {
+			if c.Class == traffic.Critical {
+				p99s = append(p99s, c.FirstPoint.P99)
+			}
+		}
+	}
+	b.ReportMetric(median(p99s)*1e9, "p99_first_point_ns")
 }
 
 // EngineCacheHit measures a fully cached engine evaluation — the common

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/planner"
 	"repro/internal/scenario"
 )
@@ -42,7 +43,13 @@ type PlanStatus struct {
 	// with a real evaluation.
 	Frontier         []planner.PlannedPoint `json:"frontier,omitempty"`
 	FrontierResolved bool                   `json:"frontier_resolved,omitempty"`
-	Error            string                 `json:"error,omitempty"`
+	// Hits and Misses are the engine's per-origin cache accounting for
+	// the plan's spec name, exactly as on the sweep Status: points
+	// re-served from the result store versus actually computed, shared
+	// across every session submitting the same spec name.
+	Hits   uint64 `json:"cache_hits"`
+	Misses uint64 `json:"cache_misses"`
+	Error  string `json:"error,omitempty"`
 
 	Started  time.Time  `json:"started"`
 	Finished *time.Time `json:"finished,omitempty"`
@@ -51,8 +58,10 @@ type PlanStatus struct {
 // PlanSession is one asynchronous planner run.
 type PlanSession struct {
 	id     string
+	seq    int
 	spec   scenario.Spec
 	points int
+	eng    *engine.Engine
 	cancel context.CancelFunc
 
 	mu        sync.Mutex
@@ -116,8 +125,10 @@ func (s *PlanSession) finish(res *planner.Result, err error) {
 	s.cond.Broadcast()
 }
 
-// Status snapshots the session.
+// Status snapshots the session, including the engine's per-origin
+// cache progress for the plan's spec.
 func (s *PlanSession) Status() PlanStatus {
+	st := s.eng.OriginStatsFor(s.spec.Name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := PlanStatus{
@@ -130,6 +141,8 @@ func (s *PlanSession) Status() PlanStatus {
 		Evaluated:   s.evaluated,
 		Predicted:   s.points - s.evaluated,
 		Rounds:      append([]planner.Round(nil), s.rounds...),
+		Hits:        st.Hits,
+		Misses:      st.Misses,
 		Started:     s.started,
 	}
 	if s.result != nil {
@@ -221,6 +234,7 @@ func (m *Manager) SubmitPlan(sp scenario.Spec) (*PlanSession, error) {
 	s := &PlanSession{
 		spec:    sp,
 		points:  len(points),
+		eng:     m.eng,
 		cancel:  cancel,
 		state:   Running,
 		started: time.Now(),
@@ -240,15 +254,18 @@ func (m *Manager) SubmitPlan(sp scenario.Spec) (*PlanSession, error) {
 		return nil, fmt.Errorf("session: manager is closed")
 	}
 	m.seq++
+	s.seq = m.seq
 	s.id = fmt.Sprintf("plan-%06d", m.seq)
 	m.plans[s.id] = s
 	m.wg.Add(1)
 	m.mu.Unlock()
+	m.evict()
 	go func() {
 		defer m.wg.Done()
 		defer cancel()
 		res, err := planner.Run(ctx, m.eng, points, opts)
 		s.finish(res, err)
+		m.evict()
 	}()
 	return s, nil
 }

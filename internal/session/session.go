@@ -78,6 +78,7 @@ type Status struct {
 // Session is one asynchronous sweep run.
 type Session struct {
 	id   string
+	seq  int
 	spec scenario.Spec
 
 	metas []scenario.Meta
@@ -247,6 +248,14 @@ func (s *Session) Outcomes(ctx context.Context) ([]scenario.Outcome, error) {
 	return out, nil
 }
 
+// DefaultRetain is the manager's default retention cap: the total
+// number of sessions (sweeps and plans together) kept in memory.
+// Terminal sessions beyond the cap are evicted oldest-first; their
+// evaluated points live on in the engine's result store, so a
+// re-submission of the same spec re-serves them as cache hits even
+// though the session id itself has become a 404.
+const DefaultRetain = 1024
+
 // Manager owns the sessions (exhaustive sweeps and adaptive plans)
 // running on one engine.
 type Manager struct {
@@ -254,6 +263,7 @@ type Manager struct {
 
 	mu       sync.Mutex
 	seq      int
+	retain   int
 	sessions map[string]*Session
 	plans    map[string]*PlanSession
 	wg       sync.WaitGroup
@@ -264,8 +274,87 @@ type Manager struct {
 func NewManager(eng *engine.Engine) *Manager {
 	return &Manager{
 		eng:      eng,
+		retain:   DefaultRetain,
 		sessions: make(map[string]*Session),
 		plans:    make(map[string]*PlanSession),
+	}
+}
+
+// SetRetain overrides the retention cap. n <= 0 disables eviction
+// (every session is kept until Close — the pre-cap behaviour).
+func (m *Manager) SetRetain(n int) {
+	m.mu.Lock()
+	m.retain = n
+	m.mu.Unlock()
+	m.evict()
+}
+
+// Count returns the number of live sweep and plan sessions without
+// snapshotting them — a counter read per session, not a Status build,
+// so health checks stay O(1) in session-map iteration cost only.
+func (m *Manager) Count() (sweeps, plans int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions), len(m.plans)
+}
+
+// terminal reports whether the session has reached a final state.
+func (s *Session) terminal() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.Terminal()
+}
+
+// terminal reports whether the plan has reached a final state.
+func (s *PlanSession) terminal() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.Terminal()
+}
+
+// evict enforces the retention cap: while the combined session count
+// exceeds it, the oldest terminal sessions (by submission sequence,
+// sweeps and plans interleaved) are dropped from the maps. Running
+// sessions are never evicted, so a burst larger than the cap shrinks
+// back down as it completes. Holding m.mu while peeking at each
+// session's state is safe: sessions never call back into the manager.
+func (m *Manager) evict() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.retain <= 0 {
+		return
+	}
+	over := len(m.sessions) + len(m.plans) - m.retain
+	if over <= 0 {
+		return
+	}
+	type victim struct {
+		seq  int
+		id   string
+		plan bool
+	}
+	victims := make([]victim, 0, over)
+	for id, s := range m.sessions {
+		if s.terminal() {
+			victims = append(victims, victim{seq: s.seq, id: id})
+		}
+	}
+	for id, s := range m.plans {
+		if s.terminal() {
+			victims = append(victims, victim{seq: s.seq, id: id, plan: true})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
+	for _, v := range victims {
+		if over <= 0 {
+			break
+		}
+		if v.plan {
+			delete(m.plans, v.id)
+		} else {
+			delete(m.sessions, v.id)
+		}
+		over--
 	}
 }
 
@@ -300,15 +389,18 @@ func (m *Manager) Submit(sp scenario.Spec) (*Session, error) {
 		return nil, fmt.Errorf("session: manager is closed")
 	}
 	m.seq++
+	s.seq = m.seq
 	s.id = fmt.Sprintf("sweep-%06d", m.seq)
 	m.sessions[s.id] = s
 	m.wg.Add(1)
 	m.mu.Unlock()
+	m.evict()
 	go func() {
 		defer m.wg.Done()
 		defer cancel()
 		_, err := m.eng.RunBatchFunc(ctx, jobs, s.complete)
 		s.finish(err)
+		m.evict()
 	}()
 	return s, nil
 }

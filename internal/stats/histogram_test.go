@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileNearestRank(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5, 10} // 1..10 shuffled
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.10, 1}, {0.50, 5}, {0.90, 9}, {0.95, 10}, {0.99, 10}, {1, 10},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); got != tc.want {
+			t.Errorf("Quantile(1..10, %v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// The input must not be reordered.
+	if xs[0] != 9 || xs[9] != 10 {
+		t.Errorf("Quantile reordered its input: %v", xs)
+	}
+}
+
+func TestQuantileEmptyIsNaN(t *testing.T) {
+	if got := Quantile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile(nil) = %v, want NaN", got)
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Errorf("Quantile([7], %v) = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestHistogramMoments(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("Min/Max = %v/%v, want 1/100", h.Min(), h.Max())
+	}
+	if p99 := h.Quantile(0.99); p99 != 99 {
+		t.Errorf("P99 = %v, want 99", p99)
+	}
+	// Adding after a query must invalidate the sorted cache.
+	h.Add(0.5)
+	if h.Min() != 0.5 {
+		t.Errorf("Min after late Add = %v, want 0.5", h.Min())
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s != (LatencySummary{}) {
+		t.Errorf("empty summary = %+v, want zero value", s)
+	}
+	for i := 1; i <= 20; i++ {
+		h.Add(float64(i) / 1000)
+	}
+	s := h.Summary()
+	if s.Count != 20 || s.P50 != 0.010 || s.P95 != 0.019 || s.P99 != 0.020 || s.Max != 0.020 {
+		t.Errorf("summary = %+v", s)
+	}
+}

@@ -1,0 +1,217 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Event is one scheduled submission: a client index into Spec.Clients
+// and an offset from the start of the replay.
+type Event struct {
+	At     time.Duration
+	Client int
+}
+
+// MaxEvents bounds a generated schedule. Validate's rate and duration
+// caps admit specs whose expected event count is astronomically larger
+// than any harness run; Timeline refuses them gracefully instead of
+// allocating without bound (fuzzed specs reach here).
+const MaxEvents = 1 << 20
+
+// Defaults applied when an arrival leaves its shape parameters zero.
+const (
+	defaultGammaCV     = 2.0
+	defaultBurstSize   = 8.0
+	defaultBurstFactor = 10.0
+)
+
+// gapSampler draws unit-mean inter-arrival gaps in normalized time.
+// Timeline stretches them through the phase-level hazard so a client's
+// long-run rate is Spec.Rate x RateFraction x level regardless of the
+// process shape. Samplers may carry state (bursty's burst countdown),
+// so each client gets a fresh one.
+type gapSampler func(*xrand.Rand) float64
+
+// newSampler builds the unit-mean gap sampler for an arrival config
+// (already validated).
+func newSampler(a Arrival) gapSampler {
+	switch a.Process {
+	case "", Poisson:
+		return func(r *xrand.Rand) float64 { return r.Exp(1) }
+	case Gamma:
+		cv := a.CV
+		if cv == 0 {
+			cv = defaultGammaCV
+		}
+		// Gaps ~ Gamma(shape k, scale 1/k): unit mean, CV = 1/sqrt(k).
+		k := 1 / (cv * cv)
+		return func(r *xrand.Rand) float64 { return gamma(r, k) / k }
+	case Bursty:
+		return burstySampler(a)
+	default:
+		panic(fmt.Sprintf("traffic: unvalidated arrival process %q", a.Process))
+	}
+}
+
+// gamma draws a Gamma(k, 1) variate by Marsaglia-Tsang squeeze
+// (shape-only; callers scale). For k < 1 the k+1 draw is boosted down
+// by U^(1/k).
+func gamma(r *xrand.Rand, k float64) float64 {
+	if k < 1 {
+		u := 1 - r.Float64() // (0,1]
+		return gamma(r, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm(0, 1)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - r.Float64() // (0,1], keeps the log finite
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}
+
+// burstySampler is an on/off process: bursts of geometric mean size
+// Burst whose in-burst gaps run Factor times faster than the mean,
+// separated by off-gaps sized so the long-run mean gap stays exactly 1.
+// Per cycle: Burst arrivals over one off-gap (mean Burst-(Burst-1)/
+// Factor) plus Burst-1 in-burst gaps (mean 1/Factor each) — total
+// expected time Burst, i.e. unit mean per arrival.
+func burstySampler(a Arrival) gapSampler {
+	burst := a.Burst
+	if burst == 0 {
+		burst = defaultBurstSize
+	}
+	factor := a.Factor
+	if factor == 0 {
+		factor = defaultBurstFactor
+	}
+	offMean := burst - (burst-1)/factor
+	remaining := 0
+	return func(r *xrand.Rand) float64 {
+		if remaining > 0 {
+			remaining--
+			return r.Exp(factor)
+		}
+		n := 1
+		if burst > 1 {
+			// Geometric on {1,2,...} with mean burst, by inversion.
+			p := 1 / burst
+			u := 1 - r.Float64() // (0,1]
+			n = 1 + int(math.Log(u)/math.Log(1-p))
+		}
+		remaining = n - 1
+		return r.Exp(1 / offMean)
+	}
+}
+
+// segment is one piece of the piecewise-linear phase-level function:
+// the rate multiplier runs linearly from `from` to `to` over dur
+// seconds. Drain renders as a zero segment.
+type segment struct {
+	from, to float64
+	dur      float64
+}
+
+// segments lowers the spec's phases to the level function. Ramps start
+// from the previous phase's end level (0 before the first phase); a
+// spec without phases is one steady unit-level segment of Duration
+// seconds.
+func (s Spec) segments() []segment {
+	if len(s.Phases) == 0 {
+		return []segment{{from: 1, to: 1, dur: s.Duration}}
+	}
+	segs := make([]segment, 0, len(s.Phases))
+	level := 0.0
+	for _, p := range s.Phases {
+		seg := segment{dur: p.Duration}
+		switch p.Kind {
+		case Ramp:
+			seg.from, seg.to = level, p.Level
+		case Steady, Spike:
+			seg.from, seg.to = p.Level, p.Level
+		case Drain:
+			seg.from, seg.to = 0, 0
+		}
+		level = seg.to
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+// Timeline expands the spec into its deterministic arrival schedule
+// under the given seed. Every client gets an independent generator
+// split from the seed in declaration order, then its unit-mean gaps are
+// mapped through the time-varying hazard h(t) = Rate x RateFraction x
+// level(t) by exact integration over the piecewise-linear level
+// function — thinning-free, so ramps and spikes bend the schedule
+// without discarding draws. Events come back merged in time order
+// (ties broken by client index). The spec must already be valid.
+func (s Spec) Timeline(seed uint64) ([]Event, error) {
+	segs := s.segments()
+	base := xrand.New(seed)
+	var events []Event
+	for ci, c := range s.Clients {
+		rng := base.Split()
+		sample := newSampler(c.Arrival)
+		rate := s.Rate * c.RateFraction
+		si := 0
+		start := 0.0 // absolute time at the head of segment si
+		x := 0.0     // offset into segment si
+		for si < len(segs) {
+			g := sample(rng)
+			// Walk segments until the accumulated hazard covers g.
+			for si < len(segs) {
+				seg := segs[si]
+				levelAtX := seg.from + (seg.to-seg.from)*x/seg.dur
+				// Exact trapezoid: the level is linear in t.
+				rem := rate * (levelAtX + seg.to) / 2 * (seg.dur - x)
+				if rem <= 0 || rem < g {
+					g -= rem
+					start += seg.dur
+					si++
+					x = 0
+					continue
+				}
+				// Solve A w^2 + B w = g for the advance w within the
+				// segment, in the stable positive-root form (valid for
+				// rising and falling ramps alike; A=0 for steady).
+				A := rate * (seg.to - seg.from) / seg.dur / 2
+				B := rate * levelAtX
+				var w float64
+				if g > 0 {
+					w = 2 * g / (B + math.Sqrt(B*B+4*A*g))
+				}
+				if w > seg.dur-x {
+					w = seg.dur - x
+				}
+				x += w
+				if len(events) >= MaxEvents {
+					return nil, fmt.Errorf("traffic %s: schedule exceeds %d events; lower rate or duration", s.Name, MaxEvents)
+				}
+				events = append(events, Event{
+					At:     time.Duration((start + x) * float64(time.Second)),
+					Client: ci,
+				})
+				break
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Client < events[j].Client
+	})
+	return events, nil
+}

@@ -1,0 +1,213 @@
+package traffic
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/memsys"
+	"repro/internal/platform"
+	"repro/internal/scenario"
+	"repro/internal/session"
+)
+
+// loadSpec is a fast two-class spec for driver tests: a critical bursty
+// client over a one-point inline sweep and a background poisson client
+// over the two-point hypre-trace preset.
+func loadSpec() Spec {
+	return Spec{
+		Name:     "test-load",
+		Seed:     11,
+		Rate:     40,
+		Duration: 1,
+		Clients: []Client{
+			{
+				ID:           "hot",
+				RateFraction: 0.7,
+				Class:        Critical,
+				Arrival:      Arrival{Process: Bursty, Burst: 4, Factor: 6},
+				Submit: Template{Spec: &scenario.Spec{
+					Name:    "test-load-probe",
+					Apps:    []string{"XSBench"},
+					Modes:   []memsys.Mode{memsys.CachedNVM},
+					Threads: []int{24},
+				}},
+			},
+			{
+				ID:           "cold",
+				RateFraction: 0.3,
+				Class:        Background,
+				Arrival:      Arrival{Process: Poisson},
+				Submit:       Template{Preset: "hypre-trace"},
+			},
+		},
+	}
+}
+
+func newManager(t *testing.T) *session.Manager {
+	t.Helper()
+	mgr := session.NewManager(engine.New(platform.NewPurley().Socket(0), 4))
+	t.Cleanup(mgr.Close)
+	return mgr
+}
+
+func TestReplayInProcess(t *testing.T) {
+	sp := loadSpec()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mgr := newManager(t)
+	rep, err := Replay(context.Background(), NewManagerTarget(mgr), sp, Options{
+		FullSpeed:   true,
+		MaxInFlight: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("replay not clean: %+v", rep.Total)
+	}
+	if rep.Total.Offered == 0 {
+		t.Fatal("no arrivals offered")
+	}
+	if len(rep.Classes) != 2 || rep.Classes[0].Class != Critical || rep.Classes[1].Class != Background {
+		t.Fatalf("classes = %+v, want [critical background]", rep.Classes)
+	}
+	sum := 0
+	for _, c := range rep.Classes {
+		if c.Completed != c.Offered {
+			t.Errorf("class %s: completed %d of %d offered", c.Class, c.Completed, c.Offered)
+		}
+		if c.FirstPoint.Count != c.Completed {
+			t.Errorf("class %s: %d first-point samples for %d completions", c.Class, c.FirstPoint.Count, c.Completed)
+		}
+		if c.Done.Count != c.Completed {
+			t.Errorf("class %s: %d done samples for %d completions", c.Class, c.Done.Count, c.Completed)
+		}
+		if c.FirstPoint.P99 <= 0 || c.Done.P99 < c.FirstPoint.P50 {
+			t.Errorf("class %s: implausible latency digest %+v / %+v", c.Class, c.FirstPoint, c.Done)
+		}
+		// Every arrival past the first re-submits the same origin, so the
+		// class must see cache hits.
+		if c.Offered > 1 && c.CacheHits == 0 {
+			t.Errorf("class %s: no cache hits across %d identical submissions", c.Class, c.Offered)
+		}
+		if c.CacheHitRate <= 0 || c.CacheHitRate >= 1 {
+			t.Errorf("class %s: cache hit rate %v out of (0,1)", c.Class, c.CacheHitRate)
+		}
+		sum += c.Offered
+	}
+	if sum != rep.Total.Offered {
+		t.Errorf("class offered sums to %d, total says %d", sum, rep.Total.Offered)
+	}
+	if rep.Total.FirstPoint.Count != rep.Total.Completed {
+		t.Errorf("total first-point samples %d != completed %d", rep.Total.FirstPoint.Count, rep.Total.Completed)
+	}
+	if rep.Total.AchievedRate <= 0 {
+		t.Error("zero achieved rate")
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Errorf("report JSON: %v", err)
+	}
+	if tbl := rep.Table(); len(tbl) == 0 {
+		t.Error("empty report table")
+	}
+}
+
+// A plan-kind template must run through SubmitPlan and still complete
+// cleanly with cache accounting.
+func TestReplayPlanKind(t *testing.T) {
+	sp := loadSpec()
+	sp.Clients[0].Submit = Template{Preset: "prediction-concurrency", Kind: Plan}
+	sp.Rate = 10
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mgr := newManager(t)
+	rep, err := Replay(context.Background(), NewManagerTarget(mgr), sp, Options{
+		FullSpeed:   true,
+		MaxInFlight: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("plan replay not clean: %+v", rep.Total)
+	}
+	for _, c := range rep.Classes {
+		if c.Class == Critical && c.Offered > 1 && c.CacheHits == 0 {
+			t.Errorf("repeated plans saw no cache hits: %+v", c)
+		}
+	}
+}
+
+// Deterministic seeding: two full-speed replays of the same spec offer
+// the identical arrival sequence (same per-class offered counts), and a
+// different seed reshuffles it.
+func TestReplayDeterministicOffered(t *testing.T) {
+	sp := loadSpec()
+	mgr := newManager(t)
+	tgt := NewManagerTarget(mgr)
+	a, err := Replay(context.Background(), tgt, sp, Options{FullSpeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(context.Background(), tgt, sp, Options{FullSpeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Classes {
+		if a.Classes[i].Offered != b.Classes[i].Offered {
+			t.Errorf("class %s offered drifted between identical replays: %d vs %d",
+				a.Classes[i].Class, a.Classes[i].Offered, b.Classes[i].Offered)
+		}
+	}
+}
+
+// Cancelling mid-schedule books the unreached arrivals as dropped and
+// still returns the partial report.
+func TestReplayCancelDrops(t *testing.T) {
+	sp := loadSpec()
+	sp.Rate = 20
+	sp.Duration = 30
+	mgr := newManager(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	rep, err := Replay(ctx, NewManagerTarget(mgr), sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Dropped == 0 {
+		t.Fatalf("no drops after mid-schedule cancel: %+v", rep.Total)
+	}
+	for _, c := range rep.Classes {
+		if got := c.Submitted + c.Failed + c.Dropped; got != c.Offered {
+			t.Errorf("class %s: submitted %d + failed %d + dropped %d != offered %d",
+				c.Class, c.Submitted, c.Failed, c.Dropped, c.Offered)
+		}
+	}
+}
+
+// Truncation by Options.Duration caps the offered schedule.
+func TestReplayDurationTruncates(t *testing.T) {
+	sp := loadSpec()
+	full, err := sp.Timeline(sp.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := newManager(t)
+	rep, err := Replay(context.Background(), NewManagerTarget(mgr), sp, Options{
+		FullSpeed: true,
+		Duration:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Offered >= len(full) {
+		t.Fatalf("truncated replay offered %d of %d full-schedule arrivals", rep.Total.Offered, len(full))
+	}
+	if !rep.Clean() {
+		t.Fatalf("truncated replay not clean: %+v", rep.Total)
+	}
+}

@@ -1,0 +1,49 @@
+package traffic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTrafficSpec drives arbitrary bytes through the strict codec and,
+// when they parse, through re-encode and schedule generation: a valid
+// spec must round-trip byte-stably and Timeline must terminate without
+// panicking (the MaxEvents guard, not the fuzzer's patience, bounds
+// runaway schedules).
+func FuzzTrafficSpec(f *testing.F) {
+	for _, s := range Presets() {
+		b, err := Encode(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","rate":1e308,"duration_s":1e308,"clients":[{"id":"a","rate_fraction":1,"slo_class":"critical","arrival":{"process":"bursty","burst":1,"factor":2},"submit":{"preset":"hypre-trace"}}]}`))
+	f.Add([]byte(`{"name":"x","rate":1,"clients":[],"phases":[{"kind":"ramp","duration_s":-1}]}`))
+	f.Add([]byte(`{"name":"x","rate":1,"duration_s":1,"clients":[{"id":"a","rate_fraction":1,"slo_class":"batch","arrival":{},"submit":{"spec":{"name":"s","apps":["XSBench"]},"kind":"plan"}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data, "fuzz.json")
+		if err != nil {
+			return
+		}
+		b, err := Encode(s)
+		if err != nil {
+			t.Fatalf("valid spec failed to encode: %v", err)
+		}
+		s2, err := ParseSpec(b, "fuzz2.json")
+		if err != nil {
+			t.Fatalf("encoded spec failed to re-parse: %v", err)
+		}
+		b2, err := Encode(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("encode not byte-stable:\n%s\nvs\n%s", b, b2)
+		}
+		if _, err := s.Timeline(s.Seed); err == nil {
+			// fine: schedule generated
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package traffic
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/session"
+)
+
+// RemoteTarget drives a live nvmserve daemon over its HTTP API:
+// submissions POST to /v1/sweeps or /v1/plans, first-point latency is
+// observed on the NDJSON stream, and the terminal snapshot comes from
+// the status document.
+type RemoteTarget struct {
+	base   string
+	client *http.Client
+}
+
+// NewRemoteTarget wraps a daemon base URL (e.g. http://127.0.0.1:8080)
+// as a traffic target. client nil means http.DefaultClient; give the
+// streams no overall timeout — the driver's context bounds them.
+func NewRemoteTarget(base string, client *http.Client) *RemoteTarget {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &RemoteTarget{base: strings.TrimRight(base, "/"), client: client}
+}
+
+// Name identifies the target in reports.
+func (t *RemoteTarget) Name() string { return t.base }
+
+// remoteReply is the union of the daemon's accepted-sweep and
+// accepted-plan documents.
+type remoteReply struct {
+	ID        string `json:"id"`
+	Status    string `json:"status_url"`
+	Outcomes  string `json:"outcomes_url"`
+	PointsURL string `json:"points_url"`
+}
+
+// remoteStatus is the slice of the daemon's status documents the driver
+// consumes; sweeps and plans share these fields.
+type remoteStatus struct {
+	State  string `json:"state"`
+	Points int    `json:"points"`
+	Hits   uint64 `json:"cache_hits"`
+	Misses uint64 `json:"cache_misses"`
+	Error  string `json:"error"`
+}
+
+// Submit posts the spec and returns a handle over its stream and
+// status URLs.
+func (t *RemoteTarget) Submit(ctx context.Context, sub Submission) (Handle, error) {
+	path := "/v1/sweeps"
+	if sub.Kind == Plan {
+		path = "/v1/plans"
+	}
+	body, err := scenario.Encode(sub.Spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("traffic: %s %s: %s: %s", http.MethodPost, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	var reply remoteReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("traffic: decoding %s reply: %w", path, err)
+	}
+	stream := reply.Outcomes
+	if stream == "" {
+		stream = reply.PointsURL
+	}
+	if reply.ID == "" || reply.Status == "" || stream == "" {
+		return nil, fmt.Errorf("traffic: %s reply missing id/status/stream URLs", path)
+	}
+	return &remoteHandle{t: t, status: reply.Status, stream: stream}, nil
+}
+
+type remoteHandle struct {
+	t      *RemoteTarget
+	status string
+	stream string
+}
+
+// Watch consumes the run's NDJSON stream (invoking onFirst at the first
+// data line), then polls the status document until the state is
+// terminal.
+func (h *remoteHandle) Watch(ctx context.Context, onFirst func()) (RunStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.t.base+h.stream, nil)
+	if err != nil {
+		return RunStatus{}, err
+	}
+	resp, err := h.t.client.Do(req)
+	if err != nil {
+		return RunStatus{}, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	fired := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 || bytes.HasPrefix(line, []byte(`{"error"`)) {
+			continue
+		}
+		if !fired && onFirst != nil {
+			onFirst()
+			fired = true
+		}
+	}
+	scanErr := sc.Err()
+	resp.Body.Close()
+	if err := ctx.Err(); err != nil {
+		return RunStatus{}, err
+	}
+	if scanErr != nil {
+		return RunStatus{}, fmt.Errorf("traffic: streaming %s: %w", h.stream, scanErr)
+	}
+	// The stream closes when the run's point log is complete; the status
+	// document may trail it by the width of the run goroutine's final
+	// transition, so poll briefly until terminal.
+	for {
+		st, err := h.t.getStatus(ctx, h.status)
+		if err != nil {
+			return RunStatus{}, err
+		}
+		if session.State(st.State).Terminal() {
+			return RunStatus{
+				State:  st.State,
+				Points: st.Points,
+				Hits:   st.Hits,
+				Misses: st.Misses,
+				Err:    st.Error,
+			}, nil
+		}
+		select {
+		case <-ctx.Done():
+			return RunStatus{}, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func (t *RemoteTarget) getStatus(ctx context.Context, path string) (remoteStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+path, nil)
+	if err != nil {
+		return remoteStatus{}, err
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return remoteStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return remoteStatus{}, fmt.Errorf("traffic: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	var st remoteStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return remoteStatus{}, fmt.Errorf("traffic: decoding %s: %w", path, err)
+	}
+	return st, nil
+}

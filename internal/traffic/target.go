@@ -1,0 +1,142 @@
+package traffic
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/planner"
+	"repro/internal/scenario"
+	"repro/internal/session"
+)
+
+// Submission is one unit of traffic: a resolved scenario spec and how
+// to run it.
+type Submission struct {
+	Spec scenario.Spec
+	Kind Kind
+}
+
+// RunStatus is the terminal snapshot of one submitted run, normalized
+// across sweeps and plans, in-process and remote: the lifecycle state
+// (the session.State vocabulary), the point count, and the per-origin
+// cache accounting at completion time.
+type RunStatus struct {
+	State  string
+	Points int
+	Hits   uint64
+	Misses uint64
+	Err    string
+}
+
+// stateDone is the terminal state of a fully successful run — the
+// string form of session.Done, which the HTTP API also speaks.
+const stateDone = string(session.Done)
+
+// Handle follows one submitted run to completion.
+type Handle interface {
+	// Watch blocks until the run reaches a terminal state, invoking
+	// onFirst (if non-nil) when the run's first resolved point is
+	// observed — the admission-to-first-point moment. The error return
+	// is transport-level only (context cancellation, a broken
+	// connection); a run that completes as failed or cancelled comes
+	// back as a nil error with the state in RunStatus.
+	Watch(ctx context.Context, onFirst func()) (RunStatus, error)
+}
+
+// Target accepts traffic. The driver is target-agnostic: the same spec
+// replays against an in-process session.Manager or a remote nvmserve.
+type Target interface {
+	Name() string
+	Submit(ctx context.Context, sub Submission) (Handle, error)
+}
+
+// ManagerTarget drives an in-process session.Manager — the zero-network
+// path the tracked benchmark uses, and nvmload's -inprocess mode.
+type ManagerTarget struct {
+	mgr *session.Manager
+}
+
+// NewManagerTarget wraps a session manager as a traffic target.
+func NewManagerTarget(m *session.Manager) *ManagerTarget {
+	return &ManagerTarget{mgr: m}
+}
+
+// Name identifies the target in reports.
+func (t *ManagerTarget) Name() string { return "in-process" }
+
+// Submit starts the sweep or plan on the manager.
+func (t *ManagerTarget) Submit(_ context.Context, sub Submission) (Handle, error) {
+	switch sub.Kind {
+	case "", Sweep:
+		s, err := t.mgr.Submit(sub.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return sweepHandle{s}, nil
+	case Plan:
+		s, err := t.mgr.SubmitPlan(sub.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return planHandle{s}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown submission kind %q", sub.Kind)
+	}
+}
+
+type sweepHandle struct {
+	s *session.Session
+}
+
+func (h sweepHandle) Watch(ctx context.Context, onFirst func()) (RunStatus, error) {
+	fired := false
+	h.s.Stream(ctx, func(scenario.Outcome) error {
+		if !fired && onFirst != nil {
+			onFirst()
+			fired = true
+		}
+		return nil
+	})
+	// Stream returns when the deterministic prefix ends, which can be an
+	// instant before the session transitions; Wait pins the terminal
+	// state (returning the session error, which Status carries too).
+	h.s.Wait(ctx)
+	if err := ctx.Err(); err != nil {
+		return RunStatus{}, err
+	}
+	st := h.s.Status()
+	return RunStatus{
+		State:  string(st.State),
+		Points: st.Points,
+		Hits:   st.Hits,
+		Misses: st.Misses,
+		Err:    st.Error,
+	}, nil
+}
+
+type planHandle struct {
+	s *session.PlanSession
+}
+
+func (h planHandle) Watch(ctx context.Context, onFirst func()) (RunStatus, error) {
+	fired := false
+	h.s.Stream(ctx, func(planner.PlannedPoint) error {
+		if !fired && onFirst != nil {
+			onFirst()
+			fired = true
+		}
+		return nil
+	})
+	h.s.Wait(ctx)
+	if err := ctx.Err(); err != nil {
+		return RunStatus{}, err
+	}
+	st := h.s.Status()
+	return RunStatus{
+		State:  string(st.State),
+		Points: st.Points,
+		Hits:   st.Hits,
+		Misses: st.Misses,
+		Err:    st.Error,
+	}, nil
+}

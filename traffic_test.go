@@ -1,0 +1,56 @@
+package repro
+
+// Load-through guard for the shipped traffic spec files: traffic/*.json
+// and the Go preset literals in internal/traffic must stay in exact
+// agreement, in both directions — the files decode to the literals, and
+// the literals encode to the files byte-for-byte. Regenerate the tree
+// with `go run ./cmd/nvmload -export-specs traffic` after editing a
+// preset.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func TestTrafficFilesMatchPresets(t *testing.T) {
+	for _, want := range traffic.Presets() {
+		path := filepath.Join("traffic", want.Name+".json")
+		got, err := traffic.LoadSpec(path)
+		if err != nil {
+			t.Errorf("%v (regenerate with `go run ./cmd/nvmload -export-specs traffic`)", err)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("preset %q drifted from its spec file:\nfile: %+v\nGo:   %+v", want.Name, got, want)
+		}
+	}
+}
+
+func TestTrafficFileBytesPinned(t *testing.T) {
+	for _, sp := range traffic.Presets() {
+		want, err := traffic.Encode(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		path := filepath.Join("traffic", sp.Name+".json")
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with `go run ./cmd/nvmload -export-specs traffic`)", sp.Name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s is stale; regenerate with `go run ./cmd/nvmload -export-specs traffic`", path)
+		}
+	}
+	// No stray spec files beyond the presets.
+	entries, err := os.ReadDir("traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(traffic.Presets()) {
+		t.Errorf("traffic/ holds %d entries, want exactly the %d presets", len(entries), len(traffic.Presets()))
+	}
+}
