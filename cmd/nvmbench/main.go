@@ -16,6 +16,7 @@
 //	nvmbench -bench-baseline-txt BENCH_0.json
 //	nvmbench -store-stats results/
 //	nvmbench -store-compact results/
+//	nvmbench -store-verify results/
 //
 // Each experiment prints its rows/series plus the paper-shape checks
 // (who wins, by what factor) with PASS/DEVIATION status. With -parallel
@@ -34,7 +35,10 @@
 // -store-stats inspects such a directory read-only (segment formats,
 // points, index size, estimated open cost) and -store-compact migrates
 // its JSON-lines appends into one indexed binary columnar (v2) segment
-// that later runs open in near-constant time.
+// that later runs open in near-constant time. -store-verify scrubs the
+// directory after a crash or suspected corruption: checksums are
+// walked, corrupt segments quarantined with their decodable records
+// salvaged, and torn final records (interrupted appends) tolerated.
 //
 // The -bench-* flags drive the performance baseline (internal/benchkit):
 // -bench-json measures the tracked hot-path benchmarks and writes a
@@ -81,6 +85,7 @@ func main() {
 	benchCount := flag.Int("bench-count", 3, "runs per tracked benchmark; the median ns/op and max allocs/op are kept")
 	storeStats := flag.String("store-stats", "", "print a result store directory's on-disk composition and estimated open cost, then exit")
 	storeCompact := flag.String("store-compact", "", "compact a result store directory into one binary columnar (v2) segment, then exit")
+	storeVerify := flag.String("store-verify", "", "scrub a result store directory: walk every segment's checksums, quarantine corrupt segments (salvaging their decodable records), then exit")
 	flag.Parse()
 	measureTracked := func() benchkit.Suite {
 		return benchkit.MeasureCount(benchkit.Tracked(), *benchCount)
@@ -117,6 +122,12 @@ func main() {
 	}
 	if *storeCompact != "" {
 		if err := runStoreCompact(*storeCompact, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *storeVerify != "" {
+		if err := runStoreVerify(*storeVerify, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -423,8 +434,40 @@ func runStoreStats(dir string, w io.Writer) error {
 	fmt.Fprintf(w, "  index:     %s in %d blocks\n", units.Bytes(st.IndexBytes), st.Blocks)
 	fmt.Fprintf(w, "  open cost: ~%.1f ms (parse %s v1 + read %s v2 index)\n",
 		1e3*estOpenSeconds(st), units.Bytes(st.BytesV1), units.Bytes(st.IndexBytes))
+	if st.Quarantined > 0 {
+		fmt.Fprintf(w, "  quarantine: %d corrupt segment(s) set aside by a scrub (nvmbench -store-verify)\n", st.Quarantined)
+	}
 	if st.RecordsV1 > 0 {
 		fmt.Fprintf(w, "  hint: nvmbench -store-compact %s moves the v1 points into the indexed v2 segment\n", dir)
+	}
+	return nil
+}
+
+// runStoreVerify scrubs a result store directory: every segment's
+// checksums and framing are walked, corrupt segments are quarantined
+// (renamed aside) with their decodable records salvaged into a fresh
+// segment, and torn final records — the crash signature of an
+// interrupted append — are reported but tolerated. Corruption is a
+// finding, not a failure: the command errors only when the scrub itself
+// cannot run.
+func runStoreVerify(dir string, w io.Writer) error {
+	rep, err := resultstore.Verify(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "verified %s: %d segment(s) ok, %d record(s) intact\n",
+		rep.Dir, rep.SegmentsOK, rep.RecordsOK)
+	if rep.TornTails > 0 {
+		fmt.Fprintf(w, "  torn tails: %d (interrupted appends; tolerated, the whole records before them load)\n",
+			rep.TornTails)
+	}
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(w, "  quarantined: %s\n", q)
+	}
+	if len(rep.Quarantined) > 0 {
+		fmt.Fprintf(w, "  salvaged %d record(s) from quarantined segments into a fresh segment\n", rep.Salvaged)
+	} else if rep.TornTails == 0 {
+		fmt.Fprintf(w, "  no corruption found\n")
 	}
 	return nil
 }

@@ -365,3 +365,73 @@ func TestStoreStatsAndCompact(t *testing.T) {
 		t.Error("stats on a missing directory should fail")
 	}
 }
+
+// -store-verify: the scrub quarantines a corrupt segment, salvages its
+// decodable records, and -store-stats then reports the quarantine;
+// a clean store verifies with no findings.
+func TestStoreVerify(t *testing.T) {
+	dir := t.TempDir()
+	d, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		k, res := resultstore.SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var clean strings.Builder
+	if err := runStoreVerify(dir, &clean); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(clean.String(), "no corruption found") ||
+		!strings.Contains(clean.String(), "8 record(s) intact") {
+		t.Errorf("clean verify = %q", clean.String())
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v (%v)", segs, err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := strings.Replace(string(raw), `"v":1`, `"v":9`, 1)
+	if corrupt == string(raw) {
+		t.Fatal("corruption marker not applied")
+	}
+	if err := os.WriteFile(segs[0], []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := runStoreVerify(dir, &out); err != nil {
+		t.Fatalf("scrub failed on corruption (should quarantine, not error): %v", err)
+	}
+	if !strings.Contains(out.String(), "quarantined:") ||
+		!strings.Contains(out.String(), "salvaged 7 record(s)") {
+		t.Errorf("verify on corrupt store = %q", out.String())
+	}
+
+	var st strings.Builder
+	if err := runStoreStats(dir, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.String(), "quarantine: 1 corrupt segment(s)") {
+		t.Errorf("stats after scrub = %q", st.String())
+	}
+
+	// The store reopens on the salvage, serving the 7 intact records.
+	d2, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Persisted() != 7 {
+		t.Errorf("reopened store persisted = %d, want 7", d2.Persisted())
+	}
+}

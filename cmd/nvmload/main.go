@@ -60,6 +60,9 @@ func main() {
 	report := flag.String("report", "table", "report format: table|json")
 	requireClean := flag.Bool("require-clean", false, "exit non-zero unless every offered arrival was submitted and completed")
 	exportDir := flag.String("export-specs", "", "write every traffic preset as a spec file under this directory, then exit")
+	retries := flag.Int("retries", 0, "retry budget per submission: 429/5xx/connection failures are retried with exponential backoff + full jitter, honoring Retry-After (remote targets only)")
+	retryBase := flag.Duration("retry-base", 0, "first retry backoff window; doubles per retry (default 100ms)")
+	rateScale := flag.Float64("rate-scale", 1, "multiply the spec's aggregate rate (e.g. 4 for an overload drill at 4x the declared load)")
 	flag.Parse()
 
 	if *list {
@@ -80,7 +83,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tgt, cleanup, err := buildTarget(*target, *inprocess, *workers)
+	if *rateScale != 1 {
+		sp, err = scaleRate(sp, *rateScale)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	tgt, cleanup, err := buildTarget(*target, *inprocess, *workers, traffic.RetryPolicy{
+		Max:  *retries,
+		Base: *retryBase,
+		Seed: *seed,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -102,8 +115,8 @@ func main() {
 		fatal(err)
 	}
 	if *requireClean && !rep.Clean() {
-		fmt.Fprintf(os.Stderr, "nvmload: replay not clean: offered %d, completed %d, failed %d, dropped %d\n",
-			rep.Total.Offered, rep.Total.Completed, rep.Total.Failed, rep.Total.Dropped)
+		fmt.Fprintf(os.Stderr, "nvmload: replay not clean: offered %d, completed %d, failed %d, dropped %d, shed %d\n",
+			rep.Total.Offered, rep.Total.Completed, rep.Total.Failed, rep.Total.Dropped, rep.Total.Shed)
 		os.Exit(2)
 	}
 }
@@ -133,19 +146,34 @@ func resolveSpec(arg string) (traffic.Spec, error) {
 
 // buildTarget resolves the replay target from the flags: exactly one of
 // -target <url> or -inprocess. The cleanup closes whatever the target
-// owns (the in-process manager and engine).
-func buildTarget(url string, inprocess bool, workers int) (traffic.Target, func(), error) {
+// owns (the in-process manager and engine). The retry policy applies to
+// remote targets only; the in-process manager never sheds.
+func buildTarget(url string, inprocess bool, workers int, retry traffic.RetryPolicy) (traffic.Target, func(), error) {
 	switch {
 	case url != "" && inprocess:
 		return nil, nil, fmt.Errorf("-target and -inprocess are exclusive")
 	case url != "":
-		return traffic.NewRemoteTarget(url, nil), func() {}, nil
+		return traffic.NewRemoteTarget(url, nil).WithRetry(retry), func() {}, nil
 	case inprocess:
 		mgr := session.NewManager(engine.New(platform.NewPurley().Socket(0), workers))
 		return traffic.NewManagerTarget(mgr), mgr.Close, nil
 	default:
 		return nil, nil, fmt.Errorf("no target: use -target <url> or -inprocess")
 	}
+}
+
+// scaleRate multiplies the spec's aggregate submission rate — the
+// overload drill's lever — revalidating so a scaled spec still sits
+// inside the generator's bounds.
+func scaleRate(sp traffic.Spec, scale float64) (traffic.Spec, error) {
+	if scale <= 0 {
+		return sp, fmt.Errorf("-rate-scale %v: must be positive", scale)
+	}
+	sp.Rate *= scale
+	if err := sp.Validate(); err != nil {
+		return sp, fmt.Errorf("after -rate-scale %v: %w", scale, err)
+	}
+	return sp, nil
 }
 
 // runLoad replays the spec against the target and renders the report in

@@ -40,13 +40,13 @@ func TestResolveSpec(t *testing.T) {
 }
 
 func TestBuildTargetFlagMatrix(t *testing.T) {
-	if _, _, err := buildTarget("", false, 0); err == nil {
+	if _, _, err := buildTarget("", false, 0, traffic.RetryPolicy{}); err == nil {
 		t.Error("no target accepted")
 	}
-	if _, _, err := buildTarget("http://x", true, 0); err == nil {
+	if _, _, err := buildTarget("http://x", true, 0, traffic.RetryPolicy{}); err == nil {
 		t.Error("both targets accepted")
 	}
-	tgt, cleanup, err := buildTarget("http://127.0.0.1:1", false, 0)
+	tgt, cleanup, err := buildTarget("http://127.0.0.1:1", false, 0, traffic.RetryPolicy{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestBuildTargetFlagMatrix(t *testing.T) {
 	if tgt.Name() != "http://127.0.0.1:1" {
 		t.Errorf("remote target name %q", tgt.Name())
 	}
-	tgt, cleanup, err = buildTarget("", true, 2)
+	tgt, cleanup, err = buildTarget("", true, 2, traffic.RetryPolicy{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestBuildTargetFlagMatrix(t *testing.T) {
 }
 
 func TestRunLoadFormats(t *testing.T) {
-	tgt, cleanup, err := buildTarget("", true, 4)
+	tgt, cleanup, err := buildTarget("", true, 4, traffic.RetryPolicy{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,5 +121,27 @@ func TestListPresets(t *testing.T) {
 		if !strings.Contains(out.String(), s.Name) {
 			t.Errorf("listing missing %s:\n%s", s.Name, out.String())
 		}
+	}
+}
+
+// -rate-scale multiplies the aggregate rate for overload drills, and a
+// scaled spec must still validate.
+func TestScaleRate(t *testing.T) {
+	sp, err := traffic.ByName("bursty-two-class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := scaleRate(sp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Rate != 4*sp.Rate {
+		t.Errorf("scaled rate = %v, want %v", scaled.Rate, 4*sp.Rate)
+	}
+	if _, err := scaleRate(sp, 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := scaleRate(sp, float64(traffic.MaxRate)); err == nil {
+		t.Error("scale past MaxRate accepted")
 	}
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/session"
+	"repro/internal/traffic"
+)
+
+// sloHeader carries a submission's SLO class. Absent means batch: an
+// unlabelled caller gets bulk treatment, neither the critical tier's
+// full headroom nor the background tier's first-to-shed status.
+const sloHeader = traffic.SLOHeader
+
+// admission is the daemon's overload gate: a bound on concurrently live
+// (non-terminal) sessions, with class-aware headroom so load sheds from
+// the bottom of the SLO ladder first. Background traffic is admitted
+// only while the daemon is under half its bound, batch under three
+// quarters, and critical all the way to it — so when a burst fills the
+// daemon, background and batch arrivals 429 (with Retry-After) while
+// critical submissions still land, and as critical pressure recedes the
+// lower tiers are admitted again.
+type admission struct {
+	maxLive int // 0 = unlimited
+	mgr     *session.Manager
+
+	mu   sync.Mutex
+	shed map[traffic.Class]uint64
+}
+
+func newAdmission(mgr *session.Manager, maxLive int) *admission {
+	return &admission{maxLive: maxLive, mgr: mgr, shed: map[traffic.Class]uint64{}}
+}
+
+// limit returns the class's live-session headroom.
+func (a *admission) limit(c traffic.Class) int {
+	switch c {
+	case traffic.Critical:
+		return a.maxLive
+	case traffic.Batch:
+		return max(1, a.maxLive*3/4)
+	default: // background
+		return max(1, a.maxLive/2)
+	}
+}
+
+// admit decides one submission, booking a shed when it declines.
+func (a *admission) admit(c traffic.Class) bool {
+	if a.maxLive <= 0 {
+		return true
+	}
+	if a.mgr.RunningCount() < a.limit(c) {
+		return true
+	}
+	a.mu.Lock()
+	a.shed[c]++
+	a.mu.Unlock()
+	return false
+}
+
+// snapshot returns the per-class shed counters, every class present so
+// health-probe consumers see stable keys.
+func (a *admission) snapshot() map[traffic.Class]uint64 {
+	out := make(map[traffic.Class]uint64, 3)
+	a.mu.Lock()
+	for _, c := range traffic.Classes() {
+		out[c] = a.shed[c]
+	}
+	a.mu.Unlock()
+	return out
+}
+
+// requestClass resolves a request's SLO class from the X-SLO-Class
+// header: absent means batch; anything else must be a valid class.
+func requestClass(r *http.Request) (traffic.Class, error) {
+	h := r.Header.Get(sloHeader)
+	if h == "" {
+		return traffic.Batch, nil
+	}
+	c := traffic.Class(h)
+	switch c {
+	case traffic.Critical, traffic.Batch, traffic.Background:
+		return c, nil
+	}
+	return "", fmt.Errorf("%s: unknown class %q (have critical|batch|background)", sloHeader, h)
+}
+
+// gate runs the admission decision for one submission request, writing
+// the rejection (400 for a malformed class, 429 + Retry-After for a
+// shed) itself. The caller proceeds only when ok.
+func (s *server) gate(w http.ResponseWriter, r *http.Request) bool {
+	class, err := requestClass(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	if s.adm == nil {
+		return true
+	}
+	if !s.adm.admit(class) {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, fmt.Errorf(
+			"overloaded: %d live sessions at the %s-class admission bound (max-live %d); retry later",
+			s.mgr.RunningCount(), class, s.adm.maxLive))
+		return false
+	}
+	return true
+}

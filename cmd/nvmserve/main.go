@@ -7,11 +7,21 @@
 // Usage:
 //
 //	nvmserve [-addr :8080] [-store results/] [-workers 8] [-retain 1024]
+//	         [-max-live 0] [-session-timeout 0] [-drain 10s] [-fault-plan plan.json]
 //
 // With -store, evaluated points persist to a disk result store shared
 // with nvmbench: a restarted daemon (or a warm nvmbench -store run)
 // re-serves every previously computed point as a cache hit, so repeated
 // and overlapping sweeps cost only their cold points.
+//
+// Overload protection: -max-live bounds concurrently live sessions with
+// SLO-class-aware headroom — submissions carry an X-SLO-Class header
+// (critical, batch, or background; absent means batch), and when the
+// daemon fills, background and batch arrivals are shed with 429 +
+// Retry-After while critical traffic is admitted up to the full bound.
+// -session-timeout puts a server-side deadline on every admitted
+// session. -fault-plan opens the result store over a deterministic
+// fault-injection layer (internal/faultline) for chaos drills.
 //
 // API:
 //
@@ -48,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faultline"
 	"repro/internal/platform"
 	"repro/internal/resultstore"
 	"repro/internal/session"
@@ -58,12 +69,29 @@ func main() {
 	storeDir := flag.String("store", "", "back the engine with a disk result store at this directory (sweeps persist and resume across restarts)")
 	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	retain := flag.Int("retain", session.DefaultRetain, "retention cap: total sessions kept in memory; the oldest terminal sessions beyond it are evicted (their points stay in the result store); 0 keeps everything")
+	maxLive := flag.Int("max-live", 0, "admission bound: maximum concurrently live sessions; beyond class headroom, submissions are shed with 429 + Retry-After (0 = unlimited)")
+	sessTimeout := flag.Duration("session-timeout", 0, "server-side deadline per admitted session; a sweep or plan still running when it fires is cancelled between jobs (0 = none)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain bound: how long in-flight NDJSON streams get to finish on complete lines before the listener is torn down")
+	faultPlan := flag.String("fault-plan", "", "open the result store over a deterministic fault-injection plan (internal/faultline JSON; requires -store) — chaos drills only")
 	flag.Parse()
 
 	var store resultstore.Store = resultstore.NewMemory()
 	var disk *resultstore.Disk
+	if *faultPlan != "" && *storeDir == "" {
+		fatal(errors.New("-fault-plan requires -store"))
+	}
 	if *storeDir != "" {
-		d, err := resultstore.Open(*storeDir)
+		fs := faultline.FS(faultline.OS{})
+		if *faultPlan != "" {
+			plan, err := faultline.LoadPlan(*faultPlan)
+			if err != nil {
+				fatal(err)
+			}
+			fs = faultline.New(plan)
+			fmt.Printf("nvmserve: injecting faults from %s (seed %d, %d rules)\n",
+				*faultPlan, plan.Seed, len(plan.Rules))
+		}
+		d, err := resultstore.OpenFS(*storeDir, fs)
 		if err != nil {
 			fatal(err)
 		}
@@ -74,7 +102,12 @@ func main() {
 	eng := engine.NewWithStore(platform.NewPurley().Socket(0), *workers, store)
 	mgr := session.NewManager(eng)
 	mgr.SetRetain(*retain)
-	srv := &http.Server{Addr: *addr, Handler: (&server{mgr: mgr, disk: disk}).handler()}
+	srv := &http.Server{Addr: *addr, Handler: (&server{
+		mgr:         mgr,
+		disk:        disk,
+		adm:         newAdmission(mgr, *maxLive),
+		sessTimeout: *sessTimeout,
+	}).handler()}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
@@ -94,9 +127,10 @@ func main() {
 	// Session.Stream waiting for points, so they can only drain — and
 	// Shutdown can only return before its deadline — once their sessions
 	// reach a terminal state. Cancellation stops the engine between jobs,
-	// so only whole results ever reach the store.
+	// so only whole results ever reach the store, and every stream ends
+	// on a complete NDJSON line (the cancelled session's error line).
 	mgr.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "nvmserve: shutdown:", err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/ndjson"
 	"repro/internal/planner"
@@ -26,6 +27,18 @@ type server struct {
 	// disk is the engine's store when it is disk-backed (nil for the
 	// in-memory store); it feeds the health report's record count.
 	disk *resultstore.Disk
+	// adm is the overload gate (admission.go); nil means unlimited
+	// admission with no shed accounting.
+	adm *admission
+	// sessTimeout, when positive, becomes every admitted session's
+	// server-side deadline: a sweep or plan still running when it fires
+	// is cancelled between jobs, exactly as DELETE would.
+	sessTimeout time.Duration
+}
+
+// options bundles the submission options every admitted session gets.
+func (s *server) options() session.SubmitOptions {
+	return session.SubmitOptions{Deadline: s.sessTimeout}
 }
 
 // handler builds the daemon's route table.
@@ -69,12 +82,23 @@ func (s *server) health(w http.ResponseWriter, r *http.Request) {
 		"status":   "ok",
 		"sessions": sweeps,
 		"plans":    plans,
+		"live":     s.mgr.RunningCount(),
 		"workers":  s.mgr.Engine().Workers(),
+	}
+	if s.adm != nil {
+		doc["max_live"] = s.adm.maxLive
+		doc["shed"] = s.adm.snapshot()
 	}
 	if s.disk != nil {
 		doc["store_dir"] = s.disk.Dir()
 		doc["store_records"] = s.disk.Persisted()
-		doc["store"] = s.disk.Stats()
+		st := s.disk.Stats()
+		doc["store"] = st
+		// A degraded store (append path down, serving from memory) is the
+		// probe's headline, not a detail buried in the stats block.
+		if st.Degraded {
+			doc["status"] = "degraded"
+		}
 	}
 	writeJSON(w, http.StatusOK, doc)
 }
@@ -149,11 +173,14 @@ func (s *server) readSpec(w http.ResponseWriter, r *http.Request) (scenario.Spec
 // submit starts a sweep: the body is a scenario spec file (the schema
 // under specs/), or empty with ?preset=<name> to run a shipped preset.
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w, r) {
+		return
+	}
 	sp, ok := s.readSpec(w, r)
 	if !ok {
 		return
 	}
-	sess, err := s.mgr.Submit(sp)
+	sess, err := s.mgr.SubmitWith(sp, s.options())
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -238,11 +265,14 @@ type submitPlanReply struct {
 // resolved from a model-predicted subset of real evaluations instead of
 // exhaustively — see /v1/plans/{id} for per-round progress.
 func (s *server) submitPlan(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w, r) {
+		return
+	}
 	sp, ok := s.readSpec(w, r)
 	if !ok {
 		return
 	}
-	sess, err := s.mgr.SubmitPlan(sp)
+	sess, err := s.mgr.SubmitPlanWith(sp, s.options())
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

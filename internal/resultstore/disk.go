@@ -9,9 +9,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultline"
 	"repro/internal/workload"
 )
 
@@ -89,10 +91,11 @@ func decodeRecord(line []byte) (Key, workload.Result, error) {
 type Disk struct {
 	mem *Memory
 	dir string
+	fs  faultline.FS // all segment I/O goes through this seam
 
 	mu        sync.Mutex // serializes appends, compaction and close
-	lock      *os.File   // exclusive cross-process directory lock
-	f         *os.File
+	lock      *os.File   // exclusive cross-process directory lock (always real os)
+	f         faultline.File
 	fpath     string
 	w         *bufio.Writer
 	buf       bytes.Buffer
@@ -150,8 +153,8 @@ type segInfo struct {
 }
 
 // scanDir lists the segment files in dir, ordered by sequence number.
-func scanDir(dir string) ([]segInfo, error) {
-	entries, err := os.ReadDir(dir)
+func scanDir(fs faultline.FS, dir string) ([]segInfo, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
@@ -194,14 +197,18 @@ func splitLive(infos []segInfo) (v2 *segInfo, v1 []segInfo, stale []segInfo) {
 
 // loadV1Segments reads the given v1 segments in sequence order and
 // returns the live records (later occurrences of a key win, in stable
-// order). A truncated or corrupt final line of the final segment — the
-// signature of a crash mid-append — is dropped; corruption anywhere else
-// is an error.
-func loadV1Segments(dir string, infos []segInfo) (recs []rec, err error) {
+// order). A truncated or corrupt final line of any segment — the
+// signature of a crash or failed write mid-append — is dropped;
+// corruption anywhere else is an error (run Verify to quarantine and
+// salvage). The per-segment tail tolerance is sound because append
+// errors are sticky: the first failed write ends a segment, so a torn
+// record is always its final line — and a restart starts a fresh
+// segment, so a store can accumulate several tail-torn segments.
+func loadV1Segments(fs faultline.FS, dir string, infos []segInfo) (recs []rec, err error) {
 	index := make(map[Key]int)
-	for ni, si := range infos {
+	for _, si := range infos {
 		path := filepath.Join(dir, si.name)
-		data, err := os.ReadFile(path)
+		data, err := fs.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("resultstore: %w", err)
 		}
@@ -212,11 +219,10 @@ func loadV1Segments(dir string, infos []segInfo) (recs []rec, err error) {
 			}
 			k, res, derr := decodeRecord(line)
 			if derr != nil {
-				// A crash mid-append leaves exactly one signature: an
-				// unterminated final line of the newest segment (records
-				// end in '\n', so a complete line that fails to decode is
-				// corruption, not truncation). Tolerate only that.
-				if ni == len(infos)-1 && li == len(lines)-1 {
+				// Records end in '\n', so a failing final split element is
+				// an unterminated torn tail; a complete line that fails to
+				// decode is corruption.
+				if li == len(lines)-1 {
 					break
 				}
 				return nil, fmt.Errorf("resultstore: %s:%d: %w", path, li+1, derr)
@@ -264,25 +270,29 @@ func mergeRecs(older, newer []rec) []rec {
 // time: Open fails if another live process holds the directory (share
 // results across processes sequentially, or through one nvmserve
 // daemon).
-func Open(dir string) (*Disk, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func Open(dir string) (*Disk, error) { return OpenFS(dir, faultline.OS{}) }
+
+// OpenFS is Open over an explicit filesystem seam — the real OS in
+// production, a faultline.Injector under chaos tests. The cross-process
+// directory lock always goes through the real OS (flock on an injected
+// handle would test the injector, not the store).
+func OpenFS(dir string, fs faultline.FS) (*Disk, error) {
+	if fs == nil {
+		fs = faultline.OS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
 	lock, err := lockDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	infos, err := scanDir(dir)
+	infos, err := scanDir(fs, dir)
 	if err != nil {
 		unlock(lock)
 		return nil, err
 	}
 	v2Info, v1Infos, stale := splitLive(infos)
-	// Finish an interrupted compaction cleanup: everything below the
-	// newest v2 segment was already rewritten into it.
-	for _, si := range stale {
-		os.Remove(filepath.Join(dir, si.name))
-	}
 	maxSeq := 0
 	for _, si := range infos {
 		if si.seq > maxSeq {
@@ -293,20 +303,42 @@ func Open(dir string) (*Disk, error) {
 	var s2 *seg2
 	var v2recs []rec
 	if v2Info != nil {
-		s2, v2recs, err = openSeg2(filepath.Join(dir, v2Info.name))
+		s2, v2recs, err = openSeg2(fs, filepath.Join(dir, v2Info.name))
 		if err != nil {
 			unlock(lock)
 			return nil, err
 		}
 	}
-	v1recs, err := loadV1Segments(dir, v1Infos)
+	var staleRecs []rec
+	if v2Info == nil || s2 != nil {
+		// The newest v2 segment is intact (or absent): anything numbered
+		// below it was already rewritten into it, so finish the
+		// interrupted compaction cleanup.
+		for _, si := range stale {
+			fs.Remove(filepath.Join(dir, si.name))
+		}
+	} else {
+		// The newest v2 segment needed a partial recovery scan (a torn
+		// rewrite that escaped the temp+rename discipline): its torn tail
+		// may have lost records the stale pre-compaction v1 segments
+		// still hold. Keep them on disk and load them, best-effort, as
+		// the oldest seed layer.
+		var staleV1 []segInfo
+		for _, si := range stale {
+			if si.ver == 1 {
+				staleV1 = append(staleV1, si)
+			}
+		}
+		staleRecs, _ = loadV1Segments(fs, dir, staleV1)
+	}
+	v1recs, err := loadV1Segments(fs, dir, v1Infos)
 	if err != nil {
 		s2.close()
 		unlock(lock)
 		return nil, err
 	}
 
-	d := &Disk{mem: NewMemory(), dir: dir, lock: lock, nextSeq: maxSeq + 1}
+	d := &Disk{mem: NewMemory(), dir: dir, fs: fs, lock: lock, nextSeq: maxSeq + 1}
 	// Seed newest first: seed keeps the existing entry, so v1 records
 	// (which postdate the v2 segment) win over v2 ones — both here for a
 	// recovered segment and later when a lazy block faults in.
@@ -316,7 +348,10 @@ func Open(dir string) (*Disk, error) {
 	for _, r := range v2recs {
 		d.mem.seed(r.k, r.res)
 	}
-	d.persisted = len(v1recs) + len(v2recs)
+	for _, r := range staleRecs {
+		d.mem.seed(r.k, r.res)
+	}
+	d.persisted = d.mem.Len()
 	if s2 != nil {
 		d.persisted = len(v1recs) + s2.count
 		d.seg2.Store(s2)
@@ -333,7 +368,7 @@ func Open(dir string) (*Disk, error) {
 // exclusive access during Open).
 func (d *Disk) openSegment() error {
 	path := filepath.Join(d.dir, segName(d.nextSeq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := d.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
@@ -398,8 +433,9 @@ func (d *Disk) fault(s *seg2, fp uint64) {
 
 // Commit appends a freshly computed result to the active segment. Failed
 // evaluations are never persisted. Append errors are sticky: the first
-// one is kept and returned by Close, and later commits become no-ops on
-// disk (the in-memory entries still serve the process).
+// one flips the store into read-only degraded mode — later commits
+// become no-ops on disk while the in-memory entries keep serving the
+// process — surfaced by Degraded, Stats and Close.
 func (d *Disk) Commit(k Key, res workload.Result, err error) {
 	if err != nil {
 		return
@@ -438,6 +474,23 @@ func (d *Disk) Persisted() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.persisted
+}
+
+// Degraded reports whether the store has fallen back to read-only
+// degraded mode, and why: a failed append (the store stops persisting
+// but keeps serving and caching in memory) or a failed lazy block
+// decode (the block's records become recomputable cache misses). Nil
+// means fully healthy. The same error is returned again by Close.
+func (d *Disk) Degraded() error {
+	d.mu.Lock()
+	writeErr := d.writeErr
+	d.mu.Unlock()
+	if writeErr != nil {
+		return writeErr
+	}
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	return d.faultErr
 }
 
 // Sync forces appended records to stable storage.
@@ -492,34 +545,42 @@ func (d *Disk) Compact() (retErr error) {
 	if err != nil {
 		return err
 	}
+	// A failed compaction must leave the store exactly as it was: the
+	// temp file is removed on any failure below, and the v1 segments are
+	// only retired after the rename lands.
 	tmpPath := filepath.Join(d.dir, "compact.tmp")
-	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	tmp, err := d.fs.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	if err := writeSeg2(tmp, recs); err != nil {
 		tmp.Close()
+		d.fs.Remove(tmpPath)
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
+		d.fs.Remove(tmpPath)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
+		d.fs.Remove(tmpPath)
 		return err
 	}
 	// Collect the segments to retire before the compacted one exists, so
 	// it can never delete itself.
-	old, err := scanDir(d.dir)
+	old, err := scanDir(d.fs, d.dir)
 	if err != nil {
+		d.fs.Remove(tmpPath)
 		return err
 	}
 	compacted := seg2Name(d.nextSeq)
 	d.nextSeq++
-	if err := os.Rename(tmpPath, filepath.Join(d.dir, compacted)); err != nil {
+	if err := d.fs.Rename(tmpPath, filepath.Join(d.dir, compacted)); err != nil {
+		d.fs.Remove(tmpPath)
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	syncDir(d.dir)
+	syncDir(d.fs, d.dir)
 	// Retire the lazy reader before its file disappears; records it held
 	// are seeded below, so nothing depends on it any more.
 	d.faultMu.Lock()
@@ -528,7 +589,7 @@ func (d *Disk) Compact() (retErr error) {
 	}
 	d.faultMu.Unlock()
 	for _, si := range old {
-		os.Remove(filepath.Join(d.dir, si.name))
+		d.fs.Remove(filepath.Join(d.dir, si.name))
 	}
 	// Keep every record resident: blocks of the old segment that never
 	// faulted in have no disk reader any more (the new segment is read
@@ -544,7 +605,7 @@ func (d *Disk) Compact() (retErr error) {
 // directory: the newest v2 segment (all blocks decoded) overlaid by the
 // v1 segments that postdate it. Caller holds mu.
 func (d *Disk) loadAllLocked() ([]rec, error) {
-	infos, err := scanDir(d.dir)
+	infos, err := scanDir(d.fs, d.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -556,7 +617,7 @@ func (d *Disk) loadAllLocked() ([]rec, error) {
 			v2recs, err = s.readAll()
 		} else {
 			var s *seg2
-			s, v2recs, err = openSeg2(path)
+			s, v2recs, err = openSeg2(d.fs, path)
 			if err == nil && s != nil {
 				v2recs, err = s.readAll()
 				s.close()
@@ -566,7 +627,7 @@ func (d *Disk) loadAllLocked() ([]rec, error) {
 			return nil, err
 		}
 	}
-	v1recs, err := loadV1Segments(d.dir, v1Infos)
+	v1recs, err := loadV1Segments(d.fs, d.dir, v1Infos)
 	if err != nil {
 		return nil, err
 	}
@@ -575,12 +636,17 @@ func (d *Disk) loadAllLocked() ([]rec, error) {
 
 // syncDir fsyncs a directory so a just-renamed file survives power loss;
 // best-effort on platforms where directories cannot be synced.
-func syncDir(dir string) {
-	if f, err := os.Open(dir); err == nil {
+func syncDir(fs faultline.FS, dir string) {
+	if f, err := fs.Open(dir); err == nil {
 		f.Sync()
 		f.Close()
 	}
 }
+
+// quarantineSuffix marks a segment file Verify moved aside: the name no
+// longer parses as a segment, so Open and Stat skip its records, and
+// the original bytes stay on disk for forensics.
+const quarantineSuffix = ".quarantined"
 
 // Stats describes a store directory's on-disk composition.
 type Stats struct {
@@ -590,11 +656,13 @@ type Stats struct {
 	Records      int    `json:"records"`     // persisted points (live)
 	RecordsV1    int    `json:"records_v1"`
 	RecordsV2    int    `json:"records_v2"`
-	Bytes        int64  `json:"bytes"`         // total segment bytes on disk
-	BytesV1      int64  `json:"bytes_v1"`      // bytes Open must fully parse
-	IndexBytes   int64  `json:"index_bytes"`   // v2 index bytes Open reads
-	Blocks       int    `json:"blocks"`        // v2 blocks
-	BlocksLoaded int    `json:"blocks_loaded"` // lazily decoded so far (live stores)
+	Bytes        int64  `json:"bytes"`                // total segment bytes on disk
+	BytesV1      int64  `json:"bytes_v1"`             // bytes Open must fully parse
+	IndexBytes   int64  `json:"index_bytes"`          // v2 index bytes Open reads
+	Blocks       int    `json:"blocks"`               // v2 blocks
+	BlocksLoaded int    `json:"blocks_loaded"`        // lazily decoded so far (live stores)
+	Quarantined  int    `json:"quarantined_segments"` // segments Verify moved aside
+	Degraded     bool   `json:"degraded"`             // live store fell back to read-only (see Disk.Degraded)
 }
 
 // Stat inspects a store directory read-only, without taking the store
@@ -602,17 +670,35 @@ type Stats struct {
 // and reports a best-effort snapshot (files may churn underneath it).
 // v1 record counts are exact complete-line counts; v2 counts come from
 // the segment index.
-func Stat(dir string) (Stats, error) {
-	infos, err := scanDir(dir)
+func Stat(dir string) (Stats, error) { return StatFS(dir, faultline.OS{}) }
+
+// StatFS is Stat over an explicit filesystem seam.
+func StatFS(dir string, fs faultline.FS) (Stats, error) {
+	if fs == nil {
+		fs = faultline.OS{}
+	}
+	infos, err := scanDir(fs, dir)
 	if err != nil {
 		return Stats{}, err
 	}
 	st := Stats{Dir: dir}
+	if entries, err := fs.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), quarantineSuffix) {
+				st.Quarantined++
+			}
+		}
+	}
 	v2Info, v1Infos, _ := splitLive(infos)
 	for _, si := range infos {
-		fi, err := os.Stat(filepath.Join(dir, si.name))
+		f, err := fs.Open(filepath.Join(dir, si.name))
 		if err != nil {
 			continue // deleted underneath us
+		}
+		fi, err := f.Stat()
+		f.Close()
+		if err != nil {
+			continue
 		}
 		st.Bytes += fi.Size()
 		if si.ver == 1 {
@@ -623,7 +709,7 @@ func Stat(dir string) (Stats, error) {
 	}
 	for _, si := range v1Infos {
 		path := filepath.Join(dir, si.name)
-		n, size, err := countLines(path)
+		n, size, err := countLines(fs, path)
 		if err != nil {
 			continue
 		}
@@ -631,7 +717,7 @@ func Stat(dir string) (Stats, error) {
 		st.BytesV1 += size
 	}
 	if v2Info != nil {
-		s, recovered, err := openSeg2(filepath.Join(dir, v2Info.name))
+		s, recovered, err := openSeg2(fs, filepath.Join(dir, v2Info.name))
 		if err == nil {
 			if s != nil {
 				st.RecordsV2 = s.count
@@ -649,8 +735,8 @@ func Stat(dir string) (Stats, error) {
 
 // countLines counts '\n'-terminated lines (an unterminated tail is a
 // torn append, not a record) and returns the file size.
-func countLines(path string) (n int, size int64, err error) {
-	f, err := os.Open(path)
+func countLines(fs faultline.FS, path string) (n int, size int64, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -670,15 +756,20 @@ func countLines(path string) (n int, size int64, err error) {
 }
 
 // Stats reports the live store's on-disk composition, including lazy
-// block-decode progress.
+// block-decode progress and whether the store has degraded to
+// read-only.
 func (d *Disk) Stats() Stats {
-	st, _ := Stat(d.dir)
+	st, _ := StatFS(d.dir, d.fs)
 	d.mu.Lock()
 	st.Records = d.persisted
+	st.Degraded = d.writeErr != nil
 	d.mu.Unlock()
 	d.faultMu.Lock()
 	if s := d.seg2.Load(); s != nil {
 		st.BlocksLoaded = s.loaded
+	}
+	if d.faultErr != nil {
+		st.Degraded = true
 	}
 	d.faultMu.Unlock()
 	return st
@@ -701,7 +792,7 @@ func (d *Disk) Close() error {
 		syncErr = d.f.Sync()
 		closeErr = d.f.Close()
 		if d.appended == 0 && flushErr == nil && closeErr == nil {
-			os.Remove(d.fpath)
+			d.fs.Remove(d.fpath)
 		}
 	}
 	if s := d.seg2.Swap(nil); s != nil {

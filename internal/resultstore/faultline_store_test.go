@@ -1,0 +1,414 @@
+package resultstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/faultline"
+)
+
+// commitSynthetic opens the store dir over fs, commits records [0,n)
+// of the synthetic population, and closes it, ignoring degradation.
+func commitSynthetic(t *testing.T, dir string, fs faultline.FS, n int) {
+	t.Helper()
+	d, err := OpenFS(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	d.Close()
+}
+
+// requireHits asserts records [0,n) of the synthetic population are
+// seeded hits that round-trip exactly.
+func requireHits(t *testing.T, d *Disk, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k, res := SyntheticRecord(i)
+		e, loaded := d.Acquire(k)
+		if !loaded || !e.Seeded {
+			t.Fatalf("record %d not restored as a seeded hit", i)
+		}
+		if !reflect.DeepEqual(e.Res, res) {
+			t.Fatalf("record %d round-tripped inexactly", i)
+		}
+	}
+}
+
+// A failed append flips the store into read-only degraded mode: later
+// commits are disk no-ops, the process keeps serving from memory,
+// Degraded/Stats surface it, Close returns the original error — and a
+// restart still loads everything persisted before the fault.
+func TestAppendFaultDegradesReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	// Fail the 4th write to the append segment (writes 1-3 are records
+	// 0-2; lockDir bypasses the seam, so only segment I/O counts).
+	in := faultline.New(faultline.Plan{Rules: []faultline.Rule{
+		{Op: faultline.OpWrite, Path: ".jsonl", Nth: 4},
+	}})
+	d, err := OpenFS(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Degraded(); !errors.Is(err, faultline.ErrInjected) {
+		t.Fatalf("Degraded() = %v, want injected fault", err)
+	}
+	if !d.Stats().Degraded {
+		t.Fatal("Stats().Degraded = false after append fault")
+	}
+	if got := d.Persisted(); got != 3 {
+		t.Fatalf("Persisted = %d after fault, want 3", got)
+	}
+	// The in-memory side still serves every committed record.
+	if err := d.Close(); !errors.Is(err, faultline.ErrInjected) {
+		t.Fatalf("Close() = %v, want the sticky injected fault", err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Persisted() != 3 {
+		t.Fatalf("reloaded Persisted = %d, want 3", re.Persisted())
+	}
+	requireHits(t, re, 3)
+	if err := re.Degraded(); err != nil {
+		t.Fatalf("fresh store reports degraded: %v", err)
+	}
+	if re.Stats().Degraded {
+		t.Fatal("fresh store Stats().Degraded = true")
+	}
+}
+
+// A short (torn) write mid-append leaves a torn final line; because
+// append errors are sticky, the torn record is always the segment's
+// last, and Open drops exactly it — even when later restarts have
+// stacked newer segments on top.
+func TestShortWriteTornTailAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	in := faultline.New(faultline.Plan{Rules: []faultline.Rule{
+		{Op: faultline.OpWrite, Path: ".jsonl", Nth: 3, Kind: faultline.Short},
+	}})
+	d, err := OpenFS(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	d.Close() // returns the sticky fault; records 0,1 persisted, 2 torn
+
+	// A later clean run appends more records in a newer segment, so the
+	// torn segment is no longer the newest when the store next loads.
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 8; i++ {
+		k, res := SyntheticRecord(i)
+		d2.Commit(k, res, nil)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	requireHits(t, re, 2)
+	for i := 5; i < 8; i++ {
+		k, _ := SyntheticRecord(i)
+		if _, loaded := re.Acquire(k); !loaded {
+			t.Fatalf("record %d from the later run missing", i)
+		}
+	}
+	k, _ := SyntheticRecord(2)
+	if _, loaded := re.Acquire(k); loaded {
+		t.Fatal("torn record 2 was decoded")
+	}
+}
+
+// Verify quarantines a v1 segment with mid-file corruption, salvages
+// its decodable records, and leaves the store openable again.
+func TestVerifyQuarantinesCorruptV1(t *testing.T) {
+	dir := t.TempDir()
+	commitSynthetic(t, dir, nil, 5)
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = strings.Replace(lines[1], `"v":1`, `"v":9`, 1) // corrupt record 1, line intact
+	if err := os.WriteFile(segs[0], []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted mid-file corruption")
+	}
+
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Salvaged != 4 {
+		t.Fatalf("report = %+v, want 1 quarantine, 4 salvaged", rep)
+	}
+	st, err := Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quarantined != 1 {
+		t.Fatalf("Stat().Quarantined = %d, want 1", st.Quarantined)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Verify: %v", err)
+	}
+	defer re.Close()
+	requireHits(t, re, 1)
+	k, _ := SyntheticRecord(1)
+	if _, loaded := re.Acquire(k); loaded {
+		t.Fatal("corrupt record 1 was decoded")
+	}
+	requireHits2 := func(from, to int) {
+		for i := from; i < to; i++ {
+			k, _ := SyntheticRecord(i)
+			if _, loaded := re.Acquire(k); !loaded {
+				t.Fatalf("salvaged record %d missing", i)
+			}
+		}
+	}
+	requireHits2(2, 5)
+}
+
+// Verify quarantines a v2 segment with a corrupt block and salvages
+// the intact blocks.
+func TestVerifyQuarantinesCorruptV2Block(t *testing.T) {
+	restore := SetBlockSizeForTest(4)
+	defer restore()
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(seg2FileMagic)+20] ^= 0xff // inside the first block frame
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 {
+		t.Fatalf("report = %+v, want the v2 segment quarantined", rep)
+	}
+	if rep.Salvaged != 8 {
+		t.Fatalf("salvaged %d records, want the 8 from intact blocks", rep.Salvaged)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	hits := 0
+	for i := 0; i < 12; i++ {
+		k, _ := SyntheticRecord(i)
+		if _, loaded := re.Acquire(k); loaded {
+			hits++
+		}
+	}
+	if hits != 8 {
+		t.Fatalf("reopened store serves %d records, want 8 salvaged", hits)
+	}
+}
+
+// Verify on a healthy store (v1 appends plus a compacted v2 segment)
+// reports every segment clean and quarantines nothing.
+func TestVerifyCleanStore(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 9; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 0 || rep.Salvaged != 0 {
+		t.Fatalf("clean store report = %+v", rep)
+	}
+	if rep.SegmentsOK != 2 || rep.RecordsOK != 9 {
+		t.Fatalf("report = %+v, want 2 segments / 9 records ok", rep)
+	}
+}
+
+// A torn compaction rename — the temp+rename discipline failing so a
+// truncated v2 segment lands at the top sequence — must not lose data:
+// Compact reports the failure and leaves the v1 segments intact, and
+// the next Open keeps the pre-compaction segments as a seed layer
+// instead of deleting them as stale.
+func TestTornCompactRenameKeepsV1(t *testing.T) {
+	dir := t.TempDir()
+	commitSynthetic(t, dir, nil, 10)
+
+	in := faultline.New(faultline.Plan{Rules: []faultline.Rule{
+		{Op: faultline.OpRename, Path: ".seg", Nth: 1, Kind: faultline.Torn},
+	}})
+	d, err := OpenFS(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Compact(); !errors.Is(err, faultline.ErrInjected) {
+		t.Fatalf("Compact = %v, want injected rename fault", err)
+	}
+	// The failed compaction must leave every record still served.
+	requireHits(t, d, 10)
+	d.Close()
+
+	// The torn .seg now outranks every v1 segment. Open must detect the
+	// damage and fall back to the kept v1 segments for the full set.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	requireHits(t, re, 10)
+}
+
+// A fault while writing the compaction temp file fails Compact, cleans
+// up the temp file, and leaves the store fully serving and appendable.
+func TestCompactWriteFaultCleansTmp(t *testing.T) {
+	dir := t.TempDir()
+	commitSynthetic(t, dir, nil, 6)
+	in := faultline.New(faultline.Plan{Rules: []faultline.Rule{
+		{Op: faultline.OpWrite, Path: "compact.tmp", Nth: 1},
+	}})
+	d, err := OpenFS(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Compact(); !errors.Is(err, faultline.ErrInjected) {
+		t.Fatalf("Compact = %v, want injected write fault", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "compact.tmp")); !os.IsNotExist(err) {
+		t.Fatal("failed Compact left compact.tmp behind")
+	}
+	// Store still serves and still appends.
+	requireHits(t, d, 6)
+	k, res := SyntheticRecord(6)
+	d.Commit(k, res, nil)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	requireHits(t, re, 7)
+}
+
+// A lazy v2 block whose read fails marks the store degraded and turns
+// the block's records into recomputable misses instead of errors.
+func TestLazyBlockReadFaultDegrades(t *testing.T) {
+	restore := SetBlockSizeForTest(4)
+	defer restore()
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		k, res := SyntheticRecord(i)
+		d.Commit(k, res, nil)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads of the .seg during Open are magic (1), trailer (2) and index
+	// (3); the 4th is the first lazy block fault-in — fail exactly it.
+	in := faultline.New(faultline.Plan{Rules: []faultline.Rule{
+		{Op: faultline.OpRead, Path: ".seg", Nth: 4},
+	}})
+	re, err := OpenFS(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	misses := 0
+	for i := 0; i < 12; i++ {
+		k, _ := SyntheticRecord(i)
+		if _, loaded := re.Acquire(k); !loaded {
+			misses++
+		}
+	}
+	if misses != 4 {
+		t.Fatalf("%d misses, want exactly the 4 records of the unreadable block", misses)
+	}
+	if err := re.Degraded(); !errors.Is(err, faultline.ErrInjected) {
+		t.Fatalf("Degraded() = %v, want injected fault", err)
+	}
+	if !re.Stats().Degraded {
+		t.Fatal("Stats().Degraded = false after block read fault")
+	}
+}

@@ -6,9 +6,9 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"sort"
 
+	"repro/internal/faultline"
 	"repro/internal/memdev"
 	"repro/internal/memsys"
 	"repro/internal/units"
@@ -689,7 +689,7 @@ func writeSeg2(w io.Writer, recs []rec) error {
 // block payloads decode lazily through faultRange.
 type seg2 struct {
 	path   string
-	f      *os.File
+	f      faultline.File
 	blocks []blockMeta
 	count  int // total records across blocks
 
@@ -709,8 +709,8 @@ func (s *seg2) close() {
 // fallback scans frames from the start, eagerly decoding every intact
 // block and dropping the torn tail; the records are then returned for
 // immediate seeding and the handle is nil.
-func openSeg2(path string) (*seg2, []rec, error) {
-	f, err := os.Open(path)
+func openSeg2(fs faultline.FS, path string) (*seg2, []rec, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("resultstore: %w", err)
 	}
@@ -725,7 +725,11 @@ func openSeg2(path string) (*seg2, []rec, error) {
 		return nil, nil, fmt.Errorf("resultstore: %s: not a v2 segment (short file)", path)
 	}
 	magic := make([]byte, len(seg2FileMagic))
-	if _, err := f.ReadAt(magic, 0); err != nil || string(magic) != seg2FileMagic {
+	if _, err := f.ReadAt(magic, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("resultstore: %s: %w", path, err)
+	}
+	if string(magic) != seg2FileMagic {
 		f.Close()
 		return nil, nil, fmt.Errorf("resultstore: %s: not a v2 segment (bad magic)", path)
 	}
@@ -749,7 +753,7 @@ func openSeg2(path string) (*seg2, []rec, error) {
 
 // readSeg2Index reads the trailer and index frame; ok is false when
 // either is damaged and the caller should fall back to a scan.
-func readSeg2Index(f *os.File, size int64) (metas []blockMeta, indexBytes int64, ok bool) {
+func readSeg2Index(f faultline.File, size int64) (metas []blockMeta, indexBytes int64, ok bool) {
 	if size < int64(len(seg2FileMagic))+seg2TrailerLen {
 		return nil, 0, false
 	}
@@ -783,7 +787,7 @@ func readSeg2Index(f *os.File, size int64) (metas []blockMeta, indexBytes int64,
 // scanSeg2 walks the frames of a damaged segment from the top, decoding
 // every intact block; the first unreadable frame ends the scan (the
 // torn-tail rule).
-func scanSeg2(f *os.File, size int64) ([]rec, error) {
+func scanSeg2(f faultline.File, size int64) ([]rec, error) {
 	data := make([]byte, size)
 	if _, err := io.ReadFull(f, data); err != nil {
 		return nil, err

@@ -1,0 +1,177 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultline"
+)
+
+// VerifyReport is the outcome of a store scrub: which segments passed
+// their integrity walk, which were quarantined, and how many records
+// were salvaged out of the quarantined ones.
+type VerifyReport struct {
+	Dir         string   `json:"dir"`
+	SegmentsOK  int      `json:"segments_ok"`
+	Quarantined []string `json:"quarantined,omitempty"` // file names moved aside
+	RecordsOK   int      `json:"records_ok"`            // records that decoded clean
+	Salvaged    int      `json:"salvaged"`              // unique records rescued from quarantined segments
+	TornTails   int      `json:"torn_tails"`            // v1 segments ending in a torn append (normal crash signature)
+}
+
+// Verify scrubs a store directory: it walks every segment — each v1
+// JSON-lines record decoded, each v2 block's CRC32C checked and its
+// payload decoded — quarantines corrupt segments by renaming them with
+// a ".quarantined" suffix (Open and Stat skip them; the bytes stay for
+// forensics), and salvages their still-decodable records into a fresh
+// v1 segment so a single bad block never costs the rest of its
+// segment. Corruption is reported in the returned report, never as an
+// error; the error path is for the scrub itself failing (unreadable
+// directory, store locked by a live process).
+//
+// A torn final line of a v1 segment is the normal crash-mid-append
+// signature, counted in TornTails and not quarantined. Salvage is safe
+// under reordering because records are content-addressed: a key is
+// derived from the workload fingerprint and evaluation is
+// deterministic, so every persisted occurrence of a key carries the
+// same result.
+func Verify(dir string) (VerifyReport, error) { return VerifyFS(dir, faultline.OS{}) }
+
+// VerifyFS is Verify over an explicit filesystem seam.
+func VerifyFS(dir string, fs faultline.FS) (VerifyReport, error) {
+	if fs == nil {
+		fs = faultline.OS{}
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	defer unlock(lock)
+	infos, err := scanDir(fs, dir)
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	rep := VerifyReport{Dir: dir}
+	maxSeq := 0
+	var salvage []rec
+	seen := make(map[Key]bool)
+	for _, si := range infos {
+		if si.seq > maxSeq {
+			maxSeq = si.seq
+		}
+		path := filepath.Join(dir, si.name)
+		var ok, torn bool
+		var recs []rec
+		if si.ver == 1 {
+			ok, torn, recs = verifyV1(fs, path)
+		} else {
+			ok, recs = verifyV2(fs, path)
+		}
+		if torn {
+			rep.TornTails++
+		}
+		if ok {
+			rep.SegmentsOK++
+			rep.RecordsOK += len(recs)
+			continue
+		}
+		rep.RecordsOK += len(recs)
+		if err := fs.Rename(path, path+quarantineSuffix); err != nil {
+			return rep, fmt.Errorf("resultstore: quarantining %s: %w", si.name, err)
+		}
+		rep.Quarantined = append(rep.Quarantined, si.name)
+		for _, r := range recs {
+			if !seen[r.k] {
+				seen[r.k] = true
+				salvage = append(salvage, r)
+			}
+		}
+	}
+	if len(salvage) > 0 {
+		if err := writeSalvage(fs, dir, segName(maxSeq+1), salvage); err != nil {
+			return rep, err
+		}
+		rep.Salvaged = len(salvage)
+		syncDir(fs, dir)
+	}
+	return rep, nil
+}
+
+// verifyV1 decodes every line of a v1 segment. A torn unterminated
+// final line is the crash signature, not corruption; a complete line
+// that fails to decode condemns the segment. Decodable records are
+// returned either way.
+func verifyV1(fs faultline.FS, path string) (ok, torn bool, recs []rec) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return false, false, nil
+	}
+	ok = true
+	lines := bytes.Split(data, []byte{'\n'})
+	for li, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		k, res, derr := decodeRecord(line)
+		if derr != nil {
+			if li == len(lines)-1 {
+				torn = true // unterminated tail (terminated lines split before a final empty element)
+			} else {
+				ok = false
+			}
+			continue
+		}
+		recs = append(recs, rec{k: k, res: res})
+	}
+	return ok, torn, recs
+}
+
+// verifyV2 opens a v2 segment and decodes every block, CRCs checked by
+// the frame walk. A damaged trailer or index (the handle-less recovery
+// path) or any failing block condemns the segment; intact blocks'
+// records are returned either way.
+func verifyV2(fs faultline.FS, path string) (ok bool, recs []rec) {
+	s, recovered, err := openSeg2(fs, path)
+	if err != nil {
+		return false, nil
+	}
+	if s == nil {
+		return false, recovered
+	}
+	defer s.close()
+	ok = true
+	for i := range s.blocks {
+		blockRecs, err := s.readBlock(i)
+		if err != nil {
+			ok = false
+			continue
+		}
+		recs = append(recs, blockRecs...)
+	}
+	return ok, recs
+}
+
+// writeSalvage persists salvaged records as a fresh fsynced v1 segment.
+func writeSalvage(fs faultline.FS, dir, name string, recs []rec) error {
+	var buf bytes.Buffer
+	for _, r := range recs {
+		if err := encodeRecord(&buf, r.k, r.res); err != nil {
+			return fmt.Errorf("resultstore: salvage: %w", err)
+		}
+	}
+	f, err := fs.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: salvage: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("resultstore: salvage: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("resultstore: salvage: %w", err)
+	}
+	return f.Close()
+}

@@ -226,11 +226,16 @@ func (s *PlanSession) Result(ctx context.Context) (*planner.Result, error) {
 // defaults); the spec's name becomes the jobs' cache-accounting origin,
 // exactly as with Submit.
 func (m *Manager) SubmitPlan(sp scenario.Spec) (*PlanSession, error) {
+	return m.SubmitPlanWith(sp, SubmitOptions{})
+}
+
+// SubmitPlanWith is SubmitPlan with per-session options.
+func (m *Manager) SubmitPlanWith(sp scenario.Spec, opts SubmitOptions) (*PlanSession, error) {
 	points, err := planner.PointsFromSpec(sp, m.eng.Socket())
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := sessionContext(opts)
 	s := &PlanSession{
 		spec:    sp,
 		points:  len(points),
@@ -240,13 +245,13 @@ func (m *Manager) SubmitPlan(sp scenario.Spec) (*PlanSession, error) {
 		started: time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	opts := planner.Options{Name: sp.Name, Observer: s.observe}
+	popts := planner.Options{Name: sp.Name, Observer: s.observe}
 	if sp.Plan != nil {
-		opts.Plan = *sp.Plan
+		popts.Plan = *sp.Plan
 	}
 	// Known at submit time, so a status poll mid-run already reports the
 	// budget the planner is operating under.
-	s.budget = planner.BudgetFor(points, opts.Plan)
+	s.budget = planner.BudgetFor(points, popts.Plan)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -263,7 +268,7 @@ func (m *Manager) SubmitPlan(sp scenario.Spec) (*PlanSession, error) {
 	go func() {
 		defer m.wg.Done()
 		defer cancel()
-		res, err := planner.Run(ctx, m.eng, points, opts)
+		res, err := planner.Run(ctx, m.eng, points, popts)
 		s.finish(res, err)
 		m.evict()
 	}()

@@ -298,6 +298,27 @@ func (m *Manager) Count() (sweeps, plans int) {
 	return len(m.sessions), len(m.plans)
 }
 
+// RunningCount reports the number of non-terminal sessions, sweeps and
+// plans together — the load signal admission control sheds on. Holding
+// m.mu while peeking each session's state is safe for the same reason
+// evict's peek is: sessions never call back into the manager.
+func (m *Manager) RunningCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, s := range m.sessions {
+		if !s.terminal() {
+			n++
+		}
+	}
+	for _, s := range m.plans {
+		if !s.terminal() {
+			n++
+		}
+	}
+	return n
+}
+
 // terminal reports whether the session has reached a final state.
 func (s *Session) terminal() bool {
 	s.mu.Lock()
@@ -361,15 +382,29 @@ func (m *Manager) evict() {
 // Engine exposes the manager's engine.
 func (m *Manager) Engine() *engine.Engine { return m.eng }
 
+// SubmitOptions tunes a submission beyond the spec itself.
+type SubmitOptions struct {
+	// Deadline, when positive, bounds the session's wall-clock run: a
+	// session still evaluating when it elapses is cancelled between jobs
+	// exactly as by Cancel (the server-side per-request deadline; the
+	// engine stops between jobs, so only whole results reach the store).
+	Deadline time.Duration
+}
+
 // Submit validates and expands the spec, starts evaluating it in the
 // background, and returns the session. The spec's name becomes the
 // jobs' cache-accounting origin.
 func (m *Manager) Submit(sp scenario.Spec) (*Session, error) {
+	return m.SubmitWith(sp, SubmitOptions{})
+}
+
+// SubmitWith is Submit with per-session options.
+func (m *Manager) SubmitWith(sp scenario.Spec, opts SubmitOptions) (*Session, error) {
 	metas, jobs, err := sp.Expand()
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := sessionContext(opts)
 	s := &Session{
 		spec:      sp,
 		metas:     metas,
@@ -403,6 +438,16 @@ func (m *Manager) Submit(sp scenario.Spec) (*Session, error) {
 		m.evict()
 	}()
 	return s, nil
+}
+
+// sessionContext builds a session's run context: cancellable, with the
+// optional server-side deadline layered on. A deadline firing surfaces
+// as context.DeadlineExceeded, which finish maps to Cancelled.
+func sessionContext(opts SubmitOptions) (context.Context, context.CancelFunc) {
+	if opts.Deadline > 0 {
+		return context.WithTimeout(context.Background(), opts.Deadline)
+	}
+	return context.WithCancel(context.Background())
 }
 
 // Get returns a session by id.

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -43,6 +44,8 @@ type classAcc struct {
 	completed  int
 	failed     int
 	dropped    int
+	shed       int
+	retries    int
 	firstPoint stats.Histogram
 	done       stats.Histogram
 	origins    map[string]originStats
@@ -90,7 +93,7 @@ func Replay(ctx context.Context, target Target, sp Spec, opts Options) (*Report,
 		if err != nil {
 			return nil, fmt.Errorf("traffic %s: client %s: %w", sp.Name, c.ID, err)
 		}
-		subs[i] = Submission{Spec: resolved, Kind: c.Submit.kind()}
+		subs[i] = Submission{Spec: resolved, Kind: c.Submit.kind(), Class: c.Class}
 	}
 
 	var mu sync.Mutex
@@ -165,7 +168,17 @@ loop:
 		if err != nil {
 			logf("traffic: submit %s (client %s): %v", sub.Spec.Name, client.ID, err)
 			mu.Lock()
-			acc(class).failed++
+			// A shed is the target's admission gate declining the run (429
+			// after the retry budget) — booked apart from failures, which
+			// are runs going wrong.
+			var se *ShedError
+			if errors.As(err, &se) {
+				a := acc(class)
+				a.shed++
+				a.retries += se.Retries
+			} else {
+				acc(class).failed++
+			}
 			mu.Unlock()
 			if sem != nil {
 				<-sem
@@ -173,7 +186,11 @@ loop:
 			continue
 		}
 		mu.Lock()
-		acc(class).submitted++
+		a := acc(class)
+		a.submitted++
+		if rh, ok := h.(interface{ Retries() int }); ok {
+			a.retries += rh.Retries()
+		}
 		mu.Unlock()
 		wg.Add(1)
 		go func() {
@@ -233,6 +250,8 @@ func buildReport(sp Spec, target Target, seed uint64, scheduled float64, elapsed
 			Completed:  a.completed,
 			Failed:     a.failed,
 			Dropped:    a.dropped,
+			Shed:       a.shed,
+			Retries:    a.retries,
 			FirstPoint: a.firstPoint.Summary(),
 			Done:       a.done.Summary(),
 		}
@@ -256,6 +275,8 @@ func buildReport(sp Spec, target Target, seed uint64, scheduled float64, elapsed
 		tot.Completed += c.Completed
 		tot.Failed += c.Failed
 		tot.Dropped += c.Dropped
+		tot.Shed += c.Shed
+		tot.Retries += c.Retries
 		tot.CacheHits += c.CacheHits
 		tot.CacheMisses += c.CacheMisses
 		for _, x := range a.firstPoint.Samples() {

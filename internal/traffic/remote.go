@@ -8,12 +8,38 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/scenario"
 	"repro/internal/session"
+	"repro/internal/xrand"
 )
+
+// SLOHeader is the request header a submission's SLO class travels in;
+// nvmserve's admission gate reads it to decide who sheds first.
+const SLOHeader = "X-SLO-Class"
+
+// RetryPolicy configures a remote target's resilience to transient
+// submission failures: 429 (the daemon shedding load), 5xx, and
+// connection errors are retried with exponential backoff and full
+// jitter, honoring the daemon's Retry-After when it names a longer
+// wait. The zero value disables retries.
+type RetryPolicy struct {
+	// Max is the retry budget beyond the first attempt.
+	Max int
+	// Base is the first backoff window; it doubles per retry (capped at
+	// maxBackoff). Zero defaults to 100ms.
+	Base time.Duration
+	// Seed drives the jitter draws; the same seed replays the same
+	// backoff sequence.
+	Seed uint64
+}
+
+// maxBackoff caps the exponential backoff window.
+const maxBackoff = 30 * time.Second
 
 // RemoteTarget drives a live nvmserve daemon over its HTTP API:
 // submissions POST to /v1/sweeps or /v1/plans, first-point latency is
@@ -22,6 +48,15 @@ import (
 type RemoteTarget struct {
 	base   string
 	client *http.Client
+	retry  RetryPolicy
+
+	// mu serializes the jitter generator; Submit is driven from the
+	// replay loop but nothing forbids concurrent callers.
+	mu  sync.Mutex
+	rng *xrand.Rand
+	// sleep waits out one backoff or the context, whichever first;
+	// injectable so tests don't wait wall-clock time.
+	sleep func(context.Context, time.Duration) error
 }
 
 // NewRemoteTarget wraps a daemon base URL (e.g. http://127.0.0.1:8080)
@@ -31,7 +66,53 @@ func NewRemoteTarget(base string, client *http.Client) *RemoteTarget {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &RemoteTarget{base: strings.TrimRight(base, "/"), client: client}
+	return &RemoteTarget{
+		base:   strings.TrimRight(base, "/"),
+		client: client,
+		rng:    xrand.New(1),
+		sleep:  sleepCtx,
+	}
+}
+
+// WithRetry enables the retry policy and returns the target.
+func (t *RemoteTarget) WithRetry(p RetryPolicy) *RemoteTarget {
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	t.retry = p
+	t.rng = xrand.New(seed)
+	return t
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// backoff waits out retry attempt's window: full jitter over the
+// doubled base, floored at the daemon's Retry-After when present.
+func (t *RemoteTarget) backoff(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	window := t.retry.Base << attempt
+	if window <= 0 || window > maxBackoff {
+		window = maxBackoff
+	}
+	t.mu.Lock()
+	wait := time.Duration(t.rng.Float64() * float64(window))
+	t.mu.Unlock()
+	if wait < retryAfter {
+		wait = retryAfter
+	}
+	return t.sleep(ctx, wait)
 }
 
 // Name identifies the target in reports.
@@ -56,8 +137,12 @@ type remoteStatus struct {
 	Error  string `json:"error"`
 }
 
-// Submit posts the spec and returns a handle over its stream and
-// status URLs.
+// Submit posts the spec (under its SLO-class header) and returns a
+// handle over its stream and status URLs. Transient rejections — the
+// daemon shedding with 429, a 5xx, a refused or reset connection — are
+// retried per the target's RetryPolicy; a submission still shed when
+// the budget runs out comes back as a *ShedError so the driver can
+// account it separately from a failure.
 func (t *RemoteTarget) Submit(ctx context.Context, sub Submission) (Handle, error) {
 	path := "/v1/sweeps"
 	if sub.Kind == Plan {
@@ -67,39 +152,83 @@ func (t *RemoteTarget) Submit(ctx context.Context, sub Submission) (Handle, erro
 	if err != nil {
 		return nil, err
 	}
+	for attempt := 0; ; attempt++ {
+		h, code, retryAfter, err := t.submitOnce(ctx, path, body, sub.Class)
+		if h != nil {
+			h.retries = attempt
+			return h, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// Connection-level failures (no status at all) and 429/5xx are
+		// transient; any other status (400 bad spec, 404 preset, a
+		// malformed accept document) is the caller's or daemon's bug and
+		// retrying cannot help.
+		retryable := code == 0 || code == http.StatusTooManyRequests || code >= 500
+		if !retryable || attempt >= t.retry.Max {
+			if code == http.StatusTooManyRequests {
+				return nil, &ShedError{Target: t.base, Retries: attempt}
+			}
+			return nil, err
+		}
+		if werr := t.backoff(ctx, attempt, retryAfter); werr != nil {
+			return nil, werr
+		}
+	}
+}
+
+// submitOnce runs one submission attempt. On acceptance it returns the
+// handle; on an HTTP rejection the status code (and any Retry-After)
+// with err carrying the rendered failure; on a transport failure just
+// the error.
+func (t *RemoteTarget) submitOnce(ctx context.Context, path string, body []byte, class Class) (*remoteHandle, int, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if class != "" {
+		req.Header.Set(SLOHeader, string(class))
+	}
 	resp, err := t.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("traffic: %s %s: %s: %s", http.MethodPost, path, resp.Status, bytes.TrimSpace(msg))
+		retryAfter := time.Duration(0)
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			retryAfter = time.Duration(s) * time.Second
+		}
+		return nil, resp.StatusCode, retryAfter,
+			fmt.Errorf("traffic: %s %s: %s: %s", http.MethodPost, path, resp.Status, bytes.TrimSpace(msg))
 	}
 	var reply remoteReply
 	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-		return nil, fmt.Errorf("traffic: decoding %s reply: %w", path, err)
+		return nil, resp.StatusCode, 0, fmt.Errorf("traffic: decoding %s reply: %w", path, err)
 	}
 	stream := reply.Outcomes
 	if stream == "" {
 		stream = reply.PointsURL
 	}
 	if reply.ID == "" || reply.Status == "" || stream == "" {
-		return nil, fmt.Errorf("traffic: %s reply missing id/status/stream URLs", path)
+		return nil, resp.StatusCode, 0, fmt.Errorf("traffic: %s reply missing id/status/stream URLs", path)
 	}
-	return &remoteHandle{t: t, status: reply.Status, stream: stream}, nil
+	return &remoteHandle{t: t, status: reply.Status, stream: stream}, resp.StatusCode, 0, nil
 }
 
 type remoteHandle struct {
-	t      *RemoteTarget
-	status string
-	stream string
+	t       *RemoteTarget
+	status  string
+	stream  string
+	retries int
 }
+
+// Retries reports how many re-submissions this run's admission took;
+// the driver sums them into the per-class report.
+func (h *remoteHandle) Retries() int { return h.retries }
 
 // Watch consumes the run's NDJSON stream (invoking onFirst at the first
 // data line), then polls the status document until the state is

@@ -17,12 +17,18 @@ type ClassReport struct {
 	// Offered counts scheduled arrivals; Submitted the ones the target
 	// accepted; Completed the runs that finished done; Failed submit
 	// rejections plus runs ending failed or cancelled; Dropped arrivals
-	// never attempted (the replay context fired first).
+	// never attempted (the replay context fired first). Shed counts
+	// submissions the target's admission gate declined for overload (429
+	// through the retry budget) — the daemon protecting itself, booked
+	// apart from failures; Retries the re-submissions transient
+	// rejections cost the class.
 	Offered   int `json:"offered"`
 	Submitted int `json:"submitted"`
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
 	Dropped   int `json:"dropped"`
+	Shed      int `json:"shed"`
+	Retries   int `json:"retries"`
 	// OfferedRate is Offered over the schedule's duration; AchievedRate
 	// is Completed over the replay's wall-clock elapsed time.
 	OfferedRate  float64 `json:"offered_rate"`
@@ -56,9 +62,11 @@ type Report struct {
 }
 
 // Clean reports whether every offered arrival was submitted and
-// completed — the load-smoke gate's definition of a clean replay.
+// completed — the load-smoke gate's definition of a clean replay. A
+// shed arrival is not clean: the daemon stayed healthy, but the offered
+// load did not all land.
 func (r *Report) Clean() bool {
-	return r.Total.Dropped == 0 && r.Total.Failed == 0 &&
+	return r.Total.Dropped == 0 && r.Total.Failed == 0 && r.Total.Shed == 0 &&
 		r.Total.Completed == r.Total.Offered
 }
 
@@ -77,12 +85,12 @@ func (r *Report) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "traffic %s -> %s (seed %d)\n", r.Spec, r.Target, r.Seed)
 	fmt.Fprintf(&b, "scheduled %.2fs, elapsed %.2fs\n\n", r.ScheduledS, r.ElapsedS)
-	fmt.Fprintf(&b, "%-11s %8s %8s %8s %8s %8s %11s %11s %11s %11s %11s %7s\n",
-		"class", "offered", "done", "failed", "dropped", "rate/s",
+	fmt.Fprintf(&b, "%-11s %8s %8s %8s %8s %8s %8s %8s %11s %11s %11s %11s %11s %7s\n",
+		"class", "offered", "done", "failed", "dropped", "shed", "retries", "rate/s",
 		"first-p50", "first-p95", "first-p99", "done-p50", "done-p99", "cache")
 	row := func(c ClassReport) {
-		fmt.Fprintf(&b, "%-11s %8d %8d %8d %8d %8.2f %9.2fms %9.2fms %9.2fms %9.2fms %9.2fms %6.1f%%\n",
-			c.Class, c.Offered, c.Completed, c.Failed, c.Dropped, c.AchievedRate,
+		fmt.Fprintf(&b, "%-11s %8d %8d %8d %8d %8d %8d %8.2f %9.2fms %9.2fms %9.2fms %9.2fms %9.2fms %6.1f%%\n",
+			c.Class, c.Offered, c.Completed, c.Failed, c.Dropped, c.Shed, c.Retries, c.AchievedRate,
 			1e3*c.FirstPoint.P50, 1e3*c.FirstPoint.P95, 1e3*c.FirstPoint.P99,
 			1e3*c.Done.P50, 1e3*c.Done.P99, 100*c.CacheHitRate)
 	}

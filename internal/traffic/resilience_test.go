@@ -1,0 +1,232 @@
+package traffic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// flakyDaemon 429s (with Retry-After: 1) the first reject submissions,
+// then accepts, recording the SLO class header of each attempt.
+func flakyDaemon(t *testing.T, reject int, status int) (*httptest.Server, *atomic.Int64, chan string) {
+	t.Helper()
+	var attempts atomic.Int64
+	classes := make(chan string, 64)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		classes <- r.Header.Get(SLOHeader)
+		if attempts.Add(1) <= int64(reject) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"overloaded"}`, status)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"sweep-000001","status_url":"/v1/sweeps/sweep-000001","outcomes_url":"/v1/sweeps/sweep-000001/outcomes"}`)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &attempts, classes
+}
+
+// probe is a minimal valid submission.
+func probe(class Class) Submission {
+	return Submission{
+		Spec:  scenario.Spec{Name: "probe", Apps: []string{"XSBench"}},
+		Class: class,
+	}
+}
+
+// recordSleeps replaces the target's backoff sleep with a recorder, so
+// retry tests cost no wall-clock time.
+func recordSleeps(tgt *RemoteTarget) *[]time.Duration {
+	var waits []time.Duration
+	tgt.sleep = func(ctx context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return nil
+	}
+	return &waits
+}
+
+// A shed submission is retried with backoff floored at the daemon's
+// Retry-After, the SLO class travels on every attempt, and the handle
+// reports how many retries admission took.
+func TestRemoteSubmitRetriesOn429(t *testing.T) {
+	srv, attempts, classes := flakyDaemon(t, 2, http.StatusTooManyRequests)
+	tgt := NewRemoteTarget(srv.URL, srv.Client()).
+		WithRetry(RetryPolicy{Max: 5, Base: 10 * time.Millisecond, Seed: 42})
+	waits := recordSleeps(tgt)
+
+	h, err := tgt.Submit(context.Background(), probe(Critical))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	rh, ok := h.(interface{ Retries() int })
+	if !ok || rh.Retries() != 2 {
+		t.Errorf("handle retries = %v (ok=%v), want 2", rh, ok)
+	}
+	if len(*waits) != 2 {
+		t.Fatalf("backoffs = %d, want 2", len(*waits))
+	}
+	for i, w := range *waits {
+		if w < time.Second {
+			t.Errorf("backoff %d = %v, want >= 1s (Retry-After floor)", i, w)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if c := <-classes; c != string(Critical) {
+			t.Errorf("attempt %d carried class %q, want critical", i, c)
+		}
+	}
+}
+
+// When the retry budget runs out on 429, the failure is a typed
+// ShedError so the driver can book it apart from real failures.
+func TestRemoteSubmitShedsAfterBudget(t *testing.T) {
+	srv, attempts, _ := flakyDaemon(t, 1<<30, http.StatusTooManyRequests)
+	tgt := NewRemoteTarget(srv.URL, srv.Client()).
+		WithRetry(RetryPolicy{Max: 3, Base: time.Millisecond, Seed: 7})
+	recordSleeps(tgt)
+
+	_, err := tgt.Submit(context.Background(), probe(Background))
+	var se *ShedError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ShedError", err)
+	}
+	if se.Retries != 3 || attempts.Load() != 4 {
+		t.Errorf("shed after %d retries / %d attempts, want 3/4", se.Retries, attempts.Load())
+	}
+}
+
+// 5xx responses are transient; 4xx (other than 429) are caller bugs
+// and must not burn the retry budget.
+func TestRemoteSubmitRetryClassification(t *testing.T) {
+	srv5, attempts5, _ := flakyDaemon(t, 1, http.StatusServiceUnavailable)
+	tgt5 := NewRemoteTarget(srv5.URL, srv5.Client()).
+		WithRetry(RetryPolicy{Max: 2, Base: time.Millisecond, Seed: 1})
+	recordSleeps(tgt5)
+	if _, err := tgt5.Submit(context.Background(), probe("")); err != nil {
+		t.Fatalf("5xx not retried: %v", err)
+	}
+	if attempts5.Load() != 2 {
+		t.Errorf("5xx attempts = %d, want 2", attempts5.Load())
+	}
+
+	srv4, attempts4, _ := flakyDaemon(t, 1<<30, http.StatusBadRequest)
+	tgt4 := NewRemoteTarget(srv4.URL, srv4.Client()).
+		WithRetry(RetryPolicy{Max: 5, Base: time.Millisecond, Seed: 1})
+	recordSleeps(tgt4)
+	_, err := tgt4.Submit(context.Background(), probe(""))
+	if err == nil || errors.As(err, new(*ShedError)) {
+		t.Fatalf("400 err = %v, want a permanent non-shed failure", err)
+	}
+	if attempts4.Load() != 1 {
+		t.Errorf("400 attempts = %d, want 1 (no retry)", attempts4.Load())
+	}
+}
+
+// A refused connection is transient: retried through the budget, then
+// surfaced as the transport error (not a shed).
+func TestRemoteSubmitRetriesConnRefused(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close() // nothing listens here any more
+	tgt := NewRemoteTarget(url, nil).
+		WithRetry(RetryPolicy{Max: 2, Base: time.Millisecond, Seed: 9})
+	waits := recordSleeps(tgt)
+
+	_, err := tgt.Submit(context.Background(), probe(Batch))
+	if err == nil || errors.As(err, new(*ShedError)) {
+		t.Fatalf("err = %v, want a transport failure", err)
+	}
+	if len(*waits) != 2 {
+		t.Errorf("backoffs = %d, want 2 (budget spent)", len(*waits))
+	}
+}
+
+// The jitter draws are seeded: the same policy replays the same backoff
+// sequence, so chaos runs are reproducible end to end.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		srv, _, _ := flakyDaemon(t, 1<<30, http.StatusTooManyRequests)
+		tgt := NewRemoteTarget(srv.URL, srv.Client()).
+			WithRetry(RetryPolicy{Max: 4, Base: time.Millisecond, Seed: seed})
+		waits := recordSleeps(tgt)
+		tgt.Submit(context.Background(), probe(""))
+		return *waits
+	}
+	a, b := seq(3), seq(3)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("sequences = %d/%d backoffs, want 4", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at backoff %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// shedTarget sheds every background submission and admits the rest
+// after one simulated retry, for driver accounting tests.
+type shedTarget struct{}
+
+func (shedTarget) Name() string { return "shed-stub" }
+
+func (shedTarget) Submit(_ context.Context, sub Submission) (Handle, error) {
+	if sub.Class == Background {
+		return nil, &ShedError{Target: "shed-stub", Retries: 2}
+	}
+	return retriedHandle{}, nil
+}
+
+type retriedHandle struct{}
+
+func (retriedHandle) Retries() int { return 1 }
+
+func (retriedHandle) Watch(ctx context.Context, onFirst func()) (RunStatus, error) {
+	if onFirst != nil {
+		onFirst()
+	}
+	return RunStatus{State: stateDone, Points: 1}, nil
+}
+
+// The replay report carries sheds and retries per class: background
+// arrivals all shed (with their retry cost), critical arrivals land
+// with theirs, and a replay with sheds is not clean.
+func TestReplayCountsShedAndRetries(t *testing.T) {
+	sp := loadSpec()
+	rep, err := Replay(context.Background(), shedTarget{}, sp, Options{FullSpeed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("replay with sheds reported clean")
+	}
+	byClass := map[Class]ClassReport{}
+	for _, c := range rep.Classes {
+		byClass[c.Class] = c
+	}
+	bg, crit := byClass[Background], byClass[Critical]
+	if bg.Shed != bg.Offered || bg.Failed != 0 || bg.Completed != 0 {
+		t.Errorf("background = %+v, want all %d offered shed, none failed", bg, bg.Offered)
+	}
+	if bg.Retries != 2*bg.Shed {
+		t.Errorf("background retries = %d, want %d", bg.Retries, 2*bg.Shed)
+	}
+	if crit.Shed != 0 || crit.Completed != crit.Offered || crit.Retries != crit.Submitted {
+		t.Errorf("critical = %+v, want 0 shed, all completed, 1 retry each", crit)
+	}
+	if rep.Total.Shed != bg.Shed || rep.Total.Retries != bg.Retries+crit.Retries {
+		t.Errorf("total shed/retries = %d/%d, want %d/%d",
+			rep.Total.Shed, rep.Total.Retries, bg.Shed, bg.Retries+crit.Retries)
+	}
+}

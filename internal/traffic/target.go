@@ -9,11 +9,29 @@ import (
 	"repro/internal/session"
 )
 
-// Submission is one unit of traffic: a resolved scenario spec and how
-// to run it.
+// Submission is one unit of traffic: a resolved scenario spec, how to
+// run it, and the SLO class it travels under. Remote targets forward
+// the class as the X-SLO-Class header so the daemon's admission gate
+// can shed bottom-up; empty means the daemon's default (batch).
 type Submission struct {
-	Spec scenario.Spec
-	Kind Kind
+	Spec  scenario.Spec
+	Kind  Kind
+	Class Class
+}
+
+// ShedError reports a submission the target refused for overload (HTTP
+// 429) even after the retry budget was spent. The driver books sheds
+// separately from failures: a shed is the daemon protecting itself, not
+// the run going wrong.
+type ShedError struct {
+	// Target is the target's name; Retries how many re-submissions were
+	// attempted before giving up.
+	Target  string
+	Retries int
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("traffic: %s shed the submission (429) after %d retries", e.Target, e.Retries)
 }
 
 // RunStatus is the terminal snapshot of one submitted run, normalized
