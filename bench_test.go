@@ -202,6 +202,12 @@ func BenchmarkPointsStreamed(b *testing.B) { benchkit.PointsStreamed(b) }
 // (p99_first_point_ns). Tracked by the benchkit baseline.
 func BenchmarkTrafficBursty(b *testing.B) { benchkit.TrafficBursty(b) }
 
+// BenchmarkFleetScheduler dispatches a cold 64-point sweep across four
+// in-process fleet workers over loopback HTTP — the coordinator,
+// scheduler and worker path end to end. Tracked by the benchkit
+// baseline.
+func BenchmarkFleetScheduler(b *testing.B) { benchkit.FleetScheduler(b) }
+
 // BenchmarkMicroDeviceMatrix regenerates the Section II device
 // capability matrix (extension id "micro").
 func BenchmarkMicroDeviceMatrix(b *testing.B) { benchExperiment(b, "micro") }

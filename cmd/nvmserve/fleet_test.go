@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fleet"
+	"repro/internal/platform"
+	"repro/internal/resultstore"
+	"repro/internal/session"
+)
+
+// newFleetServer is newTestServer with the coordinator wired in, as
+// the -fleet flag does.
+func newFleetServer(t *testing.T) (*httptest.Server, *session.Manager, *fleet.Coordinator) {
+	t.Helper()
+	eng := engine.NewWithStore(platform.NewPurley().Socket(0), 4, resultstore.NewMemory())
+	mgr := session.NewManager(eng)
+	t.Cleanup(mgr.Close)
+	coord := fleet.New(eng, fleet.Options{
+		Heartbeat: 25 * time.Millisecond,
+		Poll:      50 * time.Millisecond,
+	})
+	t.Cleanup(coord.Close)
+	mgr.SetExecutor(coord)
+	ts := httptest.NewServer((&server{mgr: mgr, coord: coord}).handler())
+	t.Cleanup(ts.Close)
+	return ts, mgr, coord
+}
+
+// The health report always carries process runtime vitals, and the
+// fleet block whenever the daemon is a coordinator.
+func TestHealthzRuntimeAndFleetBlocks(t *testing.T) {
+	ts, _, _ := newFleetServer(t)
+	var doc struct {
+		Status  string `json:"status"`
+		Runtime struct {
+			Goroutines int    `json:"goroutines"`
+			HeapBytes  uint64 `json:"heap_bytes"`
+			GCCycles   uint32 `json:"gc_cycles"`
+		} `json:"runtime"`
+		Fleet *fleet.CoordinatorStats `json:"fleet"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &doc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if doc.Runtime.Goroutines <= 0 || doc.Runtime.HeapBytes == 0 {
+		t.Errorf("runtime block = %+v, want live goroutine and heap figures", doc.Runtime)
+	}
+	if doc.Fleet == nil {
+		t.Fatal("coordinator healthz has no fleet block")
+	}
+	if doc.Fleet.Workers != 0 || doc.Fleet.Dispatched != 0 {
+		t.Errorf("fresh fleet block = %+v", doc.Fleet)
+	}
+}
+
+// A plain daemon (no -fleet) reports runtime vitals but no fleet block,
+// and does not mount the worker endpoints.
+func TestHealthzNoFleetBlockWithoutCoordinator(t *testing.T) {
+	ts, _ := newTestServer(t, resultstore.NewMemory())
+	var doc map[string]any
+	getJSON(t, ts.URL+"/healthz", &doc)
+	if _, ok := doc["runtime"]; !ok {
+		t.Error("healthz missing runtime block")
+	}
+	if _, ok := doc["fleet"]; ok {
+		t.Error("non-coordinator healthz carries a fleet block")
+	}
+	resp, err := http.Post(ts.URL+"/fleet/v1/join", "application/json", strings.NewReader(`{"name":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("join on a non-coordinator = %d, want 404", resp.StatusCode)
+	}
+}
+
+// End to end through the server mux: a worker joins over HTTP, a sweep
+// is submitted through the public API, its points travel, and the
+// NDJSON stream is complete with the fleet accounting visible in
+// healthz.
+func TestFleetSweepThroughServer(t *testing.T) {
+	ts, mgr, coord := newFleetServer(t)
+
+	w := &fleet.Worker{
+		Base: ts.URL,
+		Eng:  engine.New(platform.NewPurley().Socket(0), 1),
+		Name: "httptest-worker",
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("worker did not stop")
+		}
+	})
+	for deadline := time.Now().Add(5 * time.Second); coord.Workers() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps?preset=beyond-dram", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub submitReply
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stream, err := http.Get(ts.URL + "/v1/sweeps/" + sub.ID + "/outcomes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	lines := 0
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"error"`) {
+			t.Fatalf("error line in stream: %s", sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != sub.Points {
+		t.Fatalf("streamed %d lines, submitted %d points", lines, sub.Points)
+	}
+	sess, _ := mgr.Get(sub.ID)
+	if err := sess.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		Fleet fleet.CoordinatorStats `json:"fleet"`
+	}
+	getJSON(t, ts.URL+"/healthz", &doc)
+	if doc.Fleet.PointsRemote == 0 {
+		t.Errorf("no points travelled (fleet block %+v)", doc.Fleet)
+	}
+	if doc.Fleet.Workers != 1 {
+		t.Errorf("fleet block reports %d workers, want 1", doc.Fleet.Workers)
+	}
+}

@@ -8,6 +8,19 @@
 //
 //	nvmserve [-addr :8080] [-store results/] [-workers 8] [-retain 1024]
 //	         [-max-live 0] [-session-timeout 0] [-drain 10s] [-fault-plan plan.json]
+//	         [-fleet [-fleet-heartbeat 500ms]]
+//	nvmserve -worker -join http://coordinator:8080 [-store results/] [-worker-name lab-3]
+//
+// Fleet: with -fleet the daemon becomes a coordinator — it additionally
+// mounts the /fleet/v1/* worker endpoints, and sweep/plan batches are
+// sharded into chunks dispatched across joined workers (work-stealing,
+// heartbeat-based failure recovery; with no workers joined everything
+// runs locally, byte-for-byte identical). With -worker -join <url> the
+// process runs no HTTP server at all: it registers with the named
+// coordinator, pulls chunks, evaluates them on its own engine (its
+// -store is the worker-local cache), and posts results back. A worker
+// whose disk store degrades self-evicts and exits non-zero. See
+// internal/fleet for the protocol.
 //
 // With -store, evaluated points persist to a disk result store shared
 // with nvmbench: a restarted daemon (or a warm nvmbench -store run)
@@ -59,6 +72,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/faultline"
+	"repro/internal/fleet"
 	"repro/internal/platform"
 	"repro/internal/resultstore"
 	"repro/internal/session"
@@ -73,7 +87,31 @@ func main() {
 	sessTimeout := flag.Duration("session-timeout", 0, "server-side deadline per admitted session; a sweep or plan still running when it fires is cancelled between jobs (0 = none)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain bound: how long in-flight NDJSON streams get to finish on complete lines before the listener is torn down")
 	faultPlan := flag.String("fault-plan", "", "open the result store over a deterministic fault-injection plan (internal/faultline JSON; requires -store) — chaos drills only")
+	fleetMode := flag.Bool("fleet", false, "coordinator mode: mount the /fleet/v1/* worker endpoints and dispatch sweep/plan batches across joined workers (falls back to local evaluation with no workers)")
+	workerMode := flag.Bool("worker", false, "worker mode: join the coordinator named by -join and evaluate pulled chunks instead of serving HTTP")
+	join := flag.String("join", "", "coordinator base URL for -worker (e.g. http://127.0.0.1:8080)")
+	workerName := flag.String("worker-name", "", "worker label in the coordinator's health report (default host:pid)")
+	heartbeat := flag.Duration("fleet-heartbeat", fleet.DefaultHeartbeat, "coordinator: worker heartbeat cadence; a worker silent for 4x this is declared dead and its chunks re-queue")
+	workerDelay := flag.Duration("worker-delay", 0, "worker: deterministic extra latency per evaluated point — scheduler drills and CI smoke only")
 	flag.Parse()
+
+	if *workerMode {
+		if *join == "" {
+			fatal(errors.New("-worker requires -join <coordinator URL>"))
+		}
+		if *fleetMode {
+			fatal(errors.New("-worker and -fleet are exclusive: a worker joins a coordinator, it does not run one"))
+		}
+		runWorker(workerConfig{
+			join:      *join,
+			name:      *workerName,
+			storeDir:  *storeDir,
+			faultPlan: *faultPlan,
+			workers:   *workers,
+			delay:     *workerDelay,
+		})
+		return
+	}
 
 	var store resultstore.Store = resultstore.NewMemory()
 	var disk *resultstore.Disk
@@ -102,11 +140,18 @@ func main() {
 	eng := engine.NewWithStore(platform.NewPurley().Socket(0), *workers, store)
 	mgr := session.NewManager(eng)
 	mgr.SetRetain(*retain)
+	var coord *fleet.Coordinator
+	if *fleetMode {
+		coord = fleet.New(eng, fleet.Options{Heartbeat: *heartbeat})
+		mgr.SetExecutor(coord)
+		fmt.Printf("nvmserve: coordinator mode (heartbeat %s)\n", *heartbeat)
+	}
 	srv := &http.Server{Addr: *addr, Handler: (&server{
 		mgr:         mgr,
 		disk:        disk,
 		adm:         newAdmission(mgr, *maxLive),
 		sessTimeout: *sessTimeout,
+		coord:       coord,
 	}).handler()}
 
 	done := make(chan error, 1)
@@ -130,6 +175,9 @@ func main() {
 	// so only whole results ever reach the store, and every stream ends
 	// on a complete NDJSON line (the cancelled session's error line).
 	mgr.Close()
+	if coord != nil {
+		coord.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

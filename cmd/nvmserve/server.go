@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/ndjson"
 	"repro/internal/planner"
 	"repro/internal/resultstore"
@@ -34,6 +36,10 @@ type server struct {
 	// server-side deadline: a sweep or plan still running when it fires
 	// is cancelled between jobs, exactly as DELETE would.
 	sessTimeout time.Duration
+	// coord, when non-nil, is the fleet coordinator (-fleet mode): its
+	// worker endpoints join the route table and its scheduler counters
+	// join the health report.
+	coord *fleet.Coordinator
 }
 
 // options bundles the submission options every admitted session gets.
@@ -56,6 +62,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/plans/{id}", s.planStatus)
 	mux.HandleFunc("DELETE /v1/plans/{id}", s.cancelPlan)
 	mux.HandleFunc("GET /v1/plans/{id}/points", s.planPoints)
+	if s.coord != nil {
+		s.coord.Routes(mux)
+	}
 	return mux
 }
 
@@ -88,6 +97,19 @@ func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	if s.adm != nil {
 		doc["max_live"] = s.adm.maxLive
 		doc["shed"] = s.adm.snapshot()
+	}
+	// Process runtime vitals: cheap (ReadMemStats has been a handful of
+	// microseconds since Go 1.9's concurrent implementation) and the
+	// first thing a fleet operator wants when a node looks slow.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	doc["runtime"] = map[string]any{
+		"goroutines": runtime.NumGoroutine(),
+		"heap_bytes": ms.HeapAlloc,
+		"gc_cycles":  ms.NumGC,
+	}
+	if s.coord != nil {
+		doc["fleet"] = s.coord.Stats()
 	}
 	if s.disk != nil {
 		doc["store_dir"] = s.disk.Dir()

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultline"
+	"repro/internal/fleet"
+	"repro/internal/platform"
+	"repro/internal/resultstore"
+	"repro/internal/traffic"
+)
+
+// workerConfig carries the -worker mode flags.
+type workerConfig struct {
+	join      string
+	name      string
+	storeDir  string
+	faultPlan string
+	workers   int
+	delay     time.Duration
+}
+
+// runWorker is the -worker -join entrypoint: no HTTP listener, just a
+// fleet.Worker pulling chunks from the coordinator until a signal
+// arrives or the local store degrades (which exits non-zero — a worker
+// that can no longer persist results should be noticed, not restarted
+// blindly into the same failing disk).
+func runWorker(cfg workerConfig) {
+	var store resultstore.Store = resultstore.NewMemory()
+	var disk *resultstore.Disk
+	if cfg.faultPlan != "" && cfg.storeDir == "" {
+		fatal(errors.New("-fault-plan requires -store"))
+	}
+	if cfg.storeDir != "" {
+		fs := faultline.FS(faultline.OS{})
+		if cfg.faultPlan != "" {
+			plan, err := faultline.LoadPlan(cfg.faultPlan)
+			if err != nil {
+				fatal(err)
+			}
+			fs = faultline.New(plan)
+			fmt.Printf("nvmserve: worker injecting faults from %s (seed %d, %d rules)\n",
+				cfg.faultPlan, plan.Seed, len(plan.Rules))
+		}
+		d, err := resultstore.OpenFS(cfg.storeDir, fs)
+		if err != nil {
+			fatal(err)
+		}
+		store, disk = d, d
+		fmt.Printf("nvmserve: worker result store %s (%d records)\n", d.Dir(), d.Persisted())
+	}
+
+	name := cfg.name
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	eng := engine.NewWithStore(platform.NewPurley().Socket(0), cfg.workers, store)
+	w := &fleet.Worker{
+		Base:      cfg.join,
+		Client:    traffic.SharedClient(),
+		Eng:       eng,
+		Name:      name,
+		Disk:      disk,
+		EvalDelay: cfg.delay,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("nvmserve: worker %q joining %s (%d engine workers)\n", name, cfg.join, eng.Workers())
+	err := w.Run(ctx)
+	if cerr := store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("nvmserve: worker stopped")
+}

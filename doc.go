@@ -73,6 +73,20 @@
 // load: session retention is capped (nvmserve -retain), evicting the
 // oldest terminal sessions while their points persist in the store.
 //
+// The stack also scales past one machine: internal/fleet federates
+// nvmserve daemons into a coordinator/worker cluster behind the same
+// public API. The coordinator plugs into session.Manager as its batch
+// executor, shards sweep and plan batches into chunks, and dispatches
+// them over a strict-JSON HTTP protocol to workers (nvmserve -worker
+// -join) with pull-based work-stealing and deterministic round-robin
+// placement; the fingerprint-keyed result store is the fleet-wide
+// dedup tier, so only cold points travel and concurrent identical
+// points coalesce. Streams, ordering, cancellation and error text are
+// byte-identical to a local run; a worker killed mid-sweep has its
+// in-flight chunks re-queued whole, a worker whose disk store degrades
+// self-evicts, and a fleet of zero workers degenerates to the
+// single-process path (see the README's Fleet section).
+//
 // The hot paths are performance-pinned as well: internal/benchkit
 // measures a tracked benchmark set (streaming address simulation,
 // packed-tag DRAM cache, trace reconstruction, engine cache hits, the

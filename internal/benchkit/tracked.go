@@ -6,16 +6,22 @@ package benchkit
 
 import (
 	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/addrsim"
 	"repro/internal/dramcache"
 	"repro/internal/dwarfs"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/memdev"
 	"repro/internal/memsys"
 	"repro/internal/ndjson"
@@ -63,6 +69,14 @@ func Tracked() []Bench {
 		// order-of-magnitude serving regressions (stream stalls, lost
 		// wakeups, poll-loop delays), not percent-level drift.
 		{Name: "BenchmarkTrafficBursty", AllocSlack: 1 << 14, TimeSlack: 1.50, F: TrafficBursty},
+		// A full fleet dispatch round per op: HTTP long-polls, JSON chunk
+		// and result bodies, and four worker goroutines' scheduling all
+		// allocate, so the budget is a documented envelope (the true
+		// zero-alloc contract lives on the chunk-queue hot path, pinned by
+		// internal/fleet's 0-alloc test), and wall time over loopback HTTP
+		// swings with the network stack — generous slack, gate catches
+		// order-of-magnitude dispatch regressions.
+		{Name: "BenchmarkFleetScheduler", AllocSlack: 1 << 14, TimeSlack: 1.50, F: FleetScheduler},
 	}
 }
 
@@ -302,6 +316,82 @@ func TrafficBursty(b *testing.B) {
 		}
 	}
 	b.ReportMetric(median(p99s)*1e9, "p99_first_point_ns")
+}
+
+// fleetFixture holds the process-lifetime benchmark fleet: one
+// coordinator behind an httptest server with four in-process workers
+// joined — built once, reused by every iteration, like the store
+// fixture above.
+var (
+	fleetOnce  sync.Once
+	fleetCoord *fleet.Coordinator
+	fleetErr   error
+	fleetSeq   atomic.Uint64
+)
+
+func fleetFixture() (*fleet.Coordinator, error) {
+	fleetOnce.Do(func() {
+		fleetCoord = fleet.New(engine.New(platform.NewPurley().Socket(0), 4), fleet.Options{
+			Heartbeat: 100 * time.Millisecond,
+			Poll:      100 * time.Millisecond,
+		})
+		mux := http.NewServeMux()
+		fleetCoord.Routes(mux)
+		ts := httptest.NewServer(mux)
+		for i := 0; i < 4; i++ {
+			w := &fleet.Worker{
+				Base: ts.URL,
+				Eng:  engine.New(platform.NewPurley().Socket(0), 1),
+				Name: fmt.Sprintf("bench-%d", i),
+			}
+			go w.Run(context.Background())
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for fleetCoord.Workers() < 4 {
+			if time.Now().After(deadline) {
+				fleetErr = fmt.Errorf("benchkit: only %d/4 fleet workers joined", fleetCoord.Workers())
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	return fleetCoord, fleetErr
+}
+
+// FleetScheduler measures one cold fleet dispatch round: a fresh
+// 64-point sweep (unique Scales values per iteration, so nothing is
+// cached) sharded into 16 chunks, pulled by four in-process workers
+// over loopback HTTP, evaluated, posted back and committed — the whole
+// coordinator/scheduler/worker path that internal/fleet adds over a
+// local batch.
+func FleetScheduler(b *testing.B) {
+	coord, err := fleetFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := fleetSeq.Add(1) * 16
+		scales := make([]float64, 16)
+		for j := range scales {
+			scales[j] = 1 + float64(base+uint64(j))*1e-3
+		}
+		sp := scenario.Spec{
+			Name:    "bench-fleet",
+			Apps:    []string{"XSBench"},
+			Modes:   []memsys.Mode{memsys.DRAMOnly, memsys.CachedNVM},
+			Threads: []int{24, 48},
+			Scales:  scales,
+		}
+		_, jobs, err := sp.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := coord.ExecuteBatch(context.Background(), sp, jobs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // EngineCacheHit measures a fully cached engine evaluation — the common

@@ -74,7 +74,12 @@ type Job struct {
 // and variant.
 type Key = resultstore.Key
 
-func (j Job) key() Key {
+// Key returns the job's cache identity — the resultstore key derived
+// from the workload fingerprint plus mode, threads, placement and
+// variant. The fleet coordinator uses it to probe the shared store
+// before dispatching a point and to coalesce identical points across
+// concurrently dispatched batches. The workload must be non-nil.
+func (j Job) Key() Key {
 	k := Key{
 		App:     j.Workload.Name,
 		Mode:    j.Mode,
@@ -219,21 +224,9 @@ func (e *Engine) Run(job Job) (workload.Result, error) {
 	if job.Tweak != nil && job.Variant == "" {
 		return workload.Result{}, fmt.Errorf("engine: job with Tweak needs a Variant tag for cache identity")
 	}
-	k := job.key()
+	k := job.Key()
 	en, loaded := e.store.Acquire(k)
-	if loaded {
-		e.hits.Add(1)
-	} else {
-		e.miss.Add(1)
-	}
-	if job.Origin != "" {
-		c := e.originFor(job.Origin)
-		if loaded {
-			c.hits.Add(1)
-		} else {
-			c.misses.Add(1)
-		}
-	}
+	e.account(job.Origin, loaded)
 	en.Once.Do(func() {
 		if en.Seeded {
 			// Restored from a persistent store: the solved quantities are
@@ -244,7 +237,33 @@ func (e *Engine) Run(job Job) (workload.Result, error) {
 		}
 		en.Res, en.Err = e.compute(job)
 		e.store.Commit(k, en.Res, en.Err)
+		en.MarkDone()
 	})
+	return share(en)
+}
+
+// account books one store acquisition into the aggregate and per-origin
+// hit/miss counters.
+func (e *Engine) account(origin string, loaded bool) {
+	if loaded {
+		e.hits.Add(1)
+	} else {
+		e.miss.Add(1)
+	}
+	if origin != "" {
+		c := e.originFor(origin)
+		if loaded {
+			c.hits.Add(1)
+		} else {
+			c.misses.Add(1)
+		}
+	}
+}
+
+// share returns a completed entry's result under the copy-on-write
+// contract: the Phases slice is capacity-clamped so appending
+// reallocates instead of corrupting the cache.
+func share(en *resultstore.Entry) (workload.Result, error) {
 	if en.Err != nil {
 		// Failed entries stay cached; the zero result carries no slice to
 		// protect.
@@ -253,6 +272,54 @@ func (e *Engine) Run(job Job) (workload.Result, error) {
 	res := en.Res
 	res.Phases = res.Phases[:len(res.Phases):len(res.Phases)]
 	return res, nil
+}
+
+// Cached reports whether the job's result is already completed in the
+// result store (including records persisted by a previous process) —
+// the probe the fleet coordinator runs before dispatching a point to a
+// worker. Stores without the remote-lookup seam (resultstore.Prober)
+// report nothing cached, which only costs a redundant dispatch.
+func (e *Engine) Cached(job Job) bool {
+	if job.Workload == nil {
+		return false
+	}
+	p, ok := e.store.(resultstore.Prober)
+	return ok && p.Probe(job.Key())
+}
+
+// CommitRemote completes a job with a result computed elsewhere (a
+// fleet worker): the entry is claimed through the same singleflight
+// Once as a local evaluation, the remote quantities are committed to
+// the store with the job's descriptor reattached, and the returned
+// result carries the same copy-on-write Phases contract as Run. If the
+// key was already completed — or is being computed locally right now —
+// the resident entry wins and the remote result is discarded, so
+// concurrent local and remote evaluations of one point stay
+// byte-identical (workload.Run is pure, both computed the same values).
+// Accounting matches Run: a fresh claim books a miss (the evaluation
+// happened, just not here), a resident one a hit.
+func (e *Engine) CommitRemote(job Job, res workload.Result, rerr error) (workload.Result, error) {
+	if job.Workload == nil {
+		return workload.Result{}, fmt.Errorf("engine: nil workload")
+	}
+	k := job.Key()
+	en, loaded := e.store.Acquire(k)
+	e.account(job.Origin, loaded)
+	en.Once.Do(func() {
+		if en.Seeded {
+			en.Res.Workload = job.Workload
+			return
+		}
+		if rerr != nil {
+			en.Err = rerr
+		} else {
+			en.Res = res
+			en.Res.Workload = job.Workload
+		}
+		e.store.Commit(k, en.Res, en.Err)
+		en.MarkDone()
+	})
+	return share(en)
 }
 
 func (e *Engine) compute(job Job) (workload.Result, error) {
@@ -311,19 +378,41 @@ func (e *Engine) RunBatchFunc(ctx context.Context, jobs []Job, done func(i int, 
 	}
 	forEach(e.workers, len(jobs), run)
 	if err := ctx.Err(); err != nil {
-		return results, fmt.Errorf("engine: batch cancelled: %w", err)
+		return results, CancelError(err)
 	}
+	return results, FirstError(jobs, errs)
+}
+
+// CancelError wraps a batch's context error in the engine's cancelled
+// wording. Exported so the fleet execution path fails with the exact
+// bytes a local batch would — sessions and NDJSON error lines stay
+// byte-identical whether a sweep ran locally or on a fleet.
+func CancelError(err error) error {
+	return fmt.Errorf("engine: batch cancelled: %w", err)
+}
+
+// BatchError wraps one job's evaluation failure with its submission
+// position, in the engine's batch-failure wording (see CancelError for
+// why it is exported).
+func BatchError(i int, job Job, err error) error {
+	name := "<nil>"
+	if job.Workload != nil {
+		name = job.Workload.Name
+	}
+	return fmt.Errorf("engine: job %d (%s on %s @ %d): %w",
+		i, name, job.Mode, job.Threads, err)
+}
+
+// FirstError reduces a batch's per-job errors to the first failure in
+// submission order (independent of scheduling), wrapped by BatchError;
+// nil when every job succeeded.
+func FirstError(jobs []Job, errs []error) error {
 	for i, err := range errs {
 		if err != nil {
-			name := "<nil>"
-			if jobs[i].Workload != nil {
-				name = jobs[i].Workload.Name
-			}
-			return results, fmt.Errorf("engine: job %d (%s on %s @ %d): %w",
-				i, name, jobs[i].Mode, jobs[i].Threads, err)
+			return BatchError(i, jobs[i], err)
 		}
 	}
-	return results, nil
+	return nil
 }
 
 // Stats returns the cache accounting since construction (or the last

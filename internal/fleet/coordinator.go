@@ -1,0 +1,560 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/resultstore"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+// Defaults for the coordinator cadence: workers beat every Heartbeat,
+// are declared dead after DeadAfter of silence, and work long-polls
+// are held up to Poll. CI and tests tighten all three.
+const (
+	DefaultHeartbeat = 500 * time.Millisecond
+	DefaultDeadAfter = 4 * DefaultHeartbeat
+	DefaultPoll      = 250 * time.Millisecond
+)
+
+// Options tunes a coordinator.
+type Options struct {
+	// Heartbeat, DeadAfter, Poll override the default cadence (zero
+	// keeps each default).
+	Heartbeat, DeadAfter, Poll time.Duration
+	// Now injects a clock for liveness decisions (tests); nil means
+	// time.Now.
+	Now func() time.Time
+}
+
+// Coordinator is the fleet's dispatch side: a session.Executor that
+// shards batches into chunks, schedules them across joined workers,
+// commits returned results through the engine's singleflight store,
+// and falls back to local evaluation whenever the fleet cannot help
+// (no live workers, a spec that cannot travel, mid-batch total worker
+// loss). See the package comment for the full protocol.
+type Coordinator struct {
+	eng   *engine.Engine
+	sched *scheduler
+
+	mu      sync.Mutex
+	flights map[resultstore.Key]*flight
+
+	batchSeq            atomic.Uint64
+	localPts, remotePts atomic.Uint64
+	coalesced, fellBack atomic.Uint64
+	stop                chan struct{}
+	stopOnce            sync.Once
+}
+
+// flight marks a key dispatched-but-uncommitted, with the sessions
+// parked on it: concurrent batches submitting the same point wait for
+// the first dispatch instead of travelling twice — the fleet-wide
+// dedup the shared store cannot provide until the result lands.
+type flight struct {
+	owner   *batch
+	waiters []waiter
+}
+
+type waiter struct {
+	b   *batch
+	pos int
+}
+
+// New builds a coordinator over the engine and starts its reaper. The
+// caller owns the engine; Close stops the reaper.
+func New(eng *engine.Engine, opts Options) *Coordinator {
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = DefaultHeartbeat
+	}
+	if opts.DeadAfter <= 0 {
+		opts.DeadAfter = 4 * opts.Heartbeat
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = DefaultPoll
+	}
+	c := &Coordinator{
+		eng:     eng,
+		sched:   newScheduler(opts.Heartbeat, opts.DeadAfter, opts.Poll, opts.Now),
+		flights: make(map[resultstore.Key]*flight),
+		stop:    make(chan struct{}),
+	}
+	go c.reaper(opts.Heartbeat)
+	return c
+}
+
+// Close stops the coordinator's reaper. In-flight ExecuteBatch calls
+// are unaffected (cancel their contexts to abort them).
+func (c *Coordinator) Close() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// reaper periodically declares silent workers dead and re-queues their
+// chunks.
+func (c *Coordinator) reaper(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.sched.reap()
+		}
+	}
+}
+
+// Engine exposes the coordinator's engine (the shared dedup tier).
+func (c *Coordinator) Engine() *engine.Engine { return c.eng }
+
+// Workers reports the live worker count.
+func (c *Coordinator) Workers() int { return c.sched.liveCount() }
+
+// Stats snapshots the fleet health block: membership, chunk flow, and
+// the local/remote point split.
+type CoordinatorStats struct {
+	Stats
+	// PointsLocal counts points served by the coordinator itself (store
+	// hits, non-dispatchable jobs, fallbacks); PointsRemote points
+	// committed from worker results; PointsCoalesced duplicate points
+	// parked on another batch's dispatch.
+	PointsLocal     uint64 `json:"points_local"`
+	PointsRemote    uint64 `json:"points_remote"`
+	PointsCoalesced uint64 `json:"points_coalesced"`
+	// Fallbacks counts batches (or batch remainders) that reverted to
+	// local evaluation.
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
+func (c *Coordinator) Stats() CoordinatorStats {
+	return CoordinatorStats{
+		Stats:           c.sched.stats(),
+		PointsLocal:     c.localPts.Load(),
+		PointsRemote:    c.remotePts.Load(),
+		PointsCoalesced: c.coalesced.Load(),
+		Fallbacks:       c.fellBack.Load(),
+	}
+}
+
+// batch is one ExecuteBatch invocation in flight.
+type batch struct {
+	id      string
+	encoded []byte
+	jobs    []engine.Job
+	posOf   map[int]int // expansion index -> batch position
+	done    func(i int, res workload.Result)
+
+	mu        sync.Mutex
+	errs      []error
+	pending   int
+	dropped   bool
+	cancelled bool
+	doneCh    chan struct{}
+}
+
+// settle records one position's outcome, forwarding successes to the
+// session's completion hook, and closes doneCh when the batch drains.
+func (b *batch) settle(pos int, res workload.Result, err error) {
+	b.mu.Lock()
+	if b.dropped || b.errs[pos] != nil {
+		b.mu.Unlock()
+		return
+	}
+	if err != nil {
+		b.errs[pos] = err
+	}
+	b.mu.Unlock()
+	if err == nil && b.done != nil {
+		b.done(pos, res)
+	}
+	b.mu.Lock()
+	b.pending--
+	finished := b.pending == 0 && !b.dropped
+	b.mu.Unlock()
+	if finished {
+		close(b.doneCh)
+	}
+}
+
+// chunkTarget sizes chunks so each live worker sees a few of them —
+// enough granularity for stealing to rebalance, few enough that the
+// per-chunk HTTP round trip amortizes.
+func chunkTarget(points, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	size := (points + 4*workers - 1) / (4 * workers)
+	if size < 1 {
+		size = 1
+	}
+	if size > 32 {
+		size = 32
+	}
+	return size
+}
+
+// ExecuteBatch implements session.Executor: probe the shared store,
+// serve resident points locally, shard the cold remainder into chunks
+// dispatched across the fleet, and commit worker results as they land.
+// Ordering, cancellation semantics and error text are byte-identical
+// to engine.RunBatchFunc — the session layer cannot tell the paths
+// apart.
+func (c *Coordinator) ExecuteBatch(ctx context.Context, sp scenario.Spec, jobs []engine.Job, done func(i int, res workload.Result)) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	encoded, encErr := scenario.Encode(sp)
+	if encErr != nil || c.sched.liveCount() == 0 {
+		// Not dispatchable (a Custom-builder spec cannot travel) or
+		// nobody to dispatch to: the single-process path, verbatim.
+		c.fellBack.Add(1)
+		c.localPts.Add(uint64(len(jobs)))
+		_, err := c.eng.RunBatchFunc(ctx, jobs, done)
+		return err
+	}
+	_, expJobs, expErr := sp.Expand()
+	if expErr != nil {
+		c.fellBack.Add(1)
+		c.localPts.Add(uint64(len(jobs)))
+		_, err := c.eng.RunBatchFunc(ctx, jobs, done)
+		return err
+	}
+	keyToExp := make(map[resultstore.Key]int, len(expJobs))
+	for i := range expJobs {
+		keyToExp[expJobs[i].Key()] = i
+	}
+
+	b := &batch{
+		id:      fmt.Sprintf("b-%06d", c.batchSeq.Add(1)),
+		encoded: encoded,
+		jobs:    jobs,
+		posOf:   make(map[int]int),
+		done:    done,
+		errs:    make([]error, len(jobs)),
+		pending: len(jobs),
+		doneCh:  make(chan struct{}),
+	}
+
+	// Classify every position: resident in the shared store (serve
+	// locally), already dispatched by a concurrent batch (park on its
+	// flight), dispatchable (chunk it), or wire-inexpressible (local).
+	var local, dispatch []int // batch positions; dispatch aligned with dispExp
+	var dispExp []int         // expansion indexes, ascending by construction below
+	cached := make([]bool, len(jobs))
+	for i := range jobs {
+		cached[i] = c.eng.Cached(jobs[i])
+	}
+	c.mu.Lock()
+	for i := range jobs {
+		if jobs[i].Workload == nil || cached[i] {
+			local = append(local, i)
+			continue
+		}
+		k := jobs[i].Key()
+		exp, onWire := keyToExp[k]
+		if !onWire {
+			local = append(local, i)
+			continue
+		}
+		if fl := c.flights[k]; fl != nil {
+			fl.waiters = append(fl.waiters, waiter{b: b, pos: i})
+			c.coalesced.Add(1)
+			continue
+		}
+		c.flights[k] = &flight{owner: b}
+		b.posOf[exp] = i
+		dispatch = append(dispatch, i)
+		dispExp = append(dispExp, exp)
+	}
+	c.mu.Unlock()
+
+	// Shard the dispatch set into contiguous ascending index runs.
+	sort.Ints(dispExp)
+	size := chunkTarget(len(dispExp), c.sched.liveCount())
+	var chunks []*chunk
+	for lo := 0; lo < len(dispExp); lo += size {
+		hi := lo + size
+		if hi > len(dispExp) {
+			hi = len(dispExp)
+		}
+		chunks = append(chunks, &chunk{b: b, indexes: dispExp[lo:hi:hi]})
+	}
+	c.sched.enqueue(chunks)
+	c.remotePts.Add(uint64(len(dispatch)))
+	c.localPts.Add(uint64(len(local)))
+
+	// Serve the locally resolvable positions while the fleet works.
+	c.runLocal(ctx, b, local)
+
+	// Wait for the batch to drain, watching for cancellation and for
+	// the fleet emptying out from under us.
+	check := time.NewTicker(50 * time.Millisecond)
+	defer check.Stop()
+	for {
+		select {
+		case <-b.doneCh:
+			b.mu.Lock()
+			cancelled := b.cancelled
+			b.mu.Unlock()
+			if cancelled || ctx.Err() != nil {
+				return engine.CancelError(context.Cause(ctx))
+			}
+			return engine.FirstError(jobs, b.errs)
+		case <-ctx.Done():
+			c.drop(b)
+			return engine.CancelError(ctx.Err())
+		case <-check.C:
+			if orphans := c.sched.reclaim(b); len(orphans) > 0 {
+				// Every worker is gone; finish their chunks ourselves.
+				c.fellBack.Add(1)
+				var positions []int
+				for _, ch := range orphans {
+					for _, exp := range ch.indexes {
+						positions = append(positions, b.posOf[exp])
+					}
+				}
+				c.runLocal(ctx, b, positions)
+			}
+		}
+	}
+}
+
+// runLocal evaluates batch positions on the coordinator's own engine,
+// settling each point (and any flight parked on its key) as it lands.
+// Cancellation mirrors engine.RunBatchFunc: claimed-but-unstarted
+// positions drain without evaluating once the context fires.
+func (c *Coordinator) runLocal(ctx context.Context, b *batch, positions []int) {
+	if len(positions) == 0 {
+		return
+	}
+	var cancelled atomic.Bool
+	engine.Map(c.eng.Workers(), len(positions), func(i int) (struct{}, error) {
+		pos := positions[i]
+		if cancelled.Load() || ctx.Err() != nil {
+			cancelled.Store(true)
+			b.mu.Lock()
+			b.cancelled = true
+			b.mu.Unlock()
+			b.settle(pos, workload.Result{}, context.Cause(ctx))
+			return struct{}{}, nil
+		}
+		res, err := c.eng.Run(b.jobs[pos])
+		c.settleFlight(b.jobs[pos])
+		b.settle(pos, res, err)
+		return struct{}{}, nil
+	})
+}
+
+// resolveChunk accepts one posted chunk result, committing each point
+// through the engine's singleflight store and settling the batch and
+// any parked flights. Stale posts (requeued-and-recomputed chunks,
+// dropped batches) are discarded.
+func (c *Coordinator) resolveChunk(cr ChunkResult) {
+	ch := c.sched.complete(cr.WorkerID, cr.ChunkID)
+	if ch == nil {
+		return
+	}
+	b := ch.b
+	if cr.Error != "" {
+		// The worker could not evaluate the chunk at all (undecodable
+		// spec, index out of range): an infrastructure bug, not a point
+		// failure — requeueing cannot succeed, so the affected points
+		// fail the batch.
+		err := fmt.Errorf("fleet: chunk %d: %s", cr.ChunkID, cr.Error)
+		for _, exp := range ch.indexes {
+			pos := b.posOf[exp]
+			c.abortFlight(b.jobs[pos])
+			b.settle(pos, workload.Result{}, err)
+		}
+		return
+	}
+	covered := make(map[int]bool, len(cr.Points))
+	for _, pt := range cr.Points {
+		pos, ok := b.posOf[pt.Index]
+		if !ok || !member(ch.indexes, pt.Index) || covered[pt.Index] {
+			continue // not this chunk's point; ignore
+		}
+		covered[pt.Index] = true
+		job := b.jobs[pos]
+		var res workload.Result
+		var rerr error
+		if pt.Error != "" {
+			rerr = errors.New(pt.Error)
+		} else if pt.Result != nil {
+			res = *pt.Result
+		} else {
+			rerr = fmt.Errorf("fleet: chunk %d: point %d carries neither result nor error", cr.ChunkID, pt.Index)
+		}
+		committed, err := c.eng.CommitRemote(job, res, rerr)
+		c.settleFlight(job)
+		b.settle(pos, committed, err)
+	}
+	for _, exp := range ch.indexes {
+		if !covered[exp] {
+			pos := b.posOf[exp]
+			c.abortFlight(b.jobs[pos])
+			b.settle(pos, workload.Result{},
+				fmt.Errorf("fleet: chunk %d: point %d missing from result", cr.ChunkID, exp))
+		}
+	}
+}
+
+// settleFlight releases the batches parked on a key after its result
+// landed in the store: each waiter re-runs the job locally — now a
+// cache hit — and settles its own position. (If the key in fact never
+// committed, the local run computes it; either way every waiter
+// settles with the store's authoritative result.)
+func (c *Coordinator) settleFlight(job engine.Job) {
+	k := job.Key()
+	c.mu.Lock()
+	fl := c.flights[k]
+	delete(c.flights, k)
+	c.mu.Unlock()
+	if fl == nil {
+		return
+	}
+	for _, w := range fl.waiters {
+		res, err := c.eng.Run(w.b.jobs[w.pos])
+		w.b.settle(w.pos, res, err)
+	}
+}
+
+// abortFlight is settleFlight for keys whose dispatch failed — same
+// release path, named for the call sites where no result committed.
+func (c *Coordinator) abortFlight(job engine.Job) { c.settleFlight(job) }
+
+// drop abandons a cancelled batch: its chunks are resolved-as-dropped
+// in the scheduler (late worker posts get discarded), flights it owns
+// are released to their waiters (who evaluate locally), and its own
+// parked waiters are forgotten.
+func (c *Coordinator) drop(b *batch) {
+	b.mu.Lock()
+	b.dropped = true
+	b.mu.Unlock()
+	c.sched.dropBatch(b)
+	var release []flight
+	c.mu.Lock()
+	for k, fl := range c.flights {
+		if fl.owner == b {
+			delete(c.flights, k)
+			release = append(release, *fl)
+			continue
+		}
+		kept := fl.waiters[:0]
+		for _, w := range fl.waiters {
+			if w.b != b {
+				kept = append(kept, w)
+			}
+		}
+		fl.waiters = kept
+	}
+	c.mu.Unlock()
+	for _, fl := range release {
+		for _, w := range fl.waiters {
+			if w.b == b {
+				continue
+			}
+			res, err := c.eng.Run(w.b.jobs[w.pos])
+			w.b.settle(w.pos, res, err)
+		}
+	}
+}
+
+// Routes mounts the coordinator's worker-facing endpoints.
+func (c *Coordinator) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /fleet/v1/join", c.handleJoin)
+	mux.HandleFunc("POST /fleet/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /fleet/v1/leave", c.handleLeave)
+	mux.HandleFunc("POST /fleet/v1/work", c.handleWork)
+	mux.HandleFunc("POST /fleet/v1/result", c.handleResult)
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	http.Error(w, err.Error(), code)
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, c.sched.join(req.Name))
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if err := decodeStrict(r.Body, &hb); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !c.sched.heartbeatFrom(hb.WorkerID) {
+		httpErr(w, http.StatusNotFound, errUnknownWorker)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if err := decodeStrict(r.Body, &hb); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	c.sched.leave(hb.WorkerID)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
+	var req WorkRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ch, err := c.sched.pull(r.Context(), req.WorkerID)
+	if err != nil {
+		if errors.Is(err, errUnknownWorker) {
+			httpErr(w, http.StatusNotFound, err)
+		}
+		// Context gone: the client left; any response is unread.
+		return
+	}
+	if ch == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, WireChunk{ID: ch.id, Spec: ch.b.encoded, Indexes: ch.indexes})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var cr ChunkResult
+	if err := decodeStrict(r.Body, &cr); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	c.resolveChunk(cr)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.Marshal(v)
+	if err != nil {
+		httpErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Write(b)
+}
+
+// member reports whether x is in the ascending slice s.
+func member(s []int, x int) bool {
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}

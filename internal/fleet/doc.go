@@ -1,0 +1,41 @@
+// Package fleet federates nvmserve into a coordinator/worker cluster:
+// the distributed sweep fabric behind ROADMAP item 1. A Coordinator
+// plugs into session.Manager as its batch Executor, so every sweep and
+// plan round submitted over the existing /v1/sweeps and /v1/plans API
+// is sharded into chunks of engine jobs and dispatched over HTTP to
+// registered workers — with streams, deterministic ordering,
+// cancellation and error text byte-identical to a local run.
+//
+// The shared dedup tier is the fingerprint-keyed result store: before
+// dispatching a point the coordinator probes its store (the
+// resultstore.Prober seam — a disk store answers for every previous
+// process too) and serves resident points locally; only cold points
+// travel. Workers evaluate chunks through their own engine (with its
+// own cache) and post the quantities back; the coordinator commits
+// them through engine.CommitRemote, so a point any worker evaluated is
+// every later sweep's cache hit, and identical points dispatched by
+// concurrent sessions are coalesced fleet-wide (an in-flight table
+// parks duplicates until the first dispatch lands).
+//
+// Scheduling is pull-based work-stealing. Chunks are assigned
+// round-robin over the live workers in join order — a deterministic
+// placement, pinned by the scheduler's assignment trace — and each
+// worker long-polls /fleet/v1/work for the front of its own queue.
+// An idle worker whose queue is empty steals the newest chunk from the
+// back of the longest live queue, so a straggler sheds the work it has
+// not started. Workers heartbeat; one that goes silent past the dead
+// interval has its queued and in-flight chunks re-queued whole to the
+// survivors (points are pure and commits are singleflight, so a zombie
+// worker's late result is simply discarded). With no live workers the
+// coordinator reclaims its chunks and evaluates locally — a fleet of
+// zero degenerates to exactly the single-process path.
+//
+// The failure model composes with internal/faultline: a worker whose
+// disk store degrades (append path down, serving read-only from
+// memory) self-evicts — it finishes and posts its current chunk,
+// deregisters, and exits — so a machine with a failing disk drains
+// from the fleet instead of silently computing results that will not
+// persist. The wire protocol (protocol.go) is strict JSON end to end:
+// unknown fields are rejected at every nesting level, exactly like the
+// scenario, traffic and faultline codecs.
+package fleet

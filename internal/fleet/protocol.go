@@ -1,0 +1,125 @@
+package fleet
+
+// The coordinator/worker wire protocol: strict-JSON request and reply
+// documents for the five coordinator endpoints —
+//
+//	POST /fleet/v1/join       JoinRequest   -> JoinReply
+//	POST /fleet/v1/heartbeat  Heartbeat     -> 204 (404: unknown worker, rejoin)
+//	POST /fleet/v1/leave      Heartbeat     -> 204 (queued chunks re-queue)
+//	POST /fleet/v1/work       WorkRequest   -> WireChunk, or 204 after the long-poll window
+//	POST /fleet/v1/result     ChunkResult   -> 204
+//
+// Results travel as the solved quantities only: like the disk store's
+// records, the Workload descriptor pointer is stripped on the wire and
+// reattached by the coordinator from the job at commit time
+// (engine.CommitRemote). encoding/json round-trips float64 bit-exactly,
+// so a fleet-evaluated point is byte-identical to a local one — the
+// same guarantee the v1 segment codec pins with its round-trip fuzz
+// test.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// JoinRequest registers a worker with the coordinator.
+type JoinRequest struct {
+	// Name labels the worker in health reports (host:pid style); the
+	// coordinator assigns the authoritative WorkerID.
+	Name string `json:"name"`
+}
+
+// JoinReply carries the worker's assigned identity and the cadence the
+// coordinator expects: heartbeat every HeartbeatMS, declared dead after
+// DeadAfterMS of silence, work long-polls held at most PollMS.
+type JoinReply struct {
+	WorkerID    string `json:"worker_id"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+	DeadAfterMS int64  `json:"dead_after_ms"`
+	PollMS      int64  `json:"poll_ms"`
+}
+
+// Heartbeat is the body of /fleet/v1/heartbeat and /fleet/v1/leave.
+type Heartbeat struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// WorkRequest pulls the next chunk for a worker; the coordinator holds
+// the request up to its poll window when no work is available.
+type WorkRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// WireChunk is one unit of dispatched work: a contiguous run of point
+// indexes into the deterministic expansion of a scenario spec. The
+// worker re-expands the spec (expansion is a pure function of the spec
+// bytes, and workload fingerprints are content-addressed, so both
+// sides derive identical jobs and cache keys) and evaluates exactly
+// the indexed points.
+type WireChunk struct {
+	ID uint64 `json:"id"`
+	// Spec is the scenario spec, scenario.Encode bytes. Workers cache
+	// the expansion keyed by a hash of these bytes, so the chunks of one
+	// sweep pay for expansion once.
+	Spec json.RawMessage `json:"spec"`
+	// Indexes are the expansion indexes to evaluate, ascending.
+	Indexes []int `json:"indexes"`
+}
+
+// PointResult is one evaluated point of a chunk: the expansion index it
+// answers, and either the solved quantities (Workload stripped) or the
+// evaluation error, never both.
+type PointResult struct {
+	Index  int              `json:"index"`
+	Result *workload.Result `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// ChunkResult posts a completed chunk back. Error reports a
+// chunk-level failure (undecodable spec, index out of range) — the
+// worker could not evaluate the chunk at all, and the coordinator
+// fails the batch rather than re-queueing what cannot succeed.
+type ChunkResult struct {
+	WorkerID string        `json:"worker_id"`
+	ChunkID  uint64        `json:"chunk_id"`
+	Points   []PointResult `json:"points,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// maxBodyBytes bounds any protocol body. Chunks dominate: a spec is a
+// few KiB and a chunk result carries tens of ~400-byte points.
+const maxBodyBytes = 8 << 20
+
+// decodeStrict parses one JSON document, rejecting unknown fields at
+// every nesting level and trailing data — the same codec convention as
+// the scenario, traffic and faultline file formats, applied to the
+// wire so a version-skewed fleet fails loudly instead of silently
+// dropping fields.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("fleet: decoding %T: %w", v, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("fleet: %T: trailing data", v)
+	}
+	return nil
+}
+
+// specSum is the worker-side expansion cache key: FNV-1a over the
+// spec's encoded bytes.
+func specSum(spec []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range spec {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
+}

@@ -1,0 +1,89 @@
+package fleet
+
+// chunkQueue is a ring-buffer deque of chunks: one per worker (plus the
+// orphan queue) on the scheduler hot path. Assignment pushes to the
+// back, a worker's own pull pops the front (oldest first, preserving
+// dispatch order), and a steal pops the back — the newest chunk, the
+// one the victim is least likely to reach, the classic work-stealing
+// discipline. Steady state is allocation-free: the ring grows by
+// doubling and is then reused, so a benchmark's dispatch/steal loop
+// allocates only while warming to its high-water mark (pinned by the
+// 0-alloc test in queue_test.go).
+type chunkQueue struct {
+	buf  []*chunk
+	head int // index of the front element
+	n    int // elements in the queue
+}
+
+// len reports the queue length.
+func (q *chunkQueue) len() int { return q.n }
+
+// push appends a chunk at the back.
+func (q *chunkQueue) push(c *chunk) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = c
+	q.n++
+}
+
+// popFront removes and returns the front chunk, nil when empty.
+func (q *chunkQueue) popFront() *chunk {
+	if q.n == 0 {
+		return nil
+	}
+	c := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return c
+}
+
+// popBack removes and returns the back chunk (the steal end), nil when
+// empty.
+func (q *chunkQueue) popBack() *chunk {
+	if q.n == 0 {
+		return nil
+	}
+	i := (q.head + q.n - 1) % len(q.buf)
+	c := q.buf[i]
+	q.buf[i] = nil
+	q.n--
+	return c
+}
+
+// unresolved counts the queued chunks still worth computing — resolved
+// copies (requeue races, dropped batches) sit in the ring until lazily
+// skipped, and the health report must not count them as pending work.
+func (q *chunkQueue) unresolved() int {
+	n := 0
+	for i := 0; i < q.n; i++ {
+		if !q.buf[(q.head+i)%len(q.buf)].resolved {
+			n++
+		}
+	}
+	return n
+}
+
+// drain pops every chunk front-to-back, appending to dst.
+func (q *chunkQueue) drain(dst []*chunk) []*chunk {
+	for c := q.popFront(); c != nil; c = q.popFront() {
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// grow doubles the ring (minimum 8), unwrapping the live window to the
+// start of the new buffer.
+func (q *chunkQueue) grow() {
+	size := len(q.buf) * 2
+	if size < 8 {
+		size = 8
+	}
+	buf := make([]*chunk, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation skews wall-clock assertions, so the speedup test
+// skips itself under -race (every correctness test still runs).
+const raceEnabled = true

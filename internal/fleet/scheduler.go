@@ -1,0 +1,422 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// chunk is one dispatchable unit: a contiguous ascending run of
+// expansion indexes belonging to one batch.
+type chunk struct {
+	id      uint64
+	b       *batch
+	indexes []int
+	// resolved flips when the chunk's results have been accepted (or
+	// its batch dropped); copies still sitting in a queue after a
+	// requeue race are lazily skipped.
+	resolved bool
+}
+
+// workerState is the scheduler's view of one registered worker.
+type workerState struct {
+	id     string
+	name   string
+	joined int // join sequence, the round-robin and steal tiebreak order
+	queue  chunkQueue
+	// inflight holds chunks pulled but not yet resolved, keyed by chunk
+	// id — what gets re-queued whole if the worker goes silent.
+	inflight map[uint64]*chunk
+	lastBeat time.Time
+}
+
+// Assignment is one entry of the scheduler's placement trace: which
+// worker a chunk went to, and how. Kind is "assign" (round-robin
+// placement), "steal" (an idle worker took it from the back of the
+// victim's queue) or "requeue" (re-placed after its worker died or
+// left). The trace is the determinism contract's witness: the same
+// batch against the same worker set yields the identical assign
+// sequence (see EnableTrace and the scheduler tests).
+type Assignment struct {
+	Chunk  uint64
+	Worker string
+	Kind   string
+}
+
+// Stats is the coordinator's health-report block: fleet membership and
+// chunk-flow counters.
+type Stats struct {
+	Workers  int `json:"workers"` // live registrations
+	Dead     int `json:"dead"`    // cumulative reaped (heartbeat silence)
+	Left     int `json:"left"`    // cumulative graceful leaves
+	Pending  int `json:"chunks_pending"`
+	InFlight int `json:"chunks_in_flight"`
+
+	Dispatched uint64 `json:"chunks_dispatched"`
+	Completed  uint64 `json:"chunks_completed"`
+	Stolen     uint64 `json:"chunks_stolen"`
+	Requeued   uint64 `json:"chunks_requeued"`
+}
+
+// errUnknownWorker makes a stale worker id a 404: the worker's cue to
+// rejoin (its chunks were re-queued when it was declared dead).
+var errUnknownWorker = fmt.Errorf("fleet: unknown worker")
+
+// scheduler is the coordinator's chunk placement state: per-worker
+// deques, the orphan queue (chunks with no live worker to hold them),
+// and the pull/steal/requeue machinery. One mutex guards it all —
+// operations are map/deque manipulations, never evaluation.
+type scheduler struct {
+	heartbeat time.Duration
+	deadAfter time.Duration
+	poll      time.Duration
+	now       func() time.Time
+
+	mu   sync.Mutex
+	wake chan struct{} // closed and replaced whenever work may have appeared
+	seq  int           // join counter
+	next uint64        // chunk id counter
+
+	workers map[string]*workerState
+	order   []*workerState // live workers in join order
+	rr      int            // round-robin assignment cursor
+	orphans chunkQueue
+	// outstanding tracks every unresolved chunk by id, wherever it
+	// sits, so a result can be accepted from any worker (including a
+	// zombie whose chunk was already re-queued but not yet recomputed).
+	outstanding map[uint64]*chunk
+
+	trace   []Assignment
+	traceOn bool
+
+	dead, left                              int
+	dispatched, completed, stolen, requeued uint64
+}
+
+func newScheduler(heartbeat, deadAfter, poll time.Duration, now func() time.Time) *scheduler {
+	if now == nil {
+		now = time.Now
+	}
+	return &scheduler{
+		heartbeat:   heartbeat,
+		deadAfter:   deadAfter,
+		poll:        poll,
+		now:         now,
+		wake:        make(chan struct{}),
+		workers:     make(map[string]*workerState),
+		outstanding: make(map[uint64]*chunk),
+	}
+}
+
+// wakeAll releases every long-polling pull to re-check for work.
+// Callers hold mu.
+func (s *scheduler) wakeAll() {
+	close(s.wake)
+	s.wake = make(chan struct{})
+}
+
+// record appends a trace entry when tracing is on. Callers hold mu.
+func (s *scheduler) record(c *chunk, w *workerState, kind string) {
+	if s.traceOn {
+		s.trace = append(s.trace, Assignment{Chunk: c.id, Worker: w.id, Kind: kind})
+	}
+}
+
+// EnableTrace turns on assignment tracing (tests); Trace snapshots it.
+func (s *scheduler) EnableTrace() {
+	s.mu.Lock()
+	s.traceOn = true
+	s.mu.Unlock()
+}
+
+func (s *scheduler) Trace() []Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Assignment, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+// join registers a worker and returns its assigned identity.
+func (s *scheduler) join(name string) JoinReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	w := &workerState{
+		id:       fmt.Sprintf("w-%06d", s.seq),
+		name:     name,
+		joined:   s.seq,
+		inflight: make(map[uint64]*chunk),
+		lastBeat: s.now(),
+	}
+	s.workers[w.id] = w
+	s.order = append(s.order, w)
+	// A fresh worker means stealable capacity; let idle pulls re-check.
+	s.wakeAll()
+	return JoinReply{
+		WorkerID:    w.id,
+		HeartbeatMS: s.heartbeat.Milliseconds(),
+		DeadAfterMS: s.deadAfter.Milliseconds(),
+		PollMS:      s.poll.Milliseconds(),
+	}
+}
+
+// heartbeat refreshes a worker's liveness; false means the id is
+// unknown (reaped) and the worker must rejoin.
+func (s *scheduler) heartbeatFrom(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.workers[id]
+	if w == nil {
+		return false
+	}
+	w.lastBeat = s.now()
+	return true
+}
+
+// leave deregisters a worker gracefully, re-queueing whatever it still
+// holds.
+func (s *scheduler) leave(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w := s.workers[id]; w != nil {
+		s.left++
+		s.evict(w)
+	}
+}
+
+// reap declares every worker silent past the dead interval dead and
+// re-queues its chunks whole. Called periodically by the coordinator.
+func (s *scheduler) reap() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cut := s.now().Add(-s.deadAfter)
+	// Snapshot: evict edits s.order.
+	stale := make([]*workerState, 0, 2)
+	for _, w := range s.order {
+		if w.lastBeat.Before(cut) {
+			stale = append(stale, w)
+		}
+	}
+	for _, w := range stale {
+		s.dead++
+		s.evict(w)
+	}
+}
+
+// evict removes a worker and re-queues its unresolved chunks whole —
+// queued and in-flight alike — round-robin over the survivors (the
+// orphan queue when there are none). Callers hold mu.
+func (s *scheduler) evict(w *workerState) {
+	delete(s.workers, w.id)
+	for i, o := range s.order {
+		if o == w {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	chunks := w.queue.drain(nil)
+	for _, c := range w.inflight {
+		chunks = append(chunks, c)
+	}
+	// In-flight map iteration is unordered; requeue deterministically by
+	// chunk id so recovery placement is reproducible too.
+	sortChunks(chunks)
+	for _, c := range chunks {
+		if c.resolved {
+			continue
+		}
+		s.requeued++
+		s.place(c, "requeue")
+	}
+	s.wakeAll()
+}
+
+// place assigns one chunk round-robin over the live workers in join
+// order, or parks it with the orphans. Callers hold mu.
+func (s *scheduler) place(c *chunk, kind string) {
+	if len(s.order) == 0 {
+		s.orphans.push(c)
+		return
+	}
+	w := s.order[s.rr%len(s.order)]
+	s.rr++
+	w.queue.push(c)
+	s.record(c, w, kind)
+}
+
+// enqueue shards a batch's chunks across the fleet and wakes pullers.
+func (s *scheduler) enqueue(chunks []*chunk) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range chunks {
+		s.next++
+		c.id = s.next
+		s.outstanding[c.id] = c
+		s.place(c, "assign")
+	}
+	s.wakeAll()
+}
+
+// pull returns the next chunk for a worker: the front of its own queue,
+// an orphan, or — when both are empty — the back of the longest live
+// queue (a steal from the straggler). With no work anywhere it parks up
+// to the poll window and retries, returning nil on timeout. A pull
+// refreshes the worker's heartbeat.
+func (s *scheduler) pull(ctx context.Context, id string) (*chunk, error) {
+	timeout := time.NewTimer(s.poll)
+	defer timeout.Stop()
+	for {
+		s.mu.Lock()
+		w := s.workers[id]
+		if w == nil {
+			s.mu.Unlock()
+			return nil, errUnknownWorker
+		}
+		w.lastBeat = s.now()
+		if c := s.take(w); c != nil {
+			w.inflight[c.id] = c
+			s.dispatched++
+			s.mu.Unlock()
+			return c, nil
+		}
+		wake := s.wake
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timeout.C:
+			return nil, nil
+		case <-wake:
+		}
+	}
+}
+
+// take pops the next unresolved chunk for a worker. Callers hold mu.
+func (s *scheduler) take(w *workerState) *chunk {
+	for c := w.queue.popFront(); c != nil; c = w.queue.popFront() {
+		if !c.resolved {
+			return c
+		}
+	}
+	for c := s.orphans.popFront(); c != nil; c = s.orphans.popFront() {
+		if !c.resolved {
+			s.record(c, w, "requeue")
+			return c
+		}
+	}
+	// Steal from the longest live queue, join order breaking ties — the
+	// victim keeps its front (oldest) chunks, the thief takes the back.
+	var victim *workerState
+	for _, o := range s.order {
+		if o != w && o.queue.len() > 0 && (victim == nil || o.queue.len() > victim.queue.len()) {
+			victim = o
+		}
+	}
+	if victim != nil {
+		for c := victim.queue.popBack(); c != nil; c = victim.queue.popBack() {
+			if !c.resolved {
+				s.stolen++
+				s.record(c, w, "steal")
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// complete accepts a chunk's results: the chunk is resolved wherever it
+// currently sits, and the posting worker's in-flight slot is cleared.
+// It returns nil when the chunk is unknown or already resolved (a
+// zombie's late post after a requeue-and-recompute, or a dropped
+// batch) — the caller discards the results.
+func (s *scheduler) complete(workerID string, chunkID uint64) *chunk {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w := s.workers[workerID]; w != nil {
+		w.lastBeat = s.now()
+		delete(w.inflight, chunkID)
+	}
+	c := s.outstanding[chunkID]
+	if c == nil {
+		return nil
+	}
+	delete(s.outstanding, chunkID)
+	c.resolved = true
+	s.completed++
+	return c
+}
+
+// dropBatch resolves every outstanding chunk of a batch (cancellation):
+// queued copies are skipped lazily, in-flight results will be
+// discarded on arrival.
+func (s *scheduler) dropBatch(b *batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, c := range s.outstanding {
+		if c.b == b {
+			c.resolved = true
+			delete(s.outstanding, id)
+		}
+	}
+}
+
+// reclaim hands a batch's unresolved chunks back to the caller —
+// the no-live-workers fallback. Only orphaned chunks can exist then;
+// they are removed from outstanding and returned sorted by id.
+func (s *scheduler) reclaim(b *batch) []*chunk {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.order) > 0 {
+		return nil
+	}
+	var out []*chunk
+	for id, c := range s.outstanding {
+		if c.b == b {
+			c.resolved = true // queued copies skip lazily
+			delete(s.outstanding, id)
+			out = append(out, c)
+		}
+	}
+	sortChunks(out)
+	return out
+}
+
+// liveCount reports the number of live workers.
+func (s *scheduler) liveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// stats snapshots the fleet block for the health report.
+func (s *scheduler) stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Workers:    len(s.order),
+		Dead:       s.dead,
+		Left:       s.left,
+		Dispatched: s.dispatched,
+		Completed:  s.completed,
+		Stolen:     s.stolen,
+		Requeued:   s.requeued,
+	}
+	st.Pending = s.orphans.unresolved()
+	for _, w := range s.order {
+		st.Pending += w.queue.unresolved()
+		st.InFlight += len(w.inflight)
+	}
+	return st
+}
+
+// sortChunks orders chunks by id (insertion sort; requeue sets are a
+// handful of chunks).
+func sortChunks(cs []*chunk) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].id < cs[j-1].id; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/resultstore"
+	"repro/internal/scenario"
+)
+
+// ErrStoreDegraded is returned by Worker.Run when the worker's disk
+// store has fallen into read-only degraded mode: the worker self-evicts
+// (deregisters and stops pulling), because results it computes from
+// then on would not persist — a machine with a failing disk should
+// drain from the fleet, not keep absorbing work. The coordinator
+// re-queues nothing in this case: the worker finishes and posts its
+// current chunk before leaving.
+var ErrStoreDegraded = errors.New("fleet: worker result store degraded; self-evicting")
+
+// Worker pulls chunks from a coordinator and evaluates them on its own
+// engine. Zero value is not usable; fill the exported fields and call
+// Run.
+type Worker struct {
+	// Base is the coordinator's base URL (http://host:port).
+	Base string
+	// Client is the HTTP client (nil means http.DefaultClient; use
+	// traffic.SharedClient for the tuned pool).
+	Client *http.Client
+	// Eng evaluates this worker's chunks; its result store is the
+	// worker's local cache (a disk store makes it persistent).
+	Eng *engine.Engine
+	// Name labels the worker in the coordinator's health report.
+	Name string
+	// Disk, when non-nil, is checked after every chunk: a degraded
+	// store self-evicts the worker (see ErrStoreDegraded).
+	Disk *resultstore.Disk
+	// EvalDelay adds a deterministic per-point latency before each
+	// evaluation — the synthetic cost knob for scheduler drills and the
+	// speedup harness (the model solver is microseconds per point,
+	// cheaper than one network hop; real fleets exist for workloads
+	// where this is milliseconds or more).
+	EvalDelay time.Duration
+
+	mu    sync.Mutex
+	id    string
+	reply JoinReply
+	lost  bool // a 404 told us the coordinator forgot us; rejoin
+
+	// specs caches spec expansions keyed by specSum so one sweep's
+	// chunks expand once.
+	specs map[uint64][]engine.Job
+}
+
+// Run joins the coordinator and serves work until ctx fires (graceful:
+// a leave is posted) or the local store degrades (ErrStoreDegraded,
+// also after a leave). Transient coordinator unavailability is retried
+// with a flat backoff; a coordinator that forgot this worker (404) is
+// rejoined transparently.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil {
+		w.Client = http.DefaultClient
+	}
+	if w.specs == nil {
+		w.specs = make(map[uint64][]engine.Job)
+	}
+	if err := w.join(ctx); err != nil {
+		return err
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go w.heartbeatLoop(hbCtx)
+	for {
+		if err := ctx.Err(); err != nil {
+			w.leave()
+			return nil
+		}
+		if w.rejoinNeeded() {
+			if err := w.join(ctx); err != nil {
+				return err
+			}
+		}
+		ch, status, err := w.pullWork(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				w.leave()
+				return nil
+			}
+			if status == http.StatusNotFound {
+				w.markLost()
+				continue
+			}
+			// Coordinator unreachable; back off and retry (it may be
+			// restarting — our registration dies with it, the 404 on
+			// reconnect triggers the rejoin).
+			if serr := sleepCtx(ctx, 100*time.Millisecond); serr != nil {
+				w.leave()
+				return nil
+			}
+			continue
+		}
+		if ch == nil {
+			continue // long-poll window expired empty
+		}
+		result, ok := w.evaluate(ctx, ch)
+		if !ok {
+			// Cancelled mid-chunk: post nothing — the coordinator
+			// re-queues the whole chunk when our registration lapses, so
+			// no point is ever half-reported.
+			continue
+		}
+		if err := w.postResult(ctx, result); err != nil {
+			// The chunk's results could not be delivered. Drop our
+			// registration: the coordinator will re-queue the chunk when
+			// it declares us dead (or already has), and we start fresh.
+			w.markLost()
+			continue
+		}
+		if w.Disk != nil && w.Disk.Degraded() != nil {
+			w.leave()
+			return ErrStoreDegraded
+		}
+	}
+}
+
+// ID returns the worker's current registration (empty before join).
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+func (w *Worker) markLost() {
+	w.mu.Lock()
+	w.lost = true
+	w.mu.Unlock()
+}
+
+func (w *Worker) rejoinNeeded() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lost
+}
+
+// join registers (or re-registers) with the coordinator, retrying
+// until ctx fires.
+func (w *Worker) join(ctx context.Context) error {
+	body, _ := json.Marshal(JoinRequest{Name: w.Name})
+	for {
+		var reply JoinReply
+		status, err := w.post(ctx, "/fleet/v1/join", body, &reply)
+		if err == nil && status == http.StatusOK && reply.WorkerID != "" {
+			w.mu.Lock()
+			w.id, w.reply, w.lost = reply.WorkerID, reply, false
+			w.mu.Unlock()
+			return nil
+		}
+		if serr := sleepCtx(ctx, 100*time.Millisecond); serr != nil {
+			return serr
+		}
+	}
+}
+
+// leave posts a best-effort deregistration (bounded, not ctx-bound:
+// the caller's context is typically already cancelled).
+func (w *Worker) leave() {
+	id := w.ID()
+	if id == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	body, _ := json.Marshal(Heartbeat{WorkerID: id})
+	w.post(ctx, "/fleet/v1/leave", body, nil)
+}
+
+// heartbeatLoop beats at the coordinator's requested cadence. A 404
+// flags the main loop to rejoin; transport errors are left to the
+// pull loop's own retry (beating a dead coordinator adds nothing).
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		w.mu.Lock()
+		every := time.Duration(w.reply.HeartbeatMS) * time.Millisecond
+		id := w.id
+		w.mu.Unlock()
+		if every <= 0 {
+			every = DefaultHeartbeat
+		}
+		if err := sleepCtx(ctx, every); err != nil {
+			return
+		}
+		body, _ := json.Marshal(Heartbeat{WorkerID: id})
+		status, _ := w.post(ctx, "/fleet/v1/heartbeat", body, nil)
+		if status == http.StatusNotFound {
+			w.markLost()
+		}
+	}
+}
+
+// pullWork long-polls the next chunk: (nil, 200-class, nil) means the
+// window expired empty.
+func (w *Worker) pullWork(ctx context.Context) (*WireChunk, int, error) {
+	body, _ := json.Marshal(WorkRequest{WorkerID: w.ID()})
+	var ch WireChunk
+	status, err := w.post(ctx, "/fleet/v1/work", body, &ch)
+	if err != nil {
+		return nil, status, err
+	}
+	if status == http.StatusNoContent {
+		return nil, status, nil
+	}
+	return &ch, status, nil
+}
+
+// evaluate runs one chunk through the local engine. Point failures are
+// reported per point; a chunk that cannot be evaluated at all (bad
+// spec, bad index) reports a chunk-level error. ok is false when the
+// context fired mid-chunk — the result must not be posted.
+func (w *Worker) evaluate(ctx context.Context, ch *WireChunk) (ChunkResult, bool) {
+	out := ChunkResult{WorkerID: w.ID(), ChunkID: ch.ID}
+	jobs, err := w.expand(ch.Spec)
+	if err != nil {
+		out.Error = err.Error()
+		return out, true
+	}
+	out.Points = make([]PointResult, 0, len(ch.Indexes))
+	for _, idx := range ch.Indexes {
+		if idx < 0 || idx >= len(jobs) {
+			return ChunkResult{WorkerID: out.WorkerID, ChunkID: ch.ID,
+				Error: fmt.Sprintf("index %d out of range (%d points)", idx, len(jobs))}, true
+		}
+		if w.EvalDelay > 0 {
+			if err := sleepCtx(ctx, w.EvalDelay); err != nil {
+				return out, false
+			}
+		}
+		res, err := w.Eng.Run(jobs[idx])
+		pt := PointResult{Index: idx}
+		if err != nil {
+			pt.Error = err.Error()
+		} else {
+			// The Workload descriptor does not travel; the coordinator
+			// reattaches its own (content-identical) descriptor at commit.
+			res.Workload = nil
+			pt.Result = &res
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, true
+}
+
+// expand parses and expands a spec, cached by content hash.
+func (w *Worker) expand(spec []byte) ([]engine.Job, error) {
+	sum := specSum(spec)
+	w.mu.Lock()
+	jobs, ok := w.specs[sum]
+	w.mu.Unlock()
+	if ok {
+		return jobs, nil
+	}
+	sp, err := scenario.ParseSpec(spec, "chunk")
+	if err != nil {
+		return nil, err
+	}
+	_, jobs, err = sp.Expand()
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if len(w.specs) >= 8 {
+		// A tiny cache only needs a tiny eviction policy.
+		for k := range w.specs {
+			delete(w.specs, k)
+			break
+		}
+	}
+	w.specs[sum] = jobs
+	w.mu.Unlock()
+	return jobs, nil
+}
+
+// postResult delivers a chunk's results with a short retry.
+func (w *Worker) postResult(ctx context.Context, cr ChunkResult) error {
+	body, err := json.Marshal(cr)
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 0; attempt < 3; attempt++ {
+		status, err := w.post(ctx, "/fleet/v1/result", body, nil)
+		if err == nil && status < 300 {
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("fleet: POST /fleet/v1/result: status %d", status)
+		}
+		last = err
+		if serr := sleepCtx(ctx, 50*time.Millisecond); serr != nil {
+			return serr
+		}
+	}
+	return last
+}
+
+// post runs one JSON POST, decoding the reply into out when it is
+// non-nil and the response carries a body.
+func (w *Worker) post(ctx context.Context, path string, body []byte, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return resp.StatusCode, fmt.Errorf("fleet: POST %s: %s: %s",
+			path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := decodeStrict(resp.Body, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// sleepCtx waits out d or ctx, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -190,9 +190,26 @@ func PointsFromSpec(sp scenario.Spec, sock *platform.Socket) ([]Point, error) {
 	return out, nil
 }
 
+// BatchRunner is the slice of the evaluation engine the planner needs:
+// cancellable batch evaluation with results in submission order.
+// *engine.Engine satisfies it directly; the session layer substitutes
+// an executor-backed runner so plan rounds dispatch across a fleet of
+// workers exactly like sweep batches, byte-identically (the planner is
+// a pure function of the results it gets back).
+type BatchRunner interface {
+	RunBatchCtx(ctx context.Context, jobs []engine.Job) ([]workload.Result, error)
+}
+
+// Engine is the planner's full engine surface: batch evaluation plus
+// the socket the point space is derived from.
+type Engine interface {
+	BatchRunner
+	Socket() *platform.Socket
+}
+
 // RunSpec resolves a spec through the planner: the spec's "plan" block
 // configures it (absent means all defaults).
-func RunSpec(ctx context.Context, eng *engine.Engine, sp scenario.Spec, obs func(Progress)) (*Result, error) {
+func RunSpec(ctx context.Context, eng Engine, sp scenario.Spec, obs func(Progress)) (*Result, error) {
 	points, err := PointsFromSpec(sp, eng.Socket())
 	if err != nil {
 		return nil, err
@@ -224,7 +241,7 @@ func BudgetFor(points []Point, cfg scenario.Plan) int {
 // Run resolves the point space. Every real evaluation flows through the
 // engine (one batch per round), so points land in its result store and
 // re-serve as cache hits on later runs.
-func Run(ctx context.Context, eng *engine.Engine, points []Point, opts Options) (*Result, error) {
+func Run(ctx context.Context, eng BatchRunner, points []Point, opts Options) (*Result, error) {
 	cfg := opts.Plan
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("planner: %w", err)
@@ -419,7 +436,7 @@ func capToBudget(perGroup [][]int, groups groupSet, budget int) []int {
 
 // evaluate runs the indexed points as one engine batch and records the
 // round.
-func evaluate(ctx context.Context, eng *engine.Engine, res *Result, idxs []int, phase string, obs func(Progress)) error {
+func evaluate(ctx context.Context, eng BatchRunner, res *Result, idxs []int, phase string, obs func(Progress)) error {
 	round := Round{N: len(res.Rounds) + 1, Phase: phase, Evaluated: len(idxs)}
 	if len(idxs) > 0 {
 		jobs := make([]engine.Job, len(idxs))

@@ -399,6 +399,20 @@ func (d *Disk) Acquire(k Key) (*Entry, bool) {
 	return d.mem.Acquire(k)
 }
 
+// Probe reports whether a completed result for the key is resident —
+// the read-only remote-lookup seam (see Prober). Like Acquire it faults
+// in the covering v2 block first, so compacted records answer probes
+// without a singleflight slot ever being created for a mere lookup.
+func (d *Disk) Probe(k Key) bool {
+	if e := d.mem.lookup(k); e != nil {
+		return e.Done()
+	}
+	if s := d.seg2.Load(); s != nil && s.inRange(k.Fingerprint) {
+		d.fault(s, k.Fingerprint)
+	}
+	return d.mem.Probe(k)
+}
+
 // fault decodes every not-yet-loaded v2 block whose fingerprint range
 // covers fp and seeds its records (records already resident — v1
 // overrides, or process-computed entries — win). A block that fails its

@@ -38,6 +38,7 @@ package resultstore
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/memsys"
 	"repro/internal/workload"
@@ -94,7 +95,22 @@ type Entry struct {
 	// (descriptors are not persisted; the engine reattaches the job's
 	// descriptor inside Once at first use).
 	Seeded bool
+
+	// done flips once the entry is complete: seeded at restore, or
+	// marked by the completing goroutine (MarkDone, inside Once). It is
+	// what Probe reports — an acquired-but-still-computing entry is not
+	// yet a remotely servable result.
+	done atomic.Bool
 }
+
+// MarkDone marks the entry complete. Called exactly once, by the
+// goroutine that completed the entry inside its Once (stores seed
+// restored entries as already done).
+func (e *Entry) MarkDone() { e.done.Store(true) }
+
+// Done reports whether the entry has been completed (or restored
+// pre-completed from a persistent store).
+func (e *Entry) Done() bool { return e.done.Load() || e.Seeded }
 
 // Store is the pluggable result cache the engine runs against.
 //
@@ -119,6 +135,23 @@ type Store interface {
 	// Close flushes and releases any resources. The store must not be
 	// used after Close.
 	Close() error
+}
+
+// Prober is the optional remote-lookup seam a Store may implement: a
+// read-only probe reporting whether a completed result for the key is
+// already resident, without creating a singleflight slot. The fleet
+// coordinator probes before dispatching a chunk so points any worker
+// (or a previous process) already evaluated are served from the shared
+// store instead of travelling the wire again. Both shipped stores
+// implement it; Disk's probe faults in the covering v2 block first, so
+// a compacted million-point store answers probes lazily, exactly like
+// Acquire.
+type Prober interface {
+	// Probe reports whether a completed (or seeded) result for the key
+	// is resident. In-flight computations report false: the point is not
+	// yet servable and a concurrent evaluation elsewhere is harmless —
+	// the singleflight Once keeps the first completion authoritative.
+	Probe(k Key) bool
 }
 
 // shardCount spreads the cache across independent locks so worker-pool
@@ -193,6 +226,13 @@ func (s *Memory) lookup(k Key) *Entry {
 	e := sh.m[k]
 	sh.mu.RUnlock()
 	return e
+}
+
+// Probe reports whether a completed result for the key is resident —
+// the read-only remote-lookup seam (see Prober). Allocation-free.
+func (s *Memory) Probe(k Key) bool {
+	e := s.lookup(k)
+	return e != nil && e.Done()
 }
 
 // seed installs a pre-completed entry for a key — the path persistent

@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/planner"
 	"repro/internal/scenario"
+	"repro/internal/workload"
 )
 
 // PlanStatus is a point-in-time snapshot of a plan session.
@@ -268,11 +269,30 @@ func (m *Manager) SubmitPlanWith(sp scenario.Spec, opts SubmitOptions) (*PlanSes
 	go func() {
 		defer m.wg.Done()
 		defer cancel()
-		res, err := planner.Run(ctx, m.eng, points, popts)
+		res, err := planner.Run(ctx, execRunner{exec: m.exec, sp: sp}, points, popts)
 		s.finish(res, err)
 		m.evict()
 	}()
 	return s, nil
+}
+
+// execRunner adapts the manager's pluggable executor to the planner's
+// BatchRunner, so plan rounds run through the same execution path as
+// sweep batches — on the engine by default, across a fleet when a
+// coordinator is installed. The spec rides along because a fleet
+// executor re-derives each job wire-side from the spec's deterministic
+// expansion.
+type execRunner struct {
+	exec Executor
+	sp   scenario.Spec
+}
+
+func (r execRunner) RunBatchCtx(ctx context.Context, jobs []engine.Job) ([]workload.Result, error) {
+	results := make([]workload.Result, len(jobs))
+	err := r.exec.ExecuteBatch(ctx, r.sp, jobs, func(i int, res workload.Result) {
+		results[i] = res
+	})
+	return results, err
 }
 
 // GetPlan returns a plan session by id.

@@ -256,10 +256,33 @@ func (s *Session) Outcomes(ctx context.Context) ([]scenario.Outcome, error) {
 // though the session id itself has become a 404.
 const DefaultRetain = 1024
 
+// Executor is the pluggable batch execution path behind sessions: it
+// evaluates a spec's jobs, invoking done once per successfully
+// evaluated job (from arbitrary goroutines, possibly out of submission
+// order — exactly engine.RunBatchFunc's contract), and returns the
+// batch error with engine semantics (first failure in submission
+// order, or the wrapped context error on cancellation). The default
+// executor runs batches on the manager's engine; a fleet coordinator
+// substitutes itself via SetExecutor so the same sessions — sweeps and
+// plan rounds alike — dispatch across workers with byte-identical
+// streams, ordering, cancellation and error text.
+type Executor interface {
+	ExecuteBatch(ctx context.Context, sp scenario.Spec, jobs []engine.Job, done func(i int, res workload.Result)) error
+}
+
+// engineExecutor is the default executor: the manager's own engine.
+type engineExecutor struct{ eng *engine.Engine }
+
+func (x engineExecutor) ExecuteBatch(ctx context.Context, _ scenario.Spec, jobs []engine.Job, done func(i int, res workload.Result)) error {
+	_, err := x.eng.RunBatchFunc(ctx, jobs, done)
+	return err
+}
+
 // Manager owns the sessions (exhaustive sweeps and adaptive plans)
 // running on one engine.
 type Manager struct {
-	eng *engine.Engine
+	eng  *engine.Engine
+	exec Executor
 
 	mu       sync.Mutex
 	seq      int
@@ -274,10 +297,22 @@ type Manager struct {
 func NewManager(eng *engine.Engine) *Manager {
 	return &Manager{
 		eng:      eng,
+		exec:     engineExecutor{eng},
 		retain:   DefaultRetain,
 		sessions: make(map[string]*Session),
 		plans:    make(map[string]*PlanSession),
 	}
+}
+
+// SetExecutor replaces the batch execution path for subsequently
+// submitted sessions (nil restores the engine-backed default). Call it
+// before serving submissions; it is not synchronized with in-flight
+// sessions.
+func (m *Manager) SetExecutor(x Executor) {
+	if x == nil {
+		x = engineExecutor{m.eng}
+	}
+	m.exec = x
 }
 
 // SetRetain overrides the retention cap. n <= 0 disables eviction
@@ -433,7 +468,7 @@ func (m *Manager) SubmitWith(sp scenario.Spec, opts SubmitOptions) (*Session, er
 	go func() {
 		defer m.wg.Done()
 		defer cancel()
-		_, err := m.eng.RunBatchFunc(ctx, jobs, s.complete)
+		err := m.exec.ExecuteBatch(ctx, sp, jobs, s.complete)
 		s.finish(err)
 		m.evict()
 	}()

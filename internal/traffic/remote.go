@@ -41,6 +41,30 @@ type RetryPolicy struct {
 // maxBackoff caps the exponential backoff window.
 const maxBackoff = 30 * time.Second
 
+// NewTransport returns an HTTP transport tuned for sustained traffic
+// against a handful of daemons: http.DefaultTransport's dialing and
+// timeout behaviour with the idle pool widened. The default transport
+// keeps only 2 idle connections per host, so a high-rate replay (or a
+// fleet worker's pull/result loop) above that concurrency tears down
+// and re-dials connections on every burst; 64 per host keeps one
+// warm connection per in-flight stream at any realistic -concurrency.
+func NewTransport() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	return t
+}
+
+// sharedClient is the process-wide tuned client: one transport (one
+// connection pool) shared by every remote target and fleet worker, so
+// connection reuse spans targets pointing at the same daemon.
+var sharedClient = &http.Client{Transport: NewTransport()}
+
+// SharedClient returns the process-wide HTTP client over the tuned
+// transport (see NewTransport). It has no overall request timeout —
+// NDJSON streams are open-ended; bound requests with contexts.
+func SharedClient() *http.Client { return sharedClient }
+
 // RemoteTarget drives a live nvmserve daemon over its HTTP API:
 // submissions POST to /v1/sweeps or /v1/plans, first-point latency is
 // observed on the NDJSON stream, and the terminal snapshot comes from
@@ -60,11 +84,13 @@ type RemoteTarget struct {
 }
 
 // NewRemoteTarget wraps a daemon base URL (e.g. http://127.0.0.1:8080)
-// as a traffic target. client nil means http.DefaultClient; give the
-// streams no overall timeout — the driver's context bounds them.
+// as a traffic target. client nil means the process-wide tuned client
+// (SharedClient — widened idle pool, so replay concurrency above 2
+// reuses connections instead of re-dialing); give the streams no
+// overall timeout — the driver's context bounds them.
 func NewRemoteTarget(base string, client *http.Client) *RemoteTarget {
 	if client == nil {
-		client = http.DefaultClient
+		client = SharedClient()
 	}
 	return &RemoteTarget{
 		base:   strings.TrimRight(base, "/"),

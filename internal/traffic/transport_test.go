@@ -1,0 +1,115 @@
+package traffic
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The tuned transport keeps burst connections alive: two rounds of 8
+// concurrent requests against one host must open fewer connections
+// than the 16 a reuse-free client would — with a 64-deep idle pool the
+// second round rides the first round's connections.
+func TestTransportReusesConnectionsAcrossBursts(t *testing.T) {
+	var opened atomic.Int64
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	srv.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			opened.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	client := &http.Client{Transport: NewTransport()}
+	defer client.CloseIdleConnections()
+	burst := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := client.Get(srv.URL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}()
+		}
+		wg.Wait()
+	}
+	burst()
+	afterFirst := opened.Load()
+	if afterFirst > 8 {
+		t.Fatalf("first burst of 8 opened %d connections", afterFirst)
+	}
+	burst()
+	if total := opened.Load(); total >= 16 {
+		t.Errorf("two bursts of 8 opened %d connections, want reuse (< 16)", total)
+	}
+}
+
+// Sequential requests after a burst always reuse: the idle pool is
+// deeper than the burst, so not one extra dial happens.
+func TestTransportSequentialAfterBurstNoNewDials(t *testing.T) {
+	var opened atomic.Int64
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	srv.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			opened.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	client := &http.Client{Transport: NewTransport()}
+	defer client.CloseIdleConnections()
+	get := func() error {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		return resp.Body.Close()
+	}
+	if err := get(); err != nil {
+		t.Fatal(err)
+	}
+	after := opened.Load()
+	for i := 0; i < 16; i++ {
+		if err := get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total := opened.Load(); total != after {
+		t.Errorf("16 sequential requests dialed %d new connections, want 0", total-after)
+	}
+}
+
+// NewRemoteTarget with a nil client rides the shared tuned pool, and
+// the pool is wider than the default transport's 2-per-host cap.
+func TestSharedClientDefaults(t *testing.T) {
+	if NewRemoteTarget("http://x", nil).client != SharedClient() {
+		t.Error("nil-client RemoteTarget does not use the shared client")
+	}
+	tr, ok := SharedClient().Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("shared transport is %T", SharedClient().Transport)
+	}
+	if tr.MaxIdleConnsPerHost <= http.DefaultTransport.(*http.Transport).MaxIdleConnsPerHost {
+		t.Errorf("shared per-host idle pool %d not raised above the default", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConnsPerHost < 64 {
+		t.Errorf("per-host idle pool %d, want >= 64", tr.MaxIdleConnsPerHost)
+	}
+}
