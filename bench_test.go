@@ -208,6 +208,19 @@ func BenchmarkTrafficBursty(b *testing.B) { benchkit.TrafficBursty(b) }
 // baseline.
 func BenchmarkFleetScheduler(b *testing.B) { benchkit.FleetScheduler(b) }
 
+// BenchmarkFleetDispatchWindowed drives a cold 4096-point sweep through
+// the windowed dispatcher and the batched, compressed result path on
+// the same four-worker loopback fleet — the 100k-scale dispatch shape
+// at benchmark size. Reports per_point_ns (gated) and points_per_sec
+// (informational). Tracked by the benchkit baseline.
+func BenchmarkFleetDispatchWindowed(b *testing.B) { benchkit.FleetDispatchWindowed(b) }
+
+// BenchmarkFleetWirePoint serializes a coalesced 256-point result batch
+// exactly as workers post it and reports bytes/point on the wire before
+// (plain per-chunk JSON) and after (gzip-coalesced) compression.
+// Tracked by the benchkit baseline.
+func BenchmarkFleetWirePoint(b *testing.B) { benchkit.FleetWirePoint(b) }
+
 // BenchmarkMicroDeviceMatrix regenerates the Section II device
 // capability matrix (extension id "micro").
 func BenchmarkMicroDeviceMatrix(b *testing.B) { benchExperiment(b, "micro") }

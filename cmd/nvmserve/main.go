@@ -92,6 +92,7 @@ func main() {
 	join := flag.String("join", "", "coordinator base URL for -worker (e.g. http://127.0.0.1:8080)")
 	workerName := flag.String("worker-name", "", "worker label in the coordinator's health report (default host:pid)")
 	heartbeat := flag.Duration("fleet-heartbeat", fleet.DefaultHeartbeat, "coordinator: worker heartbeat cadence; a worker silent for 4x this is declared dead and its chunks re-queue")
+	fleetWindow := flag.Int("fleet-window", fleet.DefaultWindow, "coordinator: per-worker dispatch window — at most this many chunks queued-or-in-flight per live worker; chunk bookkeeping stays O(workers x window) regardless of sweep size")
 	workerDelay := flag.Duration("worker-delay", 0, "worker: deterministic extra latency per evaluated point — scheduler drills and CI smoke only")
 	flag.Parse()
 
@@ -142,9 +143,9 @@ func main() {
 	mgr.SetRetain(*retain)
 	var coord *fleet.Coordinator
 	if *fleetMode {
-		coord = fleet.New(eng, fleet.Options{Heartbeat: *heartbeat})
+		coord = fleet.New(eng, fleet.Options{Heartbeat: *heartbeat, Window: *fleetWindow})
 		mgr.SetExecutor(coord)
-		fmt.Printf("nvmserve: coordinator mode (heartbeat %s)\n", *heartbeat)
+		fmt.Printf("nvmserve: coordinator mode (heartbeat %s, window %d)\n", *heartbeat, *fleetWindow)
 	}
 	srv := &http.Server{Addr: *addr, Handler: (&server{
 		mgr:         mgr,

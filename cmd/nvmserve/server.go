@@ -109,7 +109,9 @@ func (s *server) health(w http.ResponseWriter, r *http.Request) {
 		"gc_cycles":  ms.NumGC,
 	}
 	if s.coord != nil {
-		doc["fleet"] = s.coord.Stats()
+		// The full analyzer document — per-worker throughput, latency
+		// quantiles and straggler flags — not just the counter block.
+		doc["fleet"] = s.coord.FleetStats()
 	}
 	if s.disk != nil {
 		doc["store_dir"] = s.disk.Dir()

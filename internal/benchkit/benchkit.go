@@ -48,9 +48,11 @@ type Record struct {
 	// they declare extra slack rather than flake.
 	TimeSlack float64 `json:"time_slack,omitempty"`
 	// Extras carries the benchmark's b.ReportMetric values (per-record
-	// median across runs, like ns/op). Latency-shaped extras (ns units)
-	// are host-dependent, so the gate compares them
-	// calibration-normalized like time/op, under the same TimeSlack.
+	// median across runs, like ns/op). Only latency-shaped extras —
+	// keys ending in "_ns" — are gated, compared calibration-normalized
+	// like time/op under the same TimeSlack; anything else
+	// (points_per_sec, bytes_per_point_*) is informational, since
+	// higher-is-worse does not hold for it.
 	Extras map[string]float64 `json:"extras,omitempty"`
 }
 
@@ -221,8 +223,8 @@ func (r Regression) String() string {
 
 // Gate compares a current suite against the baseline and returns every
 // regression: any allocs/op increase beyond a record's slack, and any
-// calibration-normalized time/op ratio above 1+timeTol (skipped when
-// either suite lacks calibration).
+// calibration-normalized time/op or "_ns"-extra ratio above 1+timeTol
+// (skipped when either suite lacks calibration).
 func Gate(base, cur Suite, timeTol float64) []Regression {
 	current := make(map[string]Record, len(cur.Records))
 	for _, r := range cur.Records {
@@ -251,10 +253,15 @@ func Gate(base, cur Suite, timeTol float64) []Regression {
 				})
 			}
 		}
-		// Extras (latency percentiles and the like) travel like time/op:
-		// host-dependent nanoseconds, gated calibration-normalized under
-		// the record's TimeSlack.
+		// Latency-shaped extras ("_ns" keys: percentiles, per-point
+		// times) travel like time/op: host-dependent nanoseconds, gated
+		// calibration-normalized under the record's TimeSlack. Other
+		// extras (throughputs, byte counts) are informational — the gate
+		// would read an improved points/sec as a regression.
 		for k, bv := range b.Extras {
+			if !strings.HasSuffix(k, "_ns") {
+				continue
+			}
 			cv, ok := c.Extras[k]
 			if !ok {
 				regs = append(regs, Regression{Name: b.Name + "/" + k, Kind: "missing"})

@@ -6,6 +6,7 @@ package benchkit
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -77,6 +78,19 @@ func Tracked() []Bench {
 		// swings with the network stack — generous slack, gate catches
 		// order-of-magnitude dispatch regressions.
 		{Name: "BenchmarkFleetScheduler", AllocSlack: 1 << 14, TimeSlack: 1.50, F: FleetScheduler},
+		// The 100k-scale dispatch shape at benchmark-friendly size: a
+		// 4096-point cold sweep through the windowed scheduler and the
+		// batched, compressed result path. Same envelope rationale as
+		// FleetScheduler, scaled by the 64x larger op; the gated extra
+		// per_point_ns pins dispatch cost per point, points_per_sec is
+		// the informational headline.
+		{Name: "BenchmarkFleetDispatchWindowed", AllocSlack: 1 << 17, TimeSlack: 1.50, F: FleetDispatchWindowed},
+		// Pure wire-format cost: serializing a coalesced 256-point result
+		// batch the way workers post it. CPU-bound (JSON + gzip), so the
+		// calibration spin normalizes it well; the bytes_per_point_*
+		// extras are informational (lower is better — the gate must not
+		// read a smaller payload as a regression).
+		{Name: "BenchmarkFleetWirePoint", AllocSlack: 32, TimeSlack: 0.25, F: FleetWirePoint},
 	}
 }
 
@@ -392,6 +406,140 @@ func FleetScheduler(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+var fleetWinSeq atomic.Uint64
+
+// FleetDispatchWindowed measures one 4096-point cold sweep through the
+// windowed dispatcher: 1024 fresh Scales values per iteration (a
+// different app than FleetScheduler, so the two benches never share
+// cache keys), carved adaptively under the per-worker window, pulled in
+// multi-chunk long-polls and posted back as gzip-coalesced batches by
+// the four fixture workers. Reports the gated per_point_ns and the
+// informational points_per_sec — the fleet's sustained dispatch
+// throughput at depth.
+func FleetDispatchWindowed(b *testing.B) {
+	coord, err := fleetFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pointsPerOp = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := fleetWinSeq.Add(1) * (pointsPerOp / 4)
+		scales := make([]float64, pointsPerOp/4)
+		for j := range scales {
+			scales[j] = 1 + float64(base+uint64(j))*1e-3
+		}
+		sp := scenario.Spec{
+			Name:    "bench-fleet-windowed",
+			Apps:    []string{"Hypre"},
+			Modes:   []memsys.Mode{memsys.DRAMOnly, memsys.CachedNVM},
+			Threads: []int{24, 48},
+			Scales:  scales,
+		}
+		_, jobs, err := sp.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(jobs) != pointsPerOp {
+			b.Fatalf("expanded %d jobs, want %d", len(jobs), pointsPerOp)
+		}
+		if err := coord.ExecuteBatch(context.Background(), sp, jobs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	total := float64(b.N) * pointsPerOp
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "per_point_ns")
+	b.ReportMetric(total/b.Elapsed().Seconds(), "points_per_sec")
+}
+
+// wireFixture builds one realistic coalesced result batch — 256
+// engine-evaluated points in four 64-point chunks, Workload descriptors
+// stripped as on the wire — plus the byte size the same points cost as
+// plain per-chunk JSON posts (the pre-batching wire format).
+var (
+	wireOnce       sync.Once
+	wireBatch      fleet.ResultBatch
+	wirePlainBytes int
+	wireErr        error
+)
+
+func wireFixture() (fleet.ResultBatch, int, error) {
+	wireOnce.Do(func() {
+		sp := scenario.Spec{
+			Name:    "bench-fleet-wire",
+			Apps:    []string{"XSBench"},
+			Modes:   []memsys.Mode{memsys.DRAMOnly, memsys.CachedNVM},
+			Threads: []int{24, 48},
+			Scales:  make([]float64, 64),
+		}
+		for i := range sp.Scales {
+			sp.Scales[i] = 1 + float64(i)/512
+		}
+		_, jobs, err := sp.Expand()
+		if err != nil {
+			wireErr = err
+			return
+		}
+		eng := engine.New(platform.NewPurley().Socket(0), 1)
+		wireBatch = fleet.ResultBatch{WorkerID: "w-000001"}
+		for lo := 0; lo < len(jobs); lo += 64 {
+			cr := fleet.ChunkResult{WorkerID: "w-000001", ChunkID: uint64(1 + lo/64), ElapsedUS: 1000}
+			for i := lo; i < min(lo+64, len(jobs)); i++ {
+				res, err := eng.Run(jobs[i])
+				if err != nil {
+					wireErr = err
+					return
+				}
+				res.Workload = nil
+				cr.Points = append(cr.Points, fleet.PointResult{Index: i, Result: &res})
+			}
+			body, err := json.Marshal(cr)
+			if err != nil {
+				wireErr = err
+				return
+			}
+			wirePlainBytes += len(body)
+			wireBatch.Results = append(wireBatch.Results, cr)
+		}
+	})
+	return wireBatch, wirePlainBytes, wireErr
+}
+
+// FleetWirePoint measures serializing that batch exactly as the worker
+// result path does (pooled JSON encode + gzip) and reports what a point
+// costs on the wire: bytes_per_point_plain is the pre-batching format
+// (one JSON document per chunk, uncompressed), bytes_per_point_gzip the
+// coalesced compressed batch. Both extras are informational; ns/op and
+// allocs/op carry the gate.
+func FleetWirePoint(b *testing.B) {
+	rb, plainBytes, err := wireFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := 0
+	for i := range rb.Results {
+		points += len(rb.Results[i].Points)
+	}
+	gzBytes := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, gzipped, err := fleet.EncodeResultBatch(rb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !gzipped {
+			b.Fatal("result batch below the compression floor")
+		}
+		gzBytes = len(body)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(plainBytes)/float64(points), "bytes_per_point_plain")
+	b.ReportMetric(float64(gzBytes)/float64(points), "bytes_per_point_gzip")
 }
 
 // EngineCacheHit measures a fully cached engine evaluation — the common

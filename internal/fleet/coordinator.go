@@ -1,12 +1,14 @@
 package fleet
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +33,15 @@ type Options struct {
 	// Heartbeat, DeadAfter, Poll override the default cadence (zero
 	// keeps each default).
 	Heartbeat, DeadAfter, Poll time.Duration
+	// Window is the per-worker dispatch window: at most this many
+	// chunks queued-or-in-flight per live worker before the scheduler
+	// stops carving (zero means DefaultWindow). Coordinator chunk
+	// bookkeeping is O(workers × Window), independent of sweep size.
+	Window int
+	// StragglerFactor is the analyzer's flagging threshold k: a worker
+	// whose p50 per-point latency exceeds k× the fleet median is
+	// reported as a straggler (zero means DefaultStragglerFactor).
+	StragglerFactor float64
 	// Now injects a clock for liveness decisions (tests); nil means
 	// time.Now.
 	Now func() time.Time
@@ -52,8 +63,12 @@ type Coordinator struct {
 	batchSeq            atomic.Uint64
 	localPts, remotePts atomic.Uint64
 	coalesced, fellBack atomic.Uint64
-	stop                chan struct{}
-	stopOnce            sync.Once
+	// Result-wire accounting: posts received, how many arrived
+	// gzip-compressed, and the on-the-wire (post-compression) bytes.
+	resultPosts, resultPostsGzip atomic.Uint64
+	resultWireBytes              atomic.Uint64
+	stop                         chan struct{}
+	stopOnce                     sync.Once
 }
 
 // flight marks a key dispatched-but-uncommitted, with the sessions
@@ -84,7 +99,7 @@ func New(eng *engine.Engine, opts Options) *Coordinator {
 	}
 	c := &Coordinator{
 		eng:     eng,
-		sched:   newScheduler(opts.Heartbeat, opts.DeadAfter, opts.Poll, opts.Now),
+		sched:   newScheduler(opts.Heartbeat, opts.DeadAfter, opts.Poll, opts.Window, opts.StragglerFactor, opts.Now),
 		flights: make(map[resultstore.Key]*flight),
 		stop:    make(chan struct{}),
 	}
@@ -131,6 +146,13 @@ type CoordinatorStats struct {
 	// Fallbacks counts batches (or batch remainders) that reverted to
 	// local evaluation.
 	Fallbacks uint64 `json:"fallbacks"`
+	// ResultPosts counts result posts accepted; ResultPostsGzip how
+	// many of them arrived gzip-compressed; ResultBytesWire the
+	// as-received (post-compression) body bytes — the wire-efficiency
+	// counters the CI smoke asserts on.
+	ResultPosts     uint64 `json:"result_posts"`
+	ResultPostsGzip uint64 `json:"result_posts_gzip"`
+	ResultBytesWire uint64 `json:"result_bytes_wire"`
 }
 
 func (c *Coordinator) Stats() CoordinatorStats {
@@ -140,6 +162,22 @@ func (c *Coordinator) Stats() CoordinatorStats {
 		PointsRemote:    c.remotePts.Load(),
 		PointsCoalesced: c.coalesced.Load(),
 		Fallbacks:       c.fellBack.Load(),
+		ResultPosts:     c.resultPosts.Load(),
+		ResultPostsGzip: c.resultPostsGzip.Load(),
+		ResultBytesWire: c.resultWireBytes.Load(),
+	}
+}
+
+// FleetStats snapshots the full /fleet/v1/stats document: the counter
+// block plus the straggler analyzer's per-worker rows.
+func (c *Coordinator) FleetStats() FleetStats {
+	rows, medMS := c.sched.health()
+	return FleetStats{
+		CoordinatorStats: c.Stats(),
+		Window:           c.sched.window,
+		StragglerFactor:  c.sched.straggler,
+		MedianP50PointMS: medMS,
+		PerWorker:        rows,
 	}
 }
 
@@ -148,8 +186,12 @@ type batch struct {
 	id      string
 	encoded []byte
 	jobs    []engine.Job
-	posOf   map[int]int // expansion index -> batch position
-	done    func(i int, res workload.Result)
+	// identity marks the common cold-sweep case where batch position i
+	// IS expansion index i (the session submitted the spec's own
+	// expansion, in order) — no per-point map is materialized at all.
+	identity bool
+	posOf    map[int]int // expansion index -> batch position (nil when identity)
+	done     func(i int, res workload.Result)
 
 	mu        sync.Mutex
 	errs      []error
@@ -157,6 +199,18 @@ type batch struct {
 	dropped   bool
 	cancelled bool
 	doneCh    chan struct{}
+}
+
+// pos maps an expansion index to its batch position.
+func (b *batch) pos(exp int) (int, bool) {
+	if b.identity {
+		if exp >= 0 && exp < len(b.jobs) {
+			return exp, true
+		}
+		return 0, false
+	}
+	p, ok := b.posOf[exp]
+	return p, ok
 }
 
 // settle records one position's outcome, forwarding successes to the
@@ -183,21 +237,81 @@ func (b *batch) settle(pos int, res workload.Result, err error) {
 	}
 }
 
-// chunkTarget sizes chunks so each live worker sees a few of them —
-// enough granularity for stealing to rebalance, few enough that the
-// per-chunk HTTP round trip amortizes.
+// chunkTarget is the cold-start chunk size: points spread four chunks
+// deep per live worker — enough granularity for stealing to rebalance,
+// few enough that the per-chunk HTTP round trip amortizes. The clamp
+// is maxChunkPoints (256): with windowed dispatch the chunk count no
+// longer scales with sweep size (the scheduler carves lazily, at most
+// window chunks per worker), so the old 32-point ceiling — which at
+// 100k points forced 3000+ resident chunk structs — would only add
+// round trips. Once a worker's throughput is measured, the adaptive
+// sizer (scheduler.sizeFor) takes over and this formula is just the
+// seed.
 func chunkTarget(points, workers int) int {
 	if workers < 1 {
 		workers = 1
 	}
 	size := (points + 4*workers - 1) / (4 * workers)
-	if size < 1 {
-		size = 1
+	if size < minChunkPoints {
+		size = minChunkPoints
 	}
-	if size > 32 {
-		size = 32
+	if size > maxChunkPoints {
+		size = maxChunkPoints
 	}
 	return size
+}
+
+// expansionMap relates batch positions to the spec's expansion indexes
+// without materializing the expansion. The fast path — the session
+// submitted exactly the spec's own expansion, in order, as every cold
+// sweep does — streams the enumeration once to verify keys match
+// positionally and returns identity=true with no allocation per point.
+// Otherwise (plan rounds submit subsets) it builds an O(len(jobs)) map
+// from wanted keys to expansion indexes; expOf[i] is then jobs[i]'s
+// expansion index, -1 when the job is not expressible on the wire.
+func expansionMap(sp scenario.Spec, jobs []engine.Job) (identity bool, expOf []int, err error) {
+	if len(jobs) == sp.Size() {
+		match := true
+		err = sp.EachPoint(func(i int, _ scenario.Meta, ej engine.Job) bool {
+			if jobs[i].Workload == nil || jobs[i].Key() != ej.Key() {
+				match = false
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return false, nil, err
+		}
+		if match {
+			return true, nil, nil
+		}
+	}
+	want := make(map[resultstore.Key]int, len(jobs))
+	for i := range jobs {
+		if jobs[i].Workload != nil {
+			want[jobs[i].Key()] = -1
+		}
+	}
+	err = sp.EachPoint(func(i int, _ scenario.Meta, ej engine.Job) bool {
+		k := ej.Key()
+		if _, wanted := want[k]; wanted {
+			want[k] = i // last index wins, matching the legacy full-map build
+		}
+		return true
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	expOf = make([]int, len(jobs))
+	for i := range jobs {
+		expOf[i] = -1
+		if jobs[i].Workload != nil {
+			if exp, ok := want[jobs[i].Key()]; ok {
+				expOf[i] = exp
+			}
+		}
+	}
+	return false, expOf, nil
 }
 
 // ExecuteBatch implements session.Executor: probe the shared store,
@@ -219,75 +333,82 @@ func (c *Coordinator) ExecuteBatch(ctx context.Context, sp scenario.Spec, jobs [
 		_, err := c.eng.RunBatchFunc(ctx, jobs, done)
 		return err
 	}
-	_, expJobs, expErr := sp.Expand()
-	if expErr != nil {
+	identity, expOf, mapErr := expansionMap(sp, jobs)
+	if mapErr != nil {
 		c.fellBack.Add(1)
 		c.localPts.Add(uint64(len(jobs)))
 		_, err := c.eng.RunBatchFunc(ctx, jobs, done)
 		return err
 	}
-	keyToExp := make(map[resultstore.Key]int, len(expJobs))
-	for i := range expJobs {
-		keyToExp[expJobs[i].Key()] = i
-	}
 
 	b := &batch{
-		id:      fmt.Sprintf("b-%06d", c.batchSeq.Add(1)),
-		encoded: encoded,
-		jobs:    jobs,
-		posOf:   make(map[int]int),
-		done:    done,
-		errs:    make([]error, len(jobs)),
-		pending: len(jobs),
-		doneCh:  make(chan struct{}),
+		id:       fmt.Sprintf("b-%06d", c.batchSeq.Add(1)),
+		encoded:  encoded,
+		jobs:     jobs,
+		identity: identity,
+		done:     done,
+		errs:     make([]error, len(jobs)),
+		pending:  len(jobs),
+		doneCh:   make(chan struct{}),
+	}
+	if !identity {
+		b.posOf = make(map[int]int)
 	}
 
 	// Classify every position: resident in the shared store (serve
 	// locally), already dispatched by a concurrent batch (park on its
-	// flight), dispatchable (chunk it), or wire-inexpressible (local).
-	var local, dispatch []int // batch positions; dispatch aligned with dispExp
-	var dispExp []int         // expansion indexes, ascending by construction below
+	// flight), dispatchable (feed the chunk source), or
+	// wire-inexpressible (local). The dispatch set is kept as
+	// contiguous expansion-index runs, not chunk structs: the scheduler
+	// carves chunks from it lazily as workers drain their windows.
+	var local []int   // batch positions served here
+	var runs []span   // dispatchable expansion indexes, compressed
+	var dispExp []int // non-identity only: dispatched expansion indexes
+	ndispatch := 0
 	cached := make([]bool, len(jobs))
 	for i := range jobs {
 		cached[i] = c.eng.Cached(jobs[i])
 	}
 	c.mu.Lock()
 	for i := range jobs {
-		if jobs[i].Workload == nil || cached[i] {
+		exp := i
+		if !identity {
+			exp = expOf[i]
+		}
+		if jobs[i].Workload == nil || cached[i] || exp < 0 {
 			local = append(local, i)
 			continue
 		}
 		k := jobs[i].Key()
-		exp, onWire := keyToExp[k]
-		if !onWire {
-			local = append(local, i)
-			continue
-		}
 		if fl := c.flights[k]; fl != nil {
 			fl.waiters = append(fl.waiters, waiter{b: b, pos: i})
 			c.coalesced.Add(1)
 			continue
 		}
 		c.flights[k] = &flight{owner: b}
-		b.posOf[exp] = i
-		dispatch = append(dispatch, i)
-		dispExp = append(dispExp, exp)
+		ndispatch++
+		if identity {
+			runs = appendRun(runs, exp) // ascending: one span per stretch
+		} else {
+			b.posOf[exp] = i
+			dispExp = append(dispExp, exp)
+		}
 	}
 	c.mu.Unlock()
 
-	// Shard the dispatch set into contiguous ascending index runs.
-	sort.Ints(dispExp)
-	size := chunkTarget(len(dispExp), c.sched.liveCount())
-	var chunks []*chunk
-	for lo := 0; lo < len(dispExp); lo += size {
-		hi := lo + size
-		if hi > len(dispExp) {
-			hi = len(dispExp)
-		}
-		chunks = append(chunks, &chunk{b: b, indexes: dispExp[lo:hi:hi]})
+	if !identity {
+		sort.Ints(dispExp)
+		runs = spansOf(dispExp)
 	}
-	c.sched.enqueue(chunks)
-	c.remotePts.Add(uint64(len(dispatch)))
+	if ndispatch > 0 {
+		c.sched.addSource(&chunkSource{
+			b:         b,
+			runs:      runs,
+			seed:      chunkTarget(ndispatch, c.sched.liveCount()),
+			remaining: ndispatch,
+		})
+	}
+	c.remotePts.Add(uint64(ndispatch))
 	c.localPts.Add(uint64(len(local)))
 
 	// Serve the locally resolvable positions while the fleet works.
@@ -317,7 +438,9 @@ func (c *Coordinator) ExecuteBatch(ctx context.Context, sp scenario.Spec, jobs [
 				var positions []int
 				for _, ch := range orphans {
 					for _, exp := range ch.indexes {
-						positions = append(positions, b.posOf[exp])
+						if pos, ok := b.pos(exp); ok {
+							positions = append(positions, pos)
+						}
 					}
 				}
 				c.runLocal(ctx, b, positions)
@@ -357,7 +480,7 @@ func (c *Coordinator) runLocal(ctx context.Context, b *batch, positions []int) {
 // any parked flights. Stale posts (requeued-and-recomputed chunks,
 // dropped batches) are discarded.
 func (c *Coordinator) resolveChunk(cr ChunkResult) {
-	ch := c.sched.complete(cr.WorkerID, cr.ChunkID)
+	ch := c.sched.complete(cr.WorkerID, cr.ChunkID, cr.ElapsedUS)
 	if ch == nil {
 		return
 	}
@@ -369,7 +492,10 @@ func (c *Coordinator) resolveChunk(cr ChunkResult) {
 		// fail the batch.
 		err := fmt.Errorf("fleet: chunk %d: %s", cr.ChunkID, cr.Error)
 		for _, exp := range ch.indexes {
-			pos := b.posOf[exp]
+			pos, ok := b.pos(exp)
+			if !ok {
+				continue
+			}
 			c.abortFlight(b.jobs[pos])
 			b.settle(pos, workload.Result{}, err)
 		}
@@ -377,7 +503,7 @@ func (c *Coordinator) resolveChunk(cr ChunkResult) {
 	}
 	covered := make(map[int]bool, len(cr.Points))
 	for _, pt := range cr.Points {
-		pos, ok := b.posOf[pt.Index]
+		pos, ok := b.pos(pt.Index)
 		if !ok || !member(ch.indexes, pt.Index) || covered[pt.Index] {
 			continue // not this chunk's point; ignore
 		}
@@ -398,7 +524,10 @@ func (c *Coordinator) resolveChunk(cr ChunkResult) {
 	}
 	for _, exp := range ch.indexes {
 		if !covered[exp] {
-			pos := b.posOf[exp]
+			pos, ok := b.pos(exp)
+			if !ok {
+				continue
+			}
 			c.abortFlight(b.jobs[pos])
 			b.settle(pos, workload.Result{},
 				fmt.Errorf("fleet: chunk %d: point %d missing from result", cr.ChunkID, exp))
@@ -474,6 +603,8 @@ func (c *Coordinator) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /fleet/v1/leave", c.handleLeave)
 	mux.HandleFunc("POST /fleet/v1/work", c.handleWork)
 	mux.HandleFunc("POST /fleet/v1/result", c.handleResult)
+	mux.HandleFunc("POST /fleet/v1/results", c.handleResults)
+	mux.HandleFunc("GET /fleet/v1/stats", c.handleStats)
 }
 
 func httpErr(w http.ResponseWriter, code int, err error) {
@@ -486,7 +617,7 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, c.sched.join(req.Name))
+	writeJSON(w, r, c.sched.join(req.Name))
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -512,13 +643,25 @@ func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// maxWorkChunks caps how many chunks one work response may carry
+// regardless of what the worker advertises.
+const maxWorkChunks = 16
+
 func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
 	var req WorkRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ch, err := c.sched.pull(r.Context(), req.WorkerID)
+	legacy := req.MaxChunks <= 0
+	max := req.MaxChunks
+	if legacy {
+		max = 1
+	}
+	if max > maxWorkChunks {
+		max = maxWorkChunks
+	}
+	chunks, err := c.sched.pullN(r.Context(), req.WorkerID, max)
 	if err != nil {
 		if errors.Is(err, errUnknownWorker) {
 			httpErr(w, http.StatusNotFound, err)
@@ -526,31 +669,96 @@ func (c *Coordinator) handleWork(w http.ResponseWriter, r *http.Request) {
 		// Context gone: the client left; any response is unread.
 		return
 	}
-	if ch == nil {
+	if len(chunks) == 0 {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	writeJSON(w, WireChunk{ID: ch.id, Spec: ch.b.encoded, Indexes: ch.indexes})
+	if legacy {
+		ch := chunks[0]
+		writeJSON(w, r, WireChunk{ID: ch.id, Spec: ch.b.encoded, Indexes: ch.indexes})
+		return
+	}
+	out := WireWork{Chunks: make([]WireChunk, len(chunks))}
+	for i, ch := range chunks {
+		out.Chunks[i] = WireChunk{ID: ch.id, Spec: ch.b.encoded, Indexes: ch.indexes}
+	}
+	writeJSON(w, r, out)
+}
+
+// countPost records one accepted result post's wire accounting.
+func (c *Coordinator) countPost(n int64, gzipped bool) {
+	c.resultPosts.Add(1)
+	if gzipped {
+		c.resultPostsGzip.Add(1)
+	}
+	if n > 0 {
+		c.resultWireBytes.Add(uint64(n))
+	}
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	gzipped := r.Header.Get("Content-Encoding") == "gzip"
 	var cr ChunkResult
-	if err := decodeStrict(r.Body, &cr); err != nil {
+	if err := decodeBody(r.Body, gzipped, &cr); err != nil {
 		httpErr(w, http.StatusBadRequest, err)
 		return
 	}
+	c.countPost(r.ContentLength, gzipped)
 	c.resolveChunk(cr)
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// handleResults is the coalesced return path: one post carrying every
+// chunk the worker finished since its last pull, usually gzipped.
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	gzipped := r.Header.Get("Content-Encoding") == "gzip"
+	var rb ResultBatch
+	if err := decodeBody(r.Body, gzipped, &rb); err != nil {
+		httpErr(w, http.StatusBadRequest, err)
+		return
+	}
+	c.countPost(r.ContentLength, gzipped)
+	for i := range rb.Results {
+		cr := rb.Results[i]
+		if cr.WorkerID == "" {
+			cr.WorkerID = rb.WorkerID
+		}
+		c.resolveChunk(cr)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, r, c.FleetStats())
+}
+
+// writeJSON writes v as JSON, gzip-compressing through the pooled
+// writer when the client advertised Accept-Encoding: gzip and the body
+// clears the compression floor — this is what lets a deep-queue
+// multi-chunk work response travel cheaply. Go's default HTTP
+// transport always advertises gzip and decompresses transparently, so
+// PR-9 workers benefit without knowing.
+func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	b, err := json.Marshal(v)
 	if err != nil {
 		httpErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	if len(b) >= gzipMinBytes && acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		zw := gzwPool.Get().(*gzip.Writer)
+		zw.Reset(w)
+		zw.Write(b)
+		zw.Close()
+		gzwPool.Put(zw)
+		return
+	}
 	w.Write(b)
+}
+
+func acceptsGzip(r *http.Request) bool {
+	return r != nil && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
 }
 
 // member reports whether x is in the ascending slice s.

@@ -17,6 +17,24 @@
 // concurrent sessions are coalesced fleet-wide (an in-flight table
 // parks duplicates until the first dispatch lands).
 //
+// Dispatch is windowed so sweeps scale to 100k+ points: instead of
+// sharding a batch into all its chunks upfront, the coordinator
+// registers one chunkSource per batch (the remaining expansion-index
+// runs) and carves chunks lazily, keeping at most Window (default 4)
+// chunks queued-or-in-flight per live worker — chunk bookkeeping is
+// O(workers x window) regardless of sweep size. Chunk size adapts per
+// worker: an EWMA of measured points/sec (workers self-report
+// elapsed_us per chunk) sizes the next carve to ~4 poll windows of
+// that worker's throughput, clamped to [1, 256] with a tail guard;
+// the static formula only seeds the cold start. Workers pull up to 4
+// chunks per long-poll and post results coalesced and gzip-compressed
+// (pooled buffers and encoders) to /fleet/v1/results; all of it is
+// negotiated request-side, so an older single-chunk plain-JSON worker
+// keeps working unchanged. GET /fleet/v1/stats exposes the
+// straggler/saturation analyzer: per-worker throughput, queue depth,
+// last chunk size and p50/p95 per-point latency, with workers beyond
+// StragglerFactor x the fleet median p50 flagged as stragglers.
+//
 // Scheduling is pull-based work-stealing. Chunks are assigned
 // round-robin over the live workers in join order — a deterministic
 // placement, pinned by the scheduler's assignment trace — and each

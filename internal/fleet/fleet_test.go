@@ -231,7 +231,7 @@ type killableTransport struct {
 }
 
 func (k *killableTransport) RoundTrip(r *http.Request) (*http.Response, error) {
-	if r.URL.Path == "/fleet/v1/result" && k.results.Add(1) >= k.killAt {
+	if r.URL.Path == "/fleet/v1/results" && k.results.Add(1) >= k.killAt {
 		k.dead.Store(true)
 	}
 	if k.dead.Load() {
@@ -244,7 +244,11 @@ func (k *killableTransport) RoundTrip(r *http.Request) (*http.Response, error) {
 // survivors, and the client-visible stream is byte-identical to the
 // single-process run — the acceptance criterion's golden comparison.
 func TestFleetWorkerKillMidSweepByteIdentical(t *testing.T) {
-	f := startFleet(t, 0, tightOpts(), 0)
+	// Window 1 keeps the worker on one chunk per pull (and so one post
+	// per chunk), which is what lets the kill land between deliveries.
+	opts := tightOpts()
+	opts.Window = 1
+	f := startFleet(t, 0, opts, 0)
 	// The doomed worker's link dies on its second result post: one chunk
 	// lands, the next is evaluated but undeliverable — an in-flight
 	// chunk the coordinator must re-queue whole.

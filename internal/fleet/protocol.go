@@ -1,13 +1,17 @@
 package fleet
 
 // The coordinator/worker wire protocol: strict-JSON request and reply
-// documents for the five coordinator endpoints —
+// documents for the coordinator endpoints —
 //
 //	POST /fleet/v1/join       JoinRequest   -> JoinReply
 //	POST /fleet/v1/heartbeat  Heartbeat     -> 204 (404: unknown worker, rejoin)
 //	POST /fleet/v1/leave      Heartbeat     -> 204 (queued chunks re-queue)
-//	POST /fleet/v1/work       WorkRequest   -> WireChunk, or 204 after the long-poll window
+//	POST /fleet/v1/work       WorkRequest   -> WireChunk (max_chunks absent)
+//	                                           or WireWork (max_chunks > 0),
+//	                                           or 204 after the long-poll window
 //	POST /fleet/v1/result     ChunkResult   -> 204
+//	POST /fleet/v1/results    ResultBatch   -> 204 (coalesced posts)
+//	GET  /fleet/v1/stats      -> FleetStats (straggler analyzer)
 //
 // Results travel as the solved quantities only: like the disk store's
 // records, the Workload descriptor pointer is stripped on the wire and
@@ -16,11 +20,24 @@ package fleet
 // so a fleet-evaluated point is byte-identical to a local one — the
 // same guarantee the v1 segment codec pins with its round-trip fuzz
 // test.
+//
+// Compatibility is negotiated request-side so a PR-9 worker keeps
+// working against a newer coordinator: every extension rides on fields
+// the worker chooses to send (max_chunks, elapsed_us, a gzip
+// Content-Encoding header on posts, the /results endpoint) and the
+// coordinator answers in kind — a request without them gets the
+// original single-chunk, plain-JSON exchange. Response compression
+// needs no protocol at all: Go's HTTP transport advertises
+// Accept-Encoding: gzip and decompresses transparently on both old and
+// new workers.
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/workload"
 )
@@ -51,6 +68,18 @@ type Heartbeat struct {
 // the request up to its poll window when no work is available.
 type WorkRequest struct {
 	WorkerID string `json:"worker_id"`
+	// MaxChunks advertises how many chunks the worker accepts per
+	// long-poll. Absent or zero (a PR-9 worker) keeps the legacy
+	// single-WireChunk response; positive switches the response to a
+	// WireWork document carrying up to that many chunks when the
+	// worker's queue is deep.
+	MaxChunks int `json:"max_chunks,omitempty"`
+}
+
+// WireWork is the multi-chunk work response, sent only to workers that
+// negotiated it via WorkRequest.MaxChunks.
+type WireWork struct {
+	Chunks []WireChunk `json:"chunks"`
 }
 
 // WireChunk is one unit of dispatched work: a contiguous run of point
@@ -87,6 +116,18 @@ type ChunkResult struct {
 	ChunkID  uint64        `json:"chunk_id"`
 	Points   []PointResult `json:"points,omitempty"`
 	Error    string        `json:"error,omitempty"`
+	// ElapsedUS self-reports the chunk's evaluation wall time in
+	// microseconds — the adaptive sizer's preferred throughput sample,
+	// free of queueing and post-coalescing delay. Absent (a PR-9
+	// worker) the coordinator falls back to the pull→post interval.
+	ElapsedUS int64 `json:"elapsed_us,omitempty"`
+}
+
+// ResultBatch coalesces several completed chunks into one POST — the
+// multi-chunk pull's return path (/fleet/v1/results).
+type ResultBatch struct {
+	WorkerID string        `json:"worker_id"`
+	Results  []ChunkResult `json:"results"`
 }
 
 // maxBodyBytes bounds any protocol body. Chunks dominate: a spec is a
@@ -108,6 +149,115 @@ func decodeStrict(r io.Reader, v any) error {
 		return fmt.Errorf("fleet: %T: trailing data", v)
 	}
 	return nil
+}
+
+// Pooled POST-body codec: the worker's steady-state result path
+// serializes every completed batch, so the buffers, the json.Encoder's
+// target and the gzip state are all reused instead of reallocated per
+// request (the AllocsPerRun test pins the steady state). The same
+// pools back the coordinator's compressed responses and request-body
+// decompression.
+
+// gzipMinBytes is the compression floor: bodies smaller than this ship
+// plain, since gzip's ~20-byte framing and CPU buy nothing on a
+// heartbeat-sized document.
+const gzipMinBytes = 512
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+var gzwPool = sync.Pool{New: func() any {
+	zw, _ := gzip.NewWriterLevel(nil, gzip.BestSpeed)
+	return zw
+}}
+
+var gzrPool sync.Pool // *gzip.Reader, lazily constructed
+
+func getBuf() *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+// putBuf returns a buffer to the pool. Oversized one-off buffers are
+// dropped so a single huge batch cannot pin its high-water mark
+// forever.
+func putBuf(buf *bytes.Buffer) {
+	if buf != nil && buf.Cap() <= 4<<20 {
+		bufPool.Put(buf)
+	}
+}
+
+// encodePost serializes v into a pooled buffer, gzip-compressing
+// through a pooled writer when the JSON clears the compression floor;
+// gzipped reports which (the caller sets Content-Encoding from it).
+// Return the buffer via putBuf when the request cycle is done.
+func encodePost(v any) (buf *bytes.Buffer, gzipped bool, err error) {
+	plain := getBuf()
+	if err := json.NewEncoder(plain).Encode(v); err != nil {
+		putBuf(plain)
+		return nil, false, err
+	}
+	if plain.Len() < gzipMinBytes {
+		return plain, false, nil
+	}
+	zbuf := getBuf()
+	zw := gzwPool.Get().(*gzip.Writer)
+	zw.Reset(zbuf)
+	_, err = zw.Write(plain.Bytes())
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	gzwPool.Put(zw)
+	putBuf(plain)
+	if err != nil {
+		putBuf(zbuf)
+		return nil, false, err
+	}
+	return zbuf, true, nil
+}
+
+// decodeBody is decodeStrict behind optional gzip: when gzipped (the
+// request carried Content-Encoding: gzip) the stream is decompressed
+// through a pooled reader first. The body size limit applies to the
+// compressed bytes; the decompressed document is still decoded
+// strictly.
+func decodeBody(r io.Reader, gzipped bool, v any) error {
+	if !gzipped {
+		return decodeStrict(r, v)
+	}
+	limited := io.LimitReader(r, maxBodyBytes)
+	zr, _ := gzrPool.Get().(*gzip.Reader)
+	var err error
+	if zr == nil {
+		zr, err = gzip.NewReader(limited)
+	} else {
+		err = zr.Reset(limited)
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: decoding %T: %w", v, err)
+	}
+	err = decodeStrict(zr, v)
+	if cerr := zr.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("fleet: decoding %T: %w", v, cerr)
+	}
+	gzrPool.Put(zr)
+	return err
+}
+
+// EncodeResultBatch renders rb exactly as the worker's result path puts
+// it on the wire — pooled JSON encode, gzip above the compression floor
+// — and returns a copy of the payload plus whether it was compressed.
+// It exists for benchmarks and tooling that measure the wire format
+// from outside the package; the worker itself stays on the pooled
+// zero-copy path.
+func EncodeResultBatch(rb ResultBatch) ([]byte, bool, error) {
+	buf, gzipped, err := encodePost(rb)
+	if err != nil {
+		return nil, false, err
+	}
+	out := append([]byte(nil), buf.Bytes()...)
+	putBuf(buf)
+	return out, gzipped, nil
 }
 
 // specSum is the worker-side expansion cache key: FNV-1a over the

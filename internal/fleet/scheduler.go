@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -13,6 +14,9 @@ type chunk struct {
 	id      uint64
 	b       *batch
 	indexes []int
+	// pulledAt stamps the dispatch (first pull); completion latency
+	// feeds the puller's EWMA when the worker does not self-report.
+	pulledAt time.Time
 	// resolved flips when the chunk's results have been accepted (or
 	// its batch dropped); copies still sitting in a queue after a
 	// requeue race are lazily skipped.
@@ -29,6 +33,15 @@ type workerState struct {
 	// id — what gets re-queued whole if the worker goes silent.
 	inflight map[uint64]*chunk
 	lastBeat time.Time
+
+	// Adaptive sizing + straggler analyzer state: the EWMA points/sec
+	// that sizes this worker's next chunks, the ring of recent per-point
+	// chunk latencies, and cumulative completion counters.
+	ewmaPps       float64
+	lat           latRing
+	chunksDone    uint64
+	pointsDone    uint64
+	lastChunkSize int
 }
 
 // Assignment is one entry of the scheduler's placement trace: which
@@ -57,6 +70,16 @@ type Stats struct {
 	Completed  uint64 `json:"chunks_completed"`
 	Stolen     uint64 `json:"chunks_stolen"`
 	Requeued   uint64 `json:"chunks_requeued"`
+
+	// ChunksLive / ChunksLiveMax count materialized-but-unresolved chunk
+	// structs (now / high-water): with windowed dispatch the max stays
+	// O(workers × window) no matter how many points a batch holds — the
+	// bound the 100k-point counter test asserts.
+	ChunksLive    int `json:"chunks_live"`
+	ChunksLiveMax int `json:"chunks_live_max"`
+	// Stragglers counts live workers currently flagged by the analyzer
+	// (per-point p50 latency above StragglerFactor × fleet median).
+	Stragglers int `json:"stragglers"`
 }
 
 // errUnknownWorker makes a stale worker id a 404: the worker's cue to
@@ -71,6 +94,8 @@ type scheduler struct {
 	heartbeat time.Duration
 	deadAfter time.Duration
 	poll      time.Duration
+	window    int     // max queued+in-flight chunks per worker
+	straggler float64 // straggler flag threshold k
 	now       func() time.Time
 
 	mu   sync.Mutex
@@ -82,10 +107,17 @@ type scheduler struct {
 	order   []*workerState // live workers in join order
 	rr      int            // round-robin assignment cursor
 	orphans chunkQueue
+	// sources are the active batches' lazy chunk cursors, registration
+	// order; refill carves from the front one until it runs dry.
+	sources []*chunkSource
 	// outstanding tracks every unresolved chunk by id, wherever it
 	// sits, so a result can be accepted from any worker (including a
 	// zombie whose chunk was already re-queued but not yet recomputed).
 	outstanding map[uint64]*chunk
+	// chunksLive / maxChunksLive count materialized unresolved chunks —
+	// the windowed-dispatch memory bound's witness.
+	chunksLive    int
+	maxChunksLive int
 
 	trace   []Assignment
 	traceOn bool
@@ -94,14 +126,22 @@ type scheduler struct {
 	dispatched, completed, stolen, requeued uint64
 }
 
-func newScheduler(heartbeat, deadAfter, poll time.Duration, now func() time.Time) *scheduler {
+func newScheduler(heartbeat, deadAfter, poll time.Duration, window int, straggler float64, now func() time.Time) *scheduler {
 	if now == nil {
 		now = time.Now
+	}
+	if window < 1 {
+		window = DefaultWindow
+	}
+	if straggler <= 1 {
+		straggler = DefaultStragglerFactor
 	}
 	return &scheduler{
 		heartbeat:   heartbeat,
 		deadAfter:   deadAfter,
 		poll:        poll,
+		window:      window,
+		straggler:   straggler,
 		now:         now,
 		wake:        make(chan struct{}),
 		workers:     make(map[string]*workerState),
@@ -152,7 +192,9 @@ func (s *scheduler) join(name string) JoinReply {
 	}
 	s.workers[w.id] = w
 	s.order = append(s.order, w)
-	// A fresh worker means stealable capacity; let idle pulls re-check.
+	// A fresh worker means carving capacity; top its window up and let
+	// idle pulls re-check.
+	s.refill()
 	s.wakeAll()
 	return JoinReply{
 		WorkerID:    w.id,
@@ -230,6 +272,9 @@ func (s *scheduler) evict(w *workerState) {
 		s.requeued++
 		s.place(c, "requeue")
 	}
+	// The survivors inherited the dead worker's chunks; top up whatever
+	// window capacity remains.
+	s.refill()
 	s.wakeAll()
 }
 
@@ -246,25 +291,138 @@ func (s *scheduler) place(c *chunk, kind string) {
 	s.record(c, w, kind)
 }
 
-// enqueue shards a batch's chunks across the fleet and wakes pullers.
+// enqueue places pre-materialized chunks across the fleet and wakes
+// pullers. The coordinator's batch path registers a lazy chunkSource
+// via addSource instead; enqueue remains for scheduler-level tests and
+// small fixed chunk sets.
 func (s *scheduler) enqueue(chunks []*chunk) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range chunks {
-		s.next++
-		c.id = s.next
-		s.outstanding[c.id] = c
+		s.admit(c)
 		s.place(c, "assign")
 	}
 	s.wakeAll()
 }
 
-// pull returns the next chunk for a worker: the front of its own queue,
-// an orphan, or — when both are empty — the back of the longest live
-// queue (a steal from the straggler). With no work anywhere it parks up
-// to the poll window and retries, returning nil on timeout. A pull
-// refreshes the worker's heartbeat.
+// admit assigns a fresh chunk its id and registers it outstanding,
+// maintaining the live-chunk counters. Callers hold mu.
+func (s *scheduler) admit(c *chunk) {
+	s.next++
+	c.id = s.next
+	s.outstanding[c.id] = c
+	s.chunksLive++
+	if s.chunksLive > s.maxChunksLive {
+		s.maxChunksLive = s.chunksLive
+	}
+}
+
+// addSource registers a batch's lazy chunk cursor and carves the first
+// window of chunks.
+func (s *scheduler) addSource(src *chunkSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sources = append(s.sources, src)
+	s.refill()
+	s.wakeAll()
+}
+
+// refill tops every worker's deque up to the dispatch window, carving
+// chunks lazily from the front source. One chunk per worker per pass,
+// workers in join order — the same round-robin placement order the
+// upfront sharding produced, now interleaved with completions.
+// Callers hold mu.
+func (s *scheduler) refill() {
+	for len(s.sources) > 0 && len(s.order) > 0 {
+		progressed := false
+		for _, w := range s.order {
+			if w.queue.len()+len(w.inflight) >= s.window {
+				continue
+			}
+			c := s.carve(w)
+			if c == nil {
+				return
+			}
+			w.queue.push(c)
+			s.record(c, w, "assign")
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// carve materializes the next chunk for w from the first non-exhausted
+// source, sized by w's measured throughput. Callers hold mu.
+func (s *scheduler) carve(w *workerState) *chunk {
+	for len(s.sources) > 0 {
+		src := s.sources[0]
+		c := src.next(s.sizeFor(w, src))
+		if c == nil {
+			s.sources = s.sources[1:]
+			continue
+		}
+		w.lastChunkSize = len(c.indexes)
+		s.admit(c)
+		return c
+	}
+	return nil
+}
+
+// sizeFor returns the next chunk size to carve for w: the batch's
+// static seed until the worker has a measured throughput, then the
+// worker's EWMA points/sec times the sizing horizon — slow workers get
+// proportionally smaller chunks. Two guards bound it: the remaining
+// work split at least two ways per live worker (so the sweep tail
+// stays stealable), and the hard [minChunkPoints, maxChunkPoints]
+// clamp. Callers hold mu.
+func (s *scheduler) sizeFor(w *workerState, src *chunkSource) int {
+	size := src.seed
+	if w != nil && w.ewmaPps > 0 {
+		size = int(w.ewmaPps*s.horizon().Seconds() + 0.5)
+	}
+	if n := len(s.order); n > 0 {
+		if tail := (src.remaining + 2*n - 1) / (2 * n); size > tail {
+			size = tail
+		}
+	}
+	if size < minChunkPoints {
+		size = minChunkPoints
+	}
+	if size > maxChunkPoints {
+		size = maxChunkPoints
+	}
+	return size
+}
+
+// horizon is the wall time one adaptively sized chunk should represent:
+// a few long-poll windows, so a worker's queue outlives its round trips
+// without any single chunk monopolizing the tail.
+func (s *scheduler) horizon() time.Duration { return 4 * s.poll }
+
+// pull returns the next chunk for a worker (nil on an empty poll
+// window); see pullN.
 func (s *scheduler) pull(ctx context.Context, id string) (*chunk, error) {
+	chunks, err := s.pullN(ctx, id, 1)
+	if err != nil || len(chunks) == 0 {
+		return nil, err
+	}
+	return chunks[0], nil
+}
+
+// pullN returns up to max chunks for a worker: the front of its own
+// (window-refilled) queue, orphans, or — when all are empty — the back
+// of the longest live queue (a steal from the straggler). Only the
+// first chunk may be stolen; extras come from the worker's own share,
+// so a deep queue drains multi-chunk per long-poll without one worker
+// stripping another. With no work anywhere it parks up to the poll
+// window and retries, returning an empty slice on timeout. A pull
+// refreshes the worker's heartbeat.
+func (s *scheduler) pullN(ctx context.Context, id string, max int) ([]*chunk, error) {
+	if max < 1 {
+		max = 1
+	}
 	timeout := time.NewTimer(s.poll)
 	defer timeout.Stop()
 	for {
@@ -275,11 +433,24 @@ func (s *scheduler) pull(ctx context.Context, id string) (*chunk, error) {
 			return nil, errUnknownWorker
 		}
 		w.lastBeat = s.now()
+		s.refill()
 		if c := s.take(w); c != nil {
-			w.inflight[c.id] = c
-			s.dispatched++
+			pulled := s.now()
+			out := []*chunk{c}
+			for len(out) < max {
+				extra := s.takeOwn(w)
+				if extra == nil {
+					break
+				}
+				out = append(out, extra)
+			}
+			for _, c := range out {
+				c.pulledAt = pulled
+				w.inflight[c.id] = c
+				s.dispatched++
+			}
 			s.mu.Unlock()
-			return c, nil
+			return out, nil
 		}
 		wake := s.wake
 		s.mu.Unlock()
@@ -326,15 +497,38 @@ func (s *scheduler) take(w *workerState) *chunk {
 	return nil
 }
 
+// takeOwn pops the next unresolved chunk from the worker's own queue or
+// the orphans — the no-steal subset of take, for multi-chunk pulls.
+// Callers hold mu.
+func (s *scheduler) takeOwn(w *workerState) *chunk {
+	for c := w.queue.popFront(); c != nil; c = w.queue.popFront() {
+		if !c.resolved {
+			return c
+		}
+	}
+	for c := s.orphans.popFront(); c != nil; c = s.orphans.popFront() {
+		if !c.resolved {
+			s.record(c, w, "requeue")
+			return c
+		}
+	}
+	return nil
+}
+
 // complete accepts a chunk's results: the chunk is resolved wherever it
 // currently sits, and the posting worker's in-flight slot is cleared.
-// It returns nil when the chunk is unknown or already resolved (a
-// zombie's late post after a requeue-and-recompute, or a dropped
-// batch) — the caller discards the results.
-func (s *scheduler) complete(workerID string, chunkID uint64) *chunk {
+// elapsedUS is the worker's self-reported evaluation wall time for the
+// chunk (0 falls back to the pull→post interval on the scheduler's own
+// clock); it feeds the worker's EWMA throughput and latency ring, then
+// freed window capacity is re-carved. It returns nil when the chunk is
+// unknown or already resolved (a zombie's late post after a
+// requeue-and-recompute, or a dropped batch) — the caller discards the
+// results.
+func (s *scheduler) complete(workerID string, chunkID uint64, elapsedUS int64) *chunk {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if w := s.workers[workerID]; w != nil {
+	w := s.workers[workerID]
+	if w != nil {
 		w.lastBeat = s.now()
 		delete(w.inflight, chunkID)
 	}
@@ -344,13 +538,42 @@ func (s *scheduler) complete(workerID string, chunkID uint64) *chunk {
 	}
 	delete(s.outstanding, chunkID)
 	c.resolved = true
+	s.chunksLive--
 	s.completed++
+	if w != nil {
+		s.observe(w, c, elapsedUS)
+	}
+	s.refill()
+	s.wakeAll()
 	return c
 }
 
-// dropBatch resolves every outstanding chunk of a batch (cancellation):
-// queued copies are skipped lazily, in-flight results will be
-// discarded on arrival.
+// observe folds one completed chunk into the posting worker's
+// throughput EWMA and latency ring. Callers hold mu.
+func (s *scheduler) observe(w *workerState, c *chunk, elapsedUS int64) {
+	points := len(c.indexes)
+	w.chunksDone++
+	w.pointsDone += uint64(points)
+	elapsed := time.Duration(elapsedUS) * time.Microsecond
+	if elapsedUS <= 0 && !c.pulledAt.IsZero() {
+		elapsed = s.now().Sub(c.pulledAt)
+	}
+	if elapsed <= 0 || points == 0 {
+		return
+	}
+	pps := float64(points) / elapsed.Seconds()
+	if w.ewmaPps == 0 {
+		w.ewmaPps = pps
+	} else {
+		w.ewmaPps = ewmaAlpha*pps + (1-ewmaAlpha)*w.ewmaPps
+	}
+	w.lat.push(elapsed.Seconds() / float64(points))
+}
+
+// dropBatch resolves every outstanding chunk of a batch (cancellation)
+// and removes its chunk source: queued copies are skipped lazily,
+// in-flight results will be discarded on arrival, the uncarved
+// remainder is never materialized.
 func (s *scheduler) dropBatch(b *batch) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -358,13 +581,30 @@ func (s *scheduler) dropBatch(b *batch) {
 		if c.b == b {
 			c.resolved = true
 			delete(s.outstanding, id)
+			s.chunksLive--
 		}
 	}
+	s.removeSource(b)
+}
+
+// removeSource drops b's chunk source from the active list. Callers
+// hold mu.
+func (s *scheduler) removeSource(b *batch) {
+	kept := s.sources[:0]
+	for _, src := range s.sources {
+		if src.b != b {
+			kept = append(kept, src)
+		}
+	}
+	s.sources = kept
 }
 
 // reclaim hands a batch's unresolved chunks back to the caller —
 // the no-live-workers fallback. Only orphaned chunks can exist then;
-// they are removed from outstanding and returned sorted by id.
+// they are removed from outstanding and returned sorted by id, followed
+// by the batch's uncarved remainder materialized at the maximum chunk
+// size (the caller evaluates locally, so granularity no longer
+// matters).
 func (s *scheduler) reclaim(b *batch) []*chunk {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -376,10 +616,21 @@ func (s *scheduler) reclaim(b *batch) []*chunk {
 		if c.b == b {
 			c.resolved = true // queued copies skip lazily
 			delete(s.outstanding, id)
+			s.chunksLive--
 			out = append(out, c)
 		}
 	}
 	sortChunks(out)
+	for _, src := range s.sources {
+		if src.b != b {
+			continue
+		}
+		for c := src.next(maxChunkPoints); c != nil; c = src.next(maxChunkPoints) {
+			c.resolved = true
+			out = append(out, c)
+		}
+	}
+	s.removeSource(b)
 	return out
 }
 
@@ -395,20 +646,94 @@ func (s *scheduler) stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Workers:    len(s.order),
-		Dead:       s.dead,
-		Left:       s.left,
-		Dispatched: s.dispatched,
-		Completed:  s.completed,
-		Stolen:     s.stolen,
-		Requeued:   s.requeued,
+		Workers:       len(s.order),
+		Dead:          s.dead,
+		Left:          s.left,
+		Dispatched:    s.dispatched,
+		Completed:     s.completed,
+		Stolen:        s.stolen,
+		Requeued:      s.requeued,
+		ChunksLive:    s.chunksLive,
+		ChunksLiveMax: s.maxChunksLive,
 	}
 	st.Pending = s.orphans.unresolved()
 	for _, w := range s.order {
 		st.Pending += w.queue.unresolved()
 		st.InFlight += len(w.inflight)
 	}
+	for _, r := range s.healthLocked() {
+		if r.Straggler {
+			st.Stragglers++
+		}
+	}
 	return st
+}
+
+// health snapshots the straggler analyzer rows and the fleet median
+// per-point p50 latency (milliseconds).
+func (s *scheduler) health() ([]WorkerHealth, float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows := s.healthLocked()
+	return rows, s.medianP50Locked() * 1e3
+}
+
+// healthLocked builds the per-worker analyzer rows, flagging stragglers
+// against the fleet median. Callers hold mu.
+func (s *scheduler) healthLocked() []WorkerHealth {
+	rows := make([]WorkerHealth, 0, len(s.order))
+	med := s.medianP50Locked()
+	for _, w := range s.order {
+		p50 := w.lat.quantile(0.50)
+		rows = append(rows, WorkerHealth{
+			ID:            w.id,
+			Name:          w.name,
+			QueueDepth:    w.queue.unresolved(),
+			InFlight:      len(w.inflight),
+			ChunksDone:    w.chunksDone,
+			PointsDone:    w.pointsDone,
+			PointsPerSec:  w.ewmaPps,
+			LastChunkSize: w.lastChunkSize,
+			P50PointMS:    p50 * 1e3,
+			P95PointMS:    w.lat.quantile(0.95) * 1e3,
+			// One measured worker alone has no fleet to straggle behind.
+			Straggler: med > 0 && s.measuredLocked() >= 2 && p50 > s.straggler*med,
+		})
+	}
+	return rows
+}
+
+// medianP50Locked is the fleet median of the per-worker p50 per-point
+// latencies (seconds), over live workers with at least one sample.
+// Callers hold mu.
+func (s *scheduler) medianP50Locked() float64 {
+	p50s := make([]float64, 0, len(s.order))
+	for _, w := range s.order {
+		if p := w.lat.quantile(0.50); p > 0 {
+			p50s = append(p50s, p)
+		}
+	}
+	if len(p50s) == 0 {
+		return 0
+	}
+	sort.Float64s(p50s)
+	n := len(p50s)
+	if n%2 == 1 {
+		return p50s[n/2]
+	}
+	return (p50s[n/2-1] + p50s[n/2]) / 2
+}
+
+// measuredLocked counts live workers with latency samples. Callers
+// hold mu.
+func (s *scheduler) measuredLocked() int {
+	n := 0
+	for _, w := range s.order {
+		if w.lat.n > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // sortChunks orders chunks by id (insertion sort; requeue sets are a

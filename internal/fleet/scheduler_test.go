@@ -12,7 +12,7 @@ import (
 // decisions explicit.
 func testScheduler(now *time.Time) *scheduler {
 	return newScheduler(25*time.Millisecond, 100*time.Millisecond, 10*time.Millisecond,
-		func() time.Time { return *now })
+		0, 0, func() time.Time { return *now })
 }
 
 func mkChunks(b *batch, n int) []*chunk {
@@ -180,7 +180,7 @@ func TestSchedulerZombiePostAccepted(t *testing.T) {
 	s.reap() // w1 dead, chunk re-queued to w2
 
 	// w1's post races the recompute and wins: accepted once.
-	if got := s.complete(w1, c.id); got != c {
+	if got := s.complete(w1, c.id, 0); got != c {
 		t.Fatalf("zombie post rejected: %v", got)
 	}
 	// w2 pulls the requeued copy but it is already resolved — skipped.
@@ -188,7 +188,7 @@ func TestSchedulerZombiePostAccepted(t *testing.T) {
 		t.Error("resolved chunk handed out again")
 	}
 	// A second post of the same chunk is stale.
-	if got := s.complete(w2, c.id); got != nil {
+	if got := s.complete(w2, c.id, 0); got != nil {
 		t.Errorf("duplicate completion accepted: %v", got)
 	}
 }

@@ -1,0 +1,583 @@
+package fleet
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+// bigSpec builds a sweep of at least n points on the standard 12-point
+// cross product, scaled through the Scales axis.
+func bigSpec(name string, n int) scenario.Spec {
+	scales := make([]float64, (n+11)/12)
+	for i := range scales {
+		scales[i] = 1 + float64(i)/1024
+	}
+	return fleetSpec(name, scales...)
+}
+
+// The tentpole's memory bound: a 100k-point sweep across an 8-worker
+// in-process fleet completes with chunk bookkeeping bounded by the
+// dispatch window — the high-water count of materialized unresolved
+// chunks never exceeds workers × window, no matter the sweep size.
+func TestWindowedDispatchBoundsLiveChunks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-point sweep")
+	}
+	points := 100_008 // 12 × 8334
+	if raceEnabled {
+		points = 12_000 // the bound is identical; race slows evaluation ~10x
+	}
+	const n = 8
+	// Default cadence, not the tight test one: 8 busy in-process engines
+	// can stall a 25ms heartbeat long enough to get a worker spuriously
+	// reaped, and a reap requeues chunks outside the carving window.
+	f := startFleet(t, n, Options{}, 0)
+	sp := bigSpec("fleet-100k", points)
+	_, jobs, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < points {
+		t.Fatalf("spec expands to %d points, want >= %d", len(jobs), points)
+	}
+	if err := f.coord.ExecuteBatch(context.Background(), sp, jobs, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := f.coord.Stats()
+	if st.PointsRemote != uint64(len(jobs)) {
+		t.Errorf("%d of %d points travelled (stats %+v)", st.PointsRemote, len(jobs), st)
+	}
+	// The bound is workers × window; the ×2 headroom tolerates one
+	// spurious worker reap (its requeued chunks transiently stack on the
+	// survivors). The pre-windowing coordinator materialized
+	// points/chunkTarget ≈ 390+ chunks upfront at this scale — orders of
+	// magnitude past this assertion.
+	if bound := 2 * n * DefaultWindow; st.ChunksLiveMax > bound {
+		t.Errorf("chunks_live_max = %d, want <= 2 x workers x window = %d (windowed dispatch leak)",
+			st.ChunksLiveMax, bound)
+	}
+	if st.ChunksLive != 0 {
+		t.Errorf("chunks_live = %d after the sweep drained, want 0", st.ChunksLive)
+	}
+}
+
+// The satellite on chunkTarget's clamp: the static seed formula spreads
+// points four chunks deep per worker and caps at maxChunkPoints — at
+// 100k points the per-chunk size saturates rather than the chunk count
+// exploding (resident chunks are bounded by the window regardless).
+func TestChunkTargetClamp(t *testing.T) {
+	cases := []struct{ points, workers, want int }{
+		{0, 1, 1}, // floor
+		{1, 1, 1},
+		{100, 4, 7}, // ceil(100/16)
+		{48, 1, 12},
+		{10_000, 8, 256},    // hits the cap
+		{100_000, 8, 256},   // stays at the cap
+		{100_000, 1000, 25}, // big fleets still get granular chunks
+		{64, 0, 16},         // workers clamp to 1: ceil(64/4)
+	}
+	for _, c := range cases {
+		if got := chunkTarget(c.points, c.workers); got != c.want {
+			t.Errorf("chunkTarget(%d, %d) = %d, want %d", c.points, c.workers, got, c.want)
+		}
+	}
+	if chunkTarget(1<<30, 1) != maxChunkPoints {
+		t.Error("chunkTarget is not clamped to maxChunkPoints")
+	}
+}
+
+// The adaptive sizer's deterministic trace: driving the scheduler
+// directly with a fake clock and self-reported chunk timings, a fast
+// worker's next chunk grows to EWMA×horizon while an 8×-slower
+// worker's stays proportionally small.
+func TestAdaptiveChunkSizingTrace(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := newScheduler(25*time.Millisecond, 100*time.Millisecond, 50*time.Millisecond,
+		0, 0, func() time.Time { return now })
+	fast := s.join("fast").WorkerID
+	slow := s.join("slow").WorkerID
+
+	b := &batch{id: "b-1", identity: true}
+	s.addSource(&chunkSource{b: b, runs: []span{{lo: 0, hi: 1000}}, seed: 10, remaining: 1000})
+
+	// Cold start: both workers' windows fill with seed-sized chunks.
+	fastChunks := pullAll(t, s, fast)
+	slowChunks := pullAll(t, s, slow)
+	if len(fastChunks) != DefaultWindow || len(slowChunks) != DefaultWindow {
+		t.Fatalf("cold pull = %d/%d chunks, want %d each", len(fastChunks), len(slowChunks), DefaultWindow)
+	}
+	for _, c := range append(fastChunks, slowChunks...) {
+		if len(c.indexes) != 10 {
+			t.Fatalf("cold chunk size %d, want seed 10", len(c.indexes))
+		}
+	}
+
+	// The fast worker reports 10 points in 10ms (1000 pps): its next
+	// chunk is EWMA × horizon(4 × 50ms poll) = 200 points.
+	s.complete(fast, fastChunks[0].id, 10_000)
+	if c := pullOne(t, s, fast); len(c.indexes) != 200 {
+		t.Errorf("fast worker's adaptive chunk = %d points, want 200", len(c.indexes))
+	}
+	// The slow worker reports 10 points in 80ms (125 pps, 8x slower):
+	// its next chunk is 125 × 0.2s = 25 points.
+	s.complete(slow, slowChunks[0].id, 80_000)
+	if c := pullOne(t, s, slow); len(c.indexes) != 25 {
+		t.Errorf("slow worker's adaptive chunk = %d points, want 25", len(c.indexes))
+	}
+
+	// A second fast report at the same rate keeps the EWMA at 1000 pps,
+	// but the tail guard now bounds the carve: the remainder split at
+	// least two ways per live worker.
+	s.complete(fast, fastChunks[1].id, 10_000)
+	remaining := 1000 - 8*10 - 200 - 25 // carved so far
+	wantTail := (remaining + 3) / 4     // ceil(remaining / (2 × 2 workers))
+	if c := pullOne(t, s, fast); len(c.indexes) != wantTail {
+		t.Errorf("tail-guarded chunk = %d points, want %d", len(c.indexes), wantTail)
+	}
+}
+
+// pullAll drains a worker's currently queued chunks without parking.
+func pullAll(t *testing.T, s *scheduler, id string) []*chunk {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := s.pullN(ctx, id, maxWorkChunks)
+	if err != nil && err != context.Canceled {
+		t.Fatalf("pullN(%s): %v", id, err)
+	}
+	return out
+}
+
+// pullOne pulls exactly one chunk without parking, failing if none is
+// available.
+func pullOne(t *testing.T, s *scheduler, id string) *chunk {
+	t.Helper()
+	c := pullNow(t, s, id)
+	if c == nil {
+		t.Fatalf("no chunk queued for %s", id)
+	}
+	return c
+}
+
+// The straggler analyzer end to end: one worker 8× slower than its
+// three peers is flagged in the stats document, completes smaller
+// chunks on average, and the sweep output is still byte-identical to
+// the local run. Three fast workers (not one) because the flag
+// compares against the fleet MEDIAN: in a two-worker fleet the median
+// is the mean of both p50s, and no factor-k threshold with k=2 can
+// ever fire.
+func TestStragglerFlaggedAndSweepByteIdentical(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock latency ratios are unreliable under race instrumentation")
+	}
+	// Window 1 keeps chunks one-at-a-time so the adaptive size, not the
+	// tail guard, dominates mid-sweep carving.
+	opts := tightOpts()
+	opts.Window = 1
+	f := startFleet(t, 0, opts, 0)
+	f.addWorker(t, "fast-0", 500*time.Microsecond, nil)
+	f.addWorker(t, "fast-1", 500*time.Microsecond, nil)
+	f.addWorker(t, "fast-2", 500*time.Microsecond, nil)
+	f.addWorker(t, "slug", 4*time.Millisecond, nil)
+	f.waitWorkers(t, 4)
+
+	fleetMgr := session.NewManager(f.coord.Engine())
+	defer fleetMgr.Close()
+	fleetMgr.SetExecutor(f.coord)
+	localMgr := session.NewManager(engine.New(sock(), 4))
+	defer localMgr.Close()
+
+	// A small warmup sweep gives every worker a measured EWMA, so the
+	// main sweep below is carved adaptively from the first chunk — the
+	// cold-start seed (which is throughput-blind by definition) would
+	// otherwise dominate the per-worker chunk-size averages.
+	warm := bigSpec("fleet-straggler-warm", 240)
+	_, wjobs, err := warm.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.coord.ExecuteBatch(context.Background(), warm, wjobs, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := workerRows(f.coord)
+
+	sp := bigSpec("fleet-straggler", 4800)
+	got := sweepBytes(t, fleetMgr, sp)
+	want := sweepBytes(t, localMgr, sp)
+	if !bytes.Equal(got, want) {
+		t.Error("straggler-fleet NDJSON differs from local")
+	}
+
+	fs := f.coord.FleetStats()
+	after := workerRows(f.coord)
+	slow := after["slug"]
+	if !slow.Straggler {
+		t.Errorf("8x-slower worker not flagged: %+v (median p50 %.3fms)", slow, fs.MedianP50PointMS)
+	}
+	if fs.Stragglers != 1 {
+		t.Errorf("stats count %d stragglers, want 1", fs.Stragglers)
+	}
+	// The adaptive sizer starves the straggler of large chunks: over the
+	// main sweep (warmup counters subtracted) its average completed
+	// chunk is smaller than every fast peer's, and its measured
+	// throughput stays below theirs.
+	avg := func(name string) float64 {
+		chunks := after[name].ChunksDone - before[name].ChunksDone
+		if chunks == 0 {
+			t.Fatalf("%s completed no chunks in the main sweep: %+v", name, after[name])
+		}
+		return float64(after[name].PointsDone-before[name].PointsDone) / float64(chunks)
+	}
+	slowAvg := avg("slug")
+	for _, name := range []string{"fast-0", "fast-1", "fast-2"} {
+		if after[name].Straggler {
+			t.Errorf("%s flagged as straggler: %+v", name, after[name])
+		}
+		if fastAvg := avg(name); slowAvg >= fastAvg {
+			t.Errorf("slug's chunks average %.1f points vs %s's %.1f, want smaller",
+				slowAvg, name, fastAvg)
+		}
+		if slow.PointsPerSec >= after[name].PointsPerSec {
+			t.Errorf("slug EWMA %.1f pps >= %s's %.1f pps",
+				slow.PointsPerSec, name, after[name].PointsPerSec)
+		}
+	}
+}
+
+// workerRows snapshots the analyzer rows keyed by worker name.
+func workerRows(c *Coordinator) map[string]WorkerHealth {
+	rows, _ := c.sched.health()
+	out := make(map[string]WorkerHealth, len(rows))
+	for _, r := range rows {
+		out[r.Name] = r
+	}
+	return out
+}
+
+// realResults builds a realistic completed-chunk payload by actually
+// evaluating n points of the standard spec — the wire-efficiency tests
+// measure real result documents, not toy strings.
+func realResults(t testing.TB, n int) []ChunkResult {
+	t.Helper()
+	sp := bigSpec("wire-fixture", n)
+	_, jobs, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = jobs[:n]
+	eng := engine.New(sock(), 1)
+	var out []ChunkResult
+	for lo := 0; lo < n; lo += 64 {
+		hi := min(lo+64, n)
+		cr := ChunkResult{WorkerID: "w-000001", ChunkID: uint64(1 + lo/64), ElapsedUS: 1000}
+		for i := lo; i < hi; i++ {
+			res, err := eng.Run(jobs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Workload = nil
+			cr.Points = append(cr.Points, PointResult{Index: i, Result: &res})
+		}
+		out = append(out, cr)
+	}
+	return out
+}
+
+// The acceptance criterion on wire efficiency: the coalesced gzip post
+// carries at least 3× fewer bytes per point than the per-chunk
+// plain-JSON posts the previous protocol used for the same results.
+func TestWireBytesPerPointReduced(t *testing.T) {
+	results := realResults(t, 256)
+	points := 0
+	oldBytes := 0
+	for i := range results {
+		body, err := json.Marshal(results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldBytes += len(body)
+		points += len(results[i].Points)
+	}
+	buf, gzipped, err := encodePost(ResultBatch{WorkerID: "w-000001", Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer putBuf(buf)
+	if !gzipped {
+		t.Fatal("a multi-chunk result batch should clear the compression floor")
+	}
+	oldPer := float64(oldBytes) / float64(points)
+	newPer := float64(buf.Len()) / float64(points)
+	t.Logf("wire bytes/point: plain per-chunk %.1f, coalesced gzip %.1f (%.1fx)",
+		oldPer, newPer, oldPer/newPer)
+	if oldPer < 3*newPer {
+		t.Errorf("bytes/point %.1f -> %.1f, want >= 3x reduction", oldPer, newPer)
+	}
+}
+
+// The pooled codec round-trips: what encodePost writes, decodeBody
+// reads back identically, both plain and gzipped.
+func TestEncodePostDecodeBodyRoundTrip(t *testing.T) {
+	small := ResultBatch{WorkerID: "w-000001", Results: []ChunkResult{{WorkerID: "w-000001", ChunkID: 1}}}
+	big := ResultBatch{WorkerID: "w-000001", Results: realResults(t, 64)}
+	for name, rb := range map[string]ResultBatch{"small-plain": small, "big-gzip": big} {
+		buf, gzipped, err := encodePost(rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantGz := name == "big-gzip"; gzipped != wantGz {
+			t.Errorf("%s: gzipped = %v, want %v", name, gzipped, wantGz)
+		}
+		var back ResultBatch
+		if err := decodeBody(bytes.NewReader(buf.Bytes()), gzipped, &back); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		putBuf(buf)
+		want, _ := json.Marshal(rb)
+		got, _ := json.Marshal(back)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: round trip altered the document", name)
+		}
+	}
+}
+
+// decodeBody rejects a gzip body whose compressed stream is corrupt
+// instead of handing garbage to the strict decoder.
+func TestDecodeBodyRejectsCorruptGzip(t *testing.T) {
+	var rb ResultBatch
+	if err := decodeBody(bytes.NewReader([]byte("not gzip at all")), true, &rb); err == nil {
+		t.Error("corrupt gzip stream decoded without error")
+	}
+}
+
+// The steady-state result-post path allocates a bounded, small number
+// of objects per post: the body buffer, the gzip writer and its
+// internals all come from pools. This pins the satellite's
+// pooled-encoder rework (the old path json.Marshal'd a fresh slice per
+// post).
+func TestEncodePostSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	rb := ResultBatch{WorkerID: "w-000001", Results: realResults(t, 128)}
+	// Warm the pools (first calls construct buffers and the gzip writer).
+	for i := 0; i < 4; i++ {
+		buf, _, err := encodePost(rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		putBuf(buf)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		buf, _, err := encodePost(rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		putBuf(buf)
+	})
+	// The JSON encoder's reflection path allocates a handful of
+	// temporaries for a 128-point document; what must NOT appear is the
+	// O(body-size) buffer and gzip-state churn the pools eliminate.
+	if allocs > 24 {
+		t.Errorf("encodePost steady state allocates %.0f objects/post, want <= 24", allocs)
+	}
+}
+
+// postJSON posts one document and returns the response body (nil on
+// 204).
+func postJSON(t *testing.T, url string, v any) []byte {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: %s: %s", url, resp.Status, msg)
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// Old workers keep working: a request without max_chunks gets the
+// legacy single-WireChunk document (strictly decodable), and plain
+// single-chunk /result posts are still accepted and never counted as
+// compressed.
+func TestLegacySingleChunkProtocolCompat(t *testing.T) {
+	f := startFleet(t, 0, tightOpts(), 0)
+	var jr JoinReply
+	if err := json.Unmarshal(postJSON(t, f.ts.URL+"/fleet/v1/join", JoinRequest{Name: "legacy"}), &jr); err != nil {
+		t.Fatal(err)
+	}
+
+	sp := fleetSpec("fleet-legacy")
+	_, jobs, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.coord.ExecuteBatch(context.Background(), sp, jobs, nil) }()
+
+	// Pull and post exactly as a PR-9 worker would: no max_chunks,
+	// strict single-chunk decode, plain /result posts, no elapsed_us.
+	eng := engine.New(sock(), 1)
+	w := &Worker{Eng: eng, specs: map[uint64][]engine.Job{}}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("legacy drain never finished")
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := f.coord.Stats()
+			if st.ResultPostsGzip != 0 {
+				t.Errorf("legacy plain posts counted as gzip (stats %+v)", st)
+			}
+			if st.PointsRemote == 0 {
+				t.Error("legacy worker served nothing remotely")
+			}
+			return
+		default:
+		}
+		body := postJSON(t, f.ts.URL+"/fleet/v1/work", WorkRequest{WorkerID: jr.WorkerID})
+		if body == nil {
+			continue
+		}
+		var ch WireChunk
+		if err := decodeStrict(bytes.NewReader(body), &ch); err != nil {
+			t.Fatalf("legacy work response is not a bare WireChunk: %v\n%s", err, body)
+		}
+		cr, ok := w.evaluate(context.Background(), &ch)
+		if !ok {
+			t.Fatal("evaluate cancelled unexpectedly")
+		}
+		cr.WorkerID = jr.WorkerID
+		cr.ElapsedUS = 0 // a PR-9 worker does not self-report
+		postJSON(t, f.ts.URL+"/fleet/v1/result", cr)
+	}
+}
+
+// The GET /fleet/v1/stats endpoint serves the analyzer document, and
+// compresses large responses for clients that advertise gzip (checked
+// on a raw transport: the default one hides the Content-Encoding).
+func TestStatsEndpointAndResponseCompression(t *testing.T) {
+	f := startFleet(t, 2, tightOpts(), 0)
+	sp := bigSpec("fleet-stats", 96)
+	_, jobs, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.coord.ExecuteBatch(context.Background(), sp, jobs, nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(f.ts.URL + "/fleet/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fs FleetStats
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Window != DefaultWindow || fs.StragglerFactor != DefaultStragglerFactor {
+		t.Errorf("stats window/factor = %d/%.1f, want %d/%.1f",
+			fs.Window, fs.StragglerFactor, DefaultWindow, DefaultStragglerFactor)
+	}
+	if len(fs.PerWorker) != 2 {
+		t.Fatalf("stats carries %d worker rows, want 2", len(fs.PerWorker))
+	}
+	if fs.ResultPostsGzip == 0 {
+		t.Errorf("no compressed result posts observed (stats %+v)", fs.CoordinatorStats)
+	}
+	if fs.ResultBytesWire == 0 {
+		t.Error("no result wire bytes accounted")
+	}
+
+	// Raw request advertising gzip: a response past the floor comes
+	// back compressed and inflates to valid JSON.
+	req, err := http.NewRequest(http.MethodGet, f.ts.URL+"/fleet/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	raw := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	rresp, err := raw.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	body, err := io.ReadAll(rresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rresp.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fs2 FleetStats
+		if err := json.NewDecoder(zr).Decode(&fs2); err != nil {
+			t.Fatalf("compressed stats do not inflate to JSON: %v", err)
+		}
+	} else if len(body) >= gzipMinBytes {
+		t.Errorf("stats response (%d bytes, past the floor) not compressed", len(body))
+	}
+}
+
+// A subset of the expansion submitted out of order still resolves: the
+// non-identity mapping path (plan rounds submit job subsets) survives
+// windowed dispatch, and every point lands exactly once.
+func TestNonIdentityBatchDispatch(t *testing.T) {
+	f := startFleet(t, 2, tightOpts(), 0)
+	sp := bigSpec("fleet-subset", 48)
+	_, jobs, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strict subset, reversed: neither length nor order matches the
+	// expansion, so the identity fast-path must reject it.
+	var subset []engine.Job
+	for i := len(jobs) - 1; i >= 0; i -= 2 {
+		subset = append(subset, jobs[i])
+	}
+	settled := make([]int, len(subset))
+	err = f.coord.ExecuteBatch(context.Background(), sp, subset, func(i int, _ workload.Result) {
+		settled[i]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range settled {
+		if n != 1 {
+			t.Errorf("subset position %d settled %d times, want 1", i, n)
+		}
+	}
+	if st := f.coord.Stats(); st.PointsRemote != uint64(len(subset)) {
+		t.Errorf("%d of %d subset points travelled (stats %+v)", st.PointsRemote, len(subset), st)
+	}
+}

@@ -87,7 +87,7 @@ func (w *Worker) Run(ctx context.Context) error {
 				return err
 			}
 		}
-		ch, status, err := w.pullWork(ctx)
+		chunks, status, err := w.pullWork(ctx)
 		if err != nil {
 			if ctx.Err() != nil {
 				w.leave()
@@ -106,20 +106,29 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
-		if ch == nil {
+		if len(chunks) == 0 {
 			continue // long-poll window expired empty
 		}
-		result, ok := w.evaluate(ctx, ch)
-		if !ok {
-			// Cancelled mid-chunk: post nothing — the coordinator
-			// re-queues the whole chunk when our registration lapses, so
-			// no point is ever half-reported.
+		// Evaluate everything pulled, then post the completions as one
+		// coalesced batch. A chunk interrupted by cancellation posts
+		// nothing — the coordinator re-queues it whole when our
+		// registration lapses, so no point is ever half-reported — but
+		// chunks already finished still travel.
+		results := make([]ChunkResult, 0, len(chunks))
+		for i := range chunks {
+			result, ok := w.evaluate(ctx, &chunks[i])
+			if !ok {
+				break
+			}
+			results = append(results, result)
+		}
+		if len(results) == 0 {
 			continue
 		}
-		if err := w.postResult(ctx, result); err != nil {
-			// The chunk's results could not be delivered. Drop our
-			// registration: the coordinator will re-queue the chunk when
-			// it declares us dead (or already has), and we start fresh.
+		if err := w.postResults(ctx, results); err != nil {
+			// The results could not be delivered. Drop our registration:
+			// the coordinator will re-queue the chunks when it declares us
+			// dead (or already has), and we start fresh.
 			w.markLost()
 			continue
 		}
@@ -204,19 +213,25 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 	}
 }
 
-// pullWork long-polls the next chunk: (nil, 200-class, nil) means the
+// workerMaxChunks advertises how many chunks this worker accepts per
+// long-poll. Their results come back as one coalesced post, so a
+// deeper pull amortizes both directions of the round trip when the
+// coordinator's queue is deep.
+const workerMaxChunks = 4
+
+// pullWork long-polls the next chunks: (nil, 200-class, nil) means the
 // window expired empty.
-func (w *Worker) pullWork(ctx context.Context) (*WireChunk, int, error) {
-	body, _ := json.Marshal(WorkRequest{WorkerID: w.ID()})
-	var ch WireChunk
-	status, err := w.post(ctx, "/fleet/v1/work", body, &ch)
+func (w *Worker) pullWork(ctx context.Context) ([]WireChunk, int, error) {
+	body, _ := json.Marshal(WorkRequest{WorkerID: w.ID(), MaxChunks: workerMaxChunks})
+	var work WireWork
+	status, err := w.post(ctx, "/fleet/v1/work", body, &work)
 	if err != nil {
 		return nil, status, err
 	}
 	if status == http.StatusNoContent {
 		return nil, status, nil
 	}
-	return &ch, status, nil
+	return work.Chunks, status, nil
 }
 
 // evaluate runs one chunk through the local engine. Point failures are
@@ -230,6 +245,7 @@ func (w *Worker) evaluate(ctx context.Context, ch *WireChunk) (ChunkResult, bool
 		out.Error = err.Error()
 		return out, true
 	}
+	start := time.Now()
 	out.Points = make([]PointResult, 0, len(ch.Indexes))
 	for _, idx := range ch.Indexes {
 		if idx < 0 || idx >= len(jobs) {
@@ -253,6 +269,9 @@ func (w *Worker) evaluate(ctx context.Context, ch *WireChunk) (ChunkResult, bool
 		}
 		out.Points = append(out.Points, pt)
 	}
+	// Self-report the evaluation wall time for the adaptive sizer,
+	// clamped to 1µs so a measured chunk never reads as unmeasured.
+	out.ElapsedUS = max(1, time.Since(start).Microseconds())
 	return out, true
 }
 
@@ -286,20 +305,30 @@ func (w *Worker) expand(spec []byte) ([]engine.Job, error) {
 	return jobs, nil
 }
 
-// postResult delivers a chunk's results with a short retry.
-func (w *Worker) postResult(ctx context.Context, cr ChunkResult) error {
-	body, err := json.Marshal(cr)
+// postResults delivers one pull's completed chunks as a single
+// coalesced /fleet/v1/results post, gzip-compressed past the floor,
+// with a short retry. The serialized body lives in a pooled buffer and
+// travels through the pooled gzip writer, so the steady-state result
+// path allocates nothing per post (pinned by AllocsPerRun in
+// protocol_test.go).
+func (w *Worker) postResults(ctx context.Context, results []ChunkResult) error {
+	buf, gzipped, err := encodePost(ResultBatch{WorkerID: w.ID(), Results: results})
 	if err != nil {
 		return err
 	}
+	defer putBuf(buf)
+	encoding := ""
+	if gzipped {
+		encoding = "gzip"
+	}
 	var last error
 	for attempt := 0; attempt < 3; attempt++ {
-		status, err := w.post(ctx, "/fleet/v1/result", body, nil)
+		status, err := w.postEnc(ctx, "/fleet/v1/results", buf.Bytes(), encoding, nil)
 		if err == nil && status < 300 {
 			return nil
 		}
 		if err == nil {
-			err = fmt.Errorf("fleet: POST /fleet/v1/result: status %d", status)
+			err = fmt.Errorf("fleet: POST /fleet/v1/results: status %d", status)
 		}
 		last = err
 		if serr := sleepCtx(ctx, 50*time.Millisecond); serr != nil {
@@ -312,11 +341,20 @@ func (w *Worker) postResult(ctx context.Context, cr ChunkResult) error {
 // post runs one JSON POST, decoding the reply into out when it is
 // non-nil and the response carries a body.
 func (w *Worker) post(ctx context.Context, path string, body []byte, out any) (int, error) {
+	return w.postEnc(ctx, path, body, "", out)
+}
+
+// postEnc is post with an optional Content-Encoding on the request
+// body (the pre-compressed coalesced result path).
+func (w *Worker) postEnc(ctx context.Context, path string, body []byte, encoding string, out any) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
 	resp, err := w.Client.Do(req)
 	if err != nil {
 		return 0, err

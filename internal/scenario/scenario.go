@@ -298,33 +298,59 @@ func (s Spec) builders() ([]Custom, error) {
 	return out, nil
 }
 
-// Expand materializes the sweep: the meta labels and engine jobs, index
-// aligned, in the spec's canonical order (app, scale, mode, threads —
-// innermost last).
-func (s Spec) Expand() ([]Meta, []engine.Job, error) {
+// EachPoint streams the sweep's expansion in the spec's canonical
+// order (app, scale, mode, threads — innermost last) without
+// materializing it: fn is invoked once per evaluation point with the
+// point's expansion index, meta label and engine job, and enumeration
+// stops early when fn returns false. Workload descriptors are shared
+// across the modes×threads block of one (source, scale) pair, exactly
+// as Expand shares them, so memory while streaming is O(1) in point
+// count — the seam the fleet coordinator's windowed dispatch carves
+// chunks from at 100k-point scale.
+func (s Spec) EachPoint(fn func(i int, m Meta, job engine.Job) bool) error {
 	if err := s.Validate(); err != nil {
-		return nil, nil, err
+		return err
 	}
 	builders, err := s.builders()
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	metas := make([]Meta, 0, s.Size())
-	jobs := make([]engine.Job, 0, s.Size())
+	i := 0
 	for _, b := range builders {
 		base := b.New()
 		if base == nil {
-			return nil, nil, fmt.Errorf("scenario %s: builder for %q returned a nil workload", s.Name, b.Label)
+			return fmt.Errorf("scenario %s: builder for %q returned a nil workload", s.Name, b.Label)
 		}
 		for _, sc := range s.scales() {
 			w := Scaled(base, sc)
 			for _, mode := range s.modes() {
 				for _, th := range s.threads() {
-					metas = append(metas, Meta{App: b.Label, Mode: mode, Threads: th, Scale: sc})
-					jobs = append(jobs, engine.Job{Workload: w, Mode: mode, Threads: th, Origin: s.Name})
+					if !fn(i, Meta{App: b.Label, Mode: mode, Threads: th, Scale: sc},
+						engine.Job{Workload: w, Mode: mode, Threads: th, Origin: s.Name}) {
+						return nil
+					}
+					i++
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// Expand materializes the sweep: the meta labels and engine jobs, index
+// aligned, in the spec's canonical order (app, scale, mode, threads —
+// innermost last). Expand is EachPoint collected into slices; the two
+// enumerations are index-identical by construction.
+func (s Spec) Expand() ([]Meta, []engine.Job, error) {
+	metas := make([]Meta, 0, s.Size())
+	jobs := make([]engine.Job, 0, s.Size())
+	err := s.EachPoint(func(_ int, m Meta, job engine.Job) bool {
+		metas = append(metas, m)
+		jobs = append(jobs, job)
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return metas, jobs, nil
 }

@@ -265,7 +265,12 @@ const DefaultRetain = 1024
 // executor runs batches on the manager's engine; a fleet coordinator
 // substitutes itself via SetExecutor so the same sessions — sweeps and
 // plan rounds alike — dispatch across workers with byte-identical
-// streams, ordering, cancellation and error text.
+// streams, ordering, cancellation and error text. The jobs slice is
+// the only thing sized like the batch: an Executor is free to
+// dispatch it incrementally (the fleet coordinator windows dispatch,
+// keeping its chunk bookkeeping O(workers x window) however many jobs
+// the session submits), so sessions must not expect per-job progress
+// to imply the whole batch was materialized anywhere.
 type Executor interface {
 	ExecuteBatch(ctx context.Context, sp scenario.Spec, jobs []engine.Job, done func(i int, res workload.Result)) error
 }
